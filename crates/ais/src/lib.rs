@@ -1,0 +1,60 @@
+//! The AquaCore Instruction Set (AIS).
+//!
+//! AIS is the assembly-level target of the assay compiler, mirroring the
+//! instruction set of the AquaCore programmable lab-on-a-chip (Amin et
+//! al., ISCA 2007) as used by the PLDI 2008 volume-management paper:
+//!
+//! * **wet** instructions drive the fluidic datapath (`move`, `mix`,
+//!   `incubate`, `separate.*`, `sense.*`, `input`, `output`,
+//!   `concentrate`);
+//! * **dry** instructions run on the electronic controller (`dry-mov`,
+//!   `dry-add`, `dry-sub`, `dry-mul`) — orders of magnitude faster than
+//!   the wet path, which is why run-time volume computation is cheap;
+//! * operands are *storage-less*: a `move` may target a functional unit
+//!   directly, so intermediate fluids need not round-trip through a
+//!   reservoir;
+//! * `move` takes an optional **relative volume** — the hook where
+//!   automatic volume management plugs in: relative volumes are
+//!   translated to absolute metered volumes by the compiler/runtime.
+//!
+//! The crate provides the typed instruction representation
+//! ([`Instr`]), operand spaces ([`WetLoc`], [`DryReg`]), whole programs
+//! ([`Program`]), a printer matching the paper's syntax, and a parser
+//! for round-tripping.
+//!
+//! # Examples
+//!
+//! ```
+//! use aqua_ais::{Instr, Program};
+//!
+//! let prog: Program = "\
+//! glucose{
+//!   input s1, ip1
+//!   move mixer1, s1, 1
+//!   mix mixer1, 10
+//! }"
+//! .parse()?;
+//! assert_eq!(prog.name(), "glucose");
+//! assert_eq!(prog.instrs().len(), 3);
+//! assert!(matches!(prog.instrs()[2], Instr::Mix { .. }));
+//! # Ok::<(), aqua_ais::ParseAisError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod instr;
+mod loc;
+mod parse;
+mod program;
+
+pub use instr::{DryOp, DrySrc, Instr, SenseKind, SeparateKind};
+pub use loc::{DryReg, SepPort, WetLoc};
+pub use parse::ParseAisError;
+pub use program::Program;
+
+/// Absolute fluid volume in picoliters.
+///
+/// The paper's running hardware parameters are a maximum capacity of
+/// 100 nl (`100_000` pl) and a least count of 100 pl; picoliter integers
+/// represent every volume in the evaluation exactly.
+pub type Picoliters = u64;

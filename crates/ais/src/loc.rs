@@ -1,0 +1,148 @@
+//! Operand spaces: wet (fluidic) locations and dry (controller) registers.
+
+use std::fmt;
+
+/// Sub-port of a separator functional unit.
+///
+/// `separate` instructions address the separator body plus dedicated
+/// ports for the affinity matrix, the pusher buffer, and the separated
+/// output streams (effluent and waste), following the paper's
+/// `separator2.matrix` / `separator2.pusher` / `separator2.out1` syntax.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum SepPort {
+    /// The separation chamber itself (load target).
+    Main,
+    /// The pre-loaded affinity/chromatography matrix.
+    Matrix,
+    /// The pusher/carrier buffer inlet.
+    Pusher,
+    /// First output stream (effluent).
+    Out1,
+    /// Second output stream (waste).
+    Out2,
+}
+
+impl SepPort {
+    fn suffix(self) -> &'static str {
+        match self {
+            SepPort::Main => "",
+            SepPort::Matrix => ".matrix",
+            SepPort::Pusher => ".pusher",
+            SepPort::Out1 => ".out1",
+            SepPort::Out2 => ".out2",
+        }
+    }
+}
+
+/// A wet-datapath location: a reservoir, functional unit, or port.
+///
+/// The operand id space deliberately includes functional units so one
+/// instruction can feed another without an intervening store
+/// (storage-less operands).
+///
+/// # Examples
+///
+/// ```
+/// use aqua_ais::{SepPort, WetLoc};
+///
+/// assert_eq!(WetLoc::Reservoir(3).to_string(), "s3");
+/// assert_eq!(
+///     WetLoc::Separator(2, SepPort::Out1).to_string(),
+///     "separator2.out1"
+/// );
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum WetLoc {
+    /// On-chip storage reservoir `sN` (analogous to a register).
+    Reservoir(u32),
+    /// Mixer functional unit `mixerN`.
+    Mixer(u32),
+    /// Heater functional unit `heaterN`.
+    Heater(u32),
+    /// Separator functional unit `separatorN` with an optional sub-port.
+    Separator(u32, SepPort),
+    /// Sensor functional unit `sensorN`.
+    Sensor(u32),
+    /// Chip input port `ipN`.
+    InputPort(u32),
+    /// Chip output port `opN`.
+    OutputPort(u32),
+}
+
+impl WetLoc {
+    /// Whether this location is a functional unit (not storage or port).
+    pub fn is_functional_unit(self) -> bool {
+        matches!(
+            self,
+            WetLoc::Mixer(_) | WetLoc::Heater(_) | WetLoc::Separator(..) | WetLoc::Sensor(_)
+        )
+    }
+}
+
+impl fmt::Display for WetLoc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WetLoc::Reservoir(n) => write!(f, "s{n}"),
+            WetLoc::Mixer(n) => write!(f, "mixer{n}"),
+            WetLoc::Heater(n) => write!(f, "heater{n}"),
+            WetLoc::Separator(n, port) => write!(f, "separator{n}{}", port.suffix()),
+            WetLoc::Sensor(n) => write!(f, "sensor{n}"),
+            WetLoc::InputPort(n) => write!(f, "ip{n}"),
+            WetLoc::OutputPort(n) => write!(f, "op{n}"),
+        }
+    }
+}
+
+/// A named dry (electronic controller) register.
+///
+/// The controller's register file is symbolic: the compiler emits
+/// registers like `r0`, `temp`, or `inh_dil` and the simulator binds
+/// them on first write.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct DryReg(pub String);
+
+impl fmt::Display for DryReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<&str> for DryReg {
+    fn from(s: &str) -> DryReg {
+        DryReg(s.to_owned())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_paper_syntax() {
+        assert_eq!(WetLoc::Reservoir(1).to_string(), "s1");
+        assert_eq!(WetLoc::Mixer(1).to_string(), "mixer1");
+        assert_eq!(WetLoc::Heater(1).to_string(), "heater1");
+        assert_eq!(WetLoc::Sensor(2).to_string(), "sensor2");
+        assert_eq!(WetLoc::InputPort(3).to_string(), "ip3");
+        assert_eq!(WetLoc::OutputPort(1).to_string(), "op1");
+        assert_eq!(
+            WetLoc::Separator(2, SepPort::Matrix).to_string(),
+            "separator2.matrix"
+        );
+        assert_eq!(
+            WetLoc::Separator(1, SepPort::Main).to_string(),
+            "separator1"
+        );
+    }
+
+    #[test]
+    fn functional_unit_classification() {
+        assert!(WetLoc::Mixer(1).is_functional_unit());
+        assert!(WetLoc::Separator(1, SepPort::Main).is_functional_unit());
+        assert!(!WetLoc::Reservoir(1).is_functional_unit());
+        assert!(!WetLoc::InputPort(1).is_functional_unit());
+    }
+}

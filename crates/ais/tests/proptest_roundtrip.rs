@@ -1,0 +1,127 @@
+//! Property test: every printable AIS program parses back identically.
+
+use aqua_ais::{DryOp, DrySrc, Instr, Program, SenseKind, SepPort, SeparateKind, WetLoc};
+use proptest::prelude::*;
+
+fn wetloc() -> impl Strategy<Value = WetLoc> {
+    prop_oneof![
+        (1u32..64).prop_map(WetLoc::Reservoir),
+        (1u32..4).prop_map(WetLoc::Mixer),
+        (1u32..4).prop_map(WetLoc::Heater),
+        (1u32..4).prop_map(WetLoc::Sensor),
+        (1u32..16).prop_map(WetLoc::InputPort),
+        (1u32..16).prop_map(WetLoc::OutputPort),
+        (1u32..4, sep_port()).prop_map(|(n, p)| WetLoc::Separator(n, p)),
+    ]
+}
+
+fn sep_port() -> impl Strategy<Value = SepPort> {
+    prop_oneof![
+        Just(SepPort::Main),
+        Just(SepPort::Matrix),
+        Just(SepPort::Pusher),
+        Just(SepPort::Out1),
+        Just(SepPort::Out2),
+    ]
+}
+
+fn reg_name() -> impl Strategy<Value = String> {
+    "[A-Za-z_][A-Za-z0-9_]{0,10}(\\[[0-9]{1,2}\\]){0,2}"
+}
+
+fn instr() -> impl Strategy<Value = Instr> {
+    prop_oneof![
+        (wetloc(), 1u32..16).prop_map(|(dst, p)| Instr::Input {
+            dst,
+            port: WetLoc::InputPort(p)
+        }),
+        (1u32..16, wetloc()).prop_map(|(p, src)| Instr::Output {
+            port: WetLoc::OutputPort(p),
+            src
+        }),
+        (wetloc(), wetloc(), proptest::option::of(1u64..1000))
+            .prop_map(|(dst, src, rel_vol)| Instr::Move { dst, src, rel_vol }),
+        (wetloc(), wetloc(), 1u64..100_000).prop_map(|(dst, src, vol)| Instr::MoveAbs {
+            dst,
+            src,
+            vol
+        }),
+        (1u32..4, 1u64..600).prop_map(|(m, seconds)| Instr::Mix {
+            unit: WetLoc::Mixer(m),
+            seconds
+        }),
+        (1u32..4, -20i64..200, 1u64..600).prop_map(|(h, temp_c, seconds)| Instr::Incubate {
+            unit: WetLoc::Heater(h),
+            temp_c,
+            seconds
+        }),
+        (1u32..4, -20i64..200, 1u64..600).prop_map(|(h, temp_c, seconds)| {
+            Instr::Concentrate {
+                unit: WetLoc::Heater(h),
+                temp_c,
+                seconds,
+            }
+        }),
+        (
+            1u32..4,
+            prop_oneof![
+                Just(SeparateKind::Electrophoresis),
+                Just(SeparateKind::Size),
+                Just(SeparateKind::Affinity),
+                Just(SeparateKind::LiquidChromatography)
+            ],
+            1u64..3600
+        )
+            .prop_map(|(s, kind, seconds)| Instr::Separate {
+                unit: WetLoc::Separator(s, SepPort::Main),
+                kind,
+                seconds
+            }),
+        (
+            1u32..4,
+            prop_oneof![
+                Just(SenseKind::OpticalDensity),
+                Just(SenseKind::Fluorescence)
+            ],
+            reg_name()
+        )
+            .prop_map(|(s, kind, dst)| Instr::Sense {
+                unit: WetLoc::Sensor(s),
+                kind,
+                dst: dst.as_str().into()
+            }),
+        (
+            prop_oneof![
+                Just(DryOp::Mov),
+                Just(DryOp::Add),
+                Just(DryOp::Sub),
+                Just(DryOp::Mul)
+            ],
+            reg_name(),
+            prop_oneof![
+                (-1000i64..1000).prop_map(DrySrc::Imm),
+                reg_name().prop_map(|r| DrySrc::Reg(r.as_str().into()))
+            ]
+        )
+            .prop_map(|(op, dst, src)| Instr::Dry {
+                op,
+                dst: dst.as_str().into(),
+                src
+            }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn print_parse_roundtrip(instrs in proptest::collection::vec(instr(), 0..40)) {
+        let mut p = Program::new("fuzz");
+        p.extend(instrs);
+        let printed = p.to_string();
+        let reparsed: Program = printed
+            .parse()
+            .map_err(|e| TestCaseError::fail(format!("{e}\n{printed}")))?;
+        prop_assert_eq!(p, reparsed);
+    }
+}

@@ -1,0 +1,24 @@
+//! Serde round-trips for AIS programs (requires the `serde` feature:
+//! `cargo test -p aqua-ais --features serde`).
+
+#![cfg(feature = "serde")]
+
+use aqua_ais::Program;
+
+#[test]
+fn program_roundtrips_via_json() {
+    let text = "demo{
+  input s1, ip1
+  move mixer1, s1, 3
+  mix mixer1, 30
+  incubate heater1, 37, 300
+  separate.LC separator2, 2400
+  sense.FL sensor2, R0
+  dry-mov r0, temp
+  output op1, s1
+}";
+    let p: Program = text.parse().unwrap();
+    let json = serde_json::to_string_pretty(&p).unwrap();
+    let back: Program = serde_json::from_str(&json).unwrap();
+    assert_eq!(p, back);
+}

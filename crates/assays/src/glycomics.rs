@@ -1,0 +1,98 @@
+//! The glycomics assay (Figure 10): glycan extraction and cleanup.
+//!
+//! Three separations (one affinity, two liquid-chromatography) produce
+//! statically-unknown volumes, so the DAG is partitioned at compile
+//! time (four partitions, Figure 13) and final dispensing happens at
+//! run time (§3.5). `buffer3a` is used by two different partitions and
+//! is split 50/50 between them.
+
+/// Figure 10(a), in our assay language. The `it` chaining and the
+/// 1:10 / 1:100:1 ratios follow the paper; unlabeled mixes are 1:1.
+pub const SOURCE: &str = "
+ASSAY glycomics START
+fluid buffer1a, buffer1b, buffer2; --buffer2 has PNGanF
+fluid buffer3a, buffer3b, buffer4, buffer5;
+fluid sample, lectin, C_18, NaOH;
+fluid effluent, effluent2, effluent3, waste, waste2, waste3;
+MIX buffer1a AND sample FOR 30;
+SEPARATE it MATRIX lectin USING buffer1b FOR 30 INTO effluent AND waste;
+MIX effluent AND buffer2 FOR 30;
+INCUBATE it AT 37 FOR 30;
+MIX it AND buffer3a IN RATIOS 1 : 10 FOR 30;
+LCSEPARATE it MATRIX C_18 USING buffer3b FOR 30 INTO effluent2 AND waste2;
+MIX effluent2 AND buffer4 AND NaOH IN RATIOS 1 : 100 : 1 FOR 30;
+MIX it AND buffer3a FOR 30;
+LCSEPARATE it MATRIX C_18 USING buffer3b FOR 2400 INTO effluent3 AND waste3;
+MIX effluent3 AND buffer5 FOR 30;
+END
+";
+
+#[cfg(test)]
+mod tests {
+    use aqua_rational::Ratio;
+    use aqua_volume::unknown::{self, Binding};
+    use aqua_volume::Machine;
+
+    fn partition_plan() -> (aqua_dag::Dag, unknown::PartitionPlan) {
+        let flat = aqua_lang::compile_to_flat(super::SOURCE).unwrap();
+        let (dag, _) = aqua_compiler::lower_to_dag(&flat).unwrap();
+        let plan = unknown::partition(&dag, &Machine::paper_default()).unwrap();
+        (dag, plan)
+    }
+
+    #[test]
+    fn figure13_four_partitions() {
+        let (_, plan) = partition_plan();
+        assert_eq!(plan.partitions.len(), 4);
+    }
+
+    #[test]
+    fn figure13_buffer3a_is_split_50_50() {
+        let (_, plan) = partition_plan();
+        let mut splits = Vec::new();
+        for part in &plan.partitions {
+            for (ci, b) in &part.bindings {
+                if let Binding::Static { volume_nl } = b {
+                    assert!(part.dag.node(*ci).name.starts_with("buffer3a"));
+                    splits.push(*volume_nl);
+                }
+            }
+        }
+        assert_eq!(splits, vec![Ratio::from_int(50), Ratio::from_int(50)]);
+    }
+
+    #[test]
+    fn figure13_x2_vnorm_is_1_over_204() {
+        // The constrained input of the permethylation partition (fed by
+        // the second LC separation) has Vnorm 1/204.
+        let (_, plan) = partition_plan();
+        let mut found = false;
+        for part in &plan.partitions {
+            for (ci, b) in &part.bindings {
+                if matches!(b, Binding::Runtime { .. })
+                    && part.vnorms.node[ci.index()] == Ratio::new(1, 204).unwrap()
+                {
+                    found = true;
+                }
+            }
+        }
+        assert!(found, "no constrained input with Vnorm 1/204");
+    }
+
+    #[test]
+    fn runtime_dispensing_respects_measurements() {
+        let (_, plan) = partition_plan();
+        let machine = Machine::paper_default();
+        // Low separation yields: everything downstream scales down.
+        let lo = plan
+            .dispense_all(&machine, |_, _| Some(Ratio::from_int(2)))
+            .unwrap();
+        let hi = plan
+            .dispense_all(&machine, |_, _| Some(Ratio::from_int(40)))
+            .unwrap();
+        // Final partition's output volume grows with the measured yield.
+        let last_lo = &lo[lo.len() - 1];
+        let last_hi = &hi[hi.len() - 1];
+        assert!(last_hi.scale_nl > last_lo.scale_nl);
+    }
+}

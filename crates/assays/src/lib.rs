@@ -1,0 +1,138 @@
+//! The paper's benchmark assays (§4.1) and synthetic workloads.
+//!
+//! * [`glucose`] — glucose-concentration calibration (Figure 9): five
+//!   mixes against a shared reagent, all volumes statically known;
+//! * [`glycomics`] — the glycan-analysis pipeline (Figure 10): three
+//!   separations with statically-unknown yields, exercising §3.5
+//!   run-time partitioning;
+//! * [`enzyme`] — enzyme-kinetics inhibition (Figure 11): serial
+//!   dilutions (1:1 … 1:999) crossed combinatorially, exercising
+//!   extreme ratios (cascading) and numerous uses (replication);
+//!   [`enzyme::source_n`] scales the dilution count — `source_n(10)`
+//!   is Table 2's *Enzyme10*;
+//! * [`figure2`] — the running example of Figures 2/3/5;
+//! * [`synthetic`] — seeded random DAG generators for property tests
+//!   and scaling studies.
+//!
+//! # Examples
+//!
+//! ```
+//! use aqua_assays::glucose;
+//! use aqua_volume::Machine;
+//!
+//! let out = aqua_compiler::compile(
+//!     glucose::SOURCE,
+//!     &Machine::paper_default(),
+//!     &Default::default(),
+//! )?;
+//! assert_eq!(out.dag.num_nodes(), 13);
+//! # Ok::<(), aqua_compiler::CompileError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod enzyme;
+pub mod figure2;
+pub mod glucose;
+pub mod glycomics;
+pub mod synthetic;
+
+use aqua_compiler::{CompileError, CompileOptions, CompileOutput};
+use aqua_volume::Machine;
+
+/// The paper's benchmark suite, as used by Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Benchmark {
+    /// Figure 9.
+    Glucose,
+    /// Figure 10.
+    Glycomics,
+    /// Figure 11 (four dilutions).
+    Enzyme,
+    /// The Enzyme assay scaled to `n` dilutions (Table 2 uses 10).
+    EnzymeN(u32),
+}
+
+impl Benchmark {
+    /// The display name used in tables.
+    pub fn name(self) -> String {
+        match self {
+            Benchmark::Glucose => "Glucose".into(),
+            Benchmark::Glycomics => "Glycomics".into(),
+            Benchmark::Enzyme => "Enzyme".into(),
+            Benchmark::EnzymeN(n) => format!("Enzyme{n}"),
+        }
+    }
+
+    /// The assay source text.
+    pub fn source(self) -> String {
+        match self {
+            Benchmark::Glucose => glucose::SOURCE.to_owned(),
+            Benchmark::Glycomics => glycomics::SOURCE.to_owned(),
+            Benchmark::Enzyme => enzyme::source_n(4),
+            Benchmark::EnzymeN(n) => enzyme::source_n(n),
+        }
+    }
+
+    /// Compiles the benchmark for a machine.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CompileError`].
+    pub fn compile(self, machine: &Machine) -> Result<CompileOutput, CompileError> {
+        aqua_compiler::compile(&self.source(), machine, &CompileOptions::default())
+    }
+
+    /// All Table 2 rows.
+    pub fn table2_suite() -> Vec<Benchmark> {
+        vec![
+            Benchmark::Glucose,
+            Benchmark::Glycomics,
+            Benchmark::Enzyme,
+            Benchmark::EnzymeN(10),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_covers_table2() {
+        let names: Vec<String> = Benchmark::table2_suite()
+            .into_iter()
+            .map(|b| b.name())
+            .collect();
+        assert_eq!(names, ["Glucose", "Glycomics", "Enzyme", "Enzyme10"]);
+    }
+
+    #[test]
+    fn every_benchmark_source_parses() {
+        for b in [
+            Benchmark::Glucose,
+            Benchmark::Glycomics,
+            Benchmark::Enzyme,
+            Benchmark::EnzymeN(2),
+            Benchmark::EnzymeN(6),
+        ] {
+            let flat = aqua_lang::compile_to_flat(&b.source())
+                .unwrap_or_else(|e| panic!("{}: {e}", b.name()));
+            assert!(!flat.ops.is_empty());
+        }
+    }
+
+    #[test]
+    fn enzyme_n_scales_cubically() {
+        let ops = |n| {
+            aqua_lang::compile_to_flat(&enzyme::source_n(n))
+                .unwrap()
+                .ops
+                .len()
+        };
+        // 3n dilutions + 3 n^3 combination steps.
+        assert_eq!(ops(2), 6 + 3 * 8);
+        assert_eq!(ops(3), 9 + 3 * 27);
+        assert_eq!(ops(5), 15 + 3 * 125);
+    }
+}

@@ -1,0 +1,163 @@
+//! Seeded synthetic workload generators for property tests, scaling
+//! studies, and ablations.
+
+use aqua_dag::{Dag, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of a random layered assay DAG.
+#[derive(Debug, Clone)]
+pub struct LayeredConfig {
+    /// Number of external inputs.
+    pub inputs: usize,
+    /// Number of mix layers.
+    pub layers: usize,
+    /// Mix nodes per layer.
+    pub width: usize,
+    /// Inputs per mix (2..=4 is realistic).
+    pub fanin: usize,
+    /// Maximum ratio part (ratio parts drawn from `1..=max_part`).
+    pub max_part: u64,
+}
+
+impl Default for LayeredConfig {
+    fn default() -> LayeredConfig {
+        LayeredConfig {
+            inputs: 4,
+            layers: 3,
+            width: 4,
+            fanin: 2,
+            max_part: 9,
+        }
+    }
+}
+
+/// Generates a random layered DAG: each layer's mixes draw from any
+/// earlier layer (or the inputs), and every orphan product is sensed.
+/// Deterministic in `seed`.
+///
+/// # Examples
+///
+/// ```
+/// use aqua_assays::synthetic::{layered_dag, LayeredConfig};
+///
+/// let dag = layered_dag(42, &LayeredConfig::default());
+/// assert!(dag.validate().is_ok());
+/// let again = layered_dag(42, &LayeredConfig::default());
+/// assert_eq!(dag.num_edges(), again.num_edges());
+/// ```
+pub fn layered_dag(seed: u64, config: &LayeredConfig) -> Dag {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut dag = Dag::new();
+    let mut pool: Vec<NodeId> = (0..config.inputs)
+        .map(|i| dag.add_input(format!("in{i}")))
+        .collect();
+    for layer in 0..config.layers {
+        let mut next = Vec::new();
+        for w in 0..config.width {
+            let mut parts = Vec::new();
+            let fanin = config.fanin.max(2).min(pool.len());
+            // Sample distinct sources.
+            let mut chosen: Vec<usize> = Vec::new();
+            while chosen.len() < fanin {
+                let i = rng.random_range(0..pool.len());
+                if !chosen.contains(&i) {
+                    chosen.push(i);
+                }
+            }
+            for i in chosen {
+                parts.push((pool[i], rng.random_range(1..=config.max_part)));
+            }
+            let node = dag
+                .add_mix(format!("mix{layer}_{w}"), &parts, 10)
+                .expect("nonzero parts");
+            next.push(node);
+        }
+        pool.extend(next);
+    }
+    // Sense every unconsumed product so the DAG has proper leaves.
+    let leaves: Vec<NodeId> = dag
+        .node_ids()
+        .filter(|&n| dag.out_edges(n).is_empty() && !dag.in_edges(n).is_empty())
+        .collect();
+    for (i, n) in leaves.into_iter().enumerate() {
+        dag.add_process(format!("sense{i}"), "sense.OD", n);
+    }
+    dag
+}
+
+/// A "many uses" stress DAG: one stock fluid consumed by `uses` 1:1
+/// mixes (drives static replication).
+pub fn many_uses_dag(uses: usize) -> Dag {
+    let mut dag = Dag::new();
+    let stock = dag.add_input("stock");
+    let partner = dag.add_input("partner");
+    for i in 0..uses {
+        let m = dag
+            .add_mix(format!("m{i}"), &[(stock, 1), (partner, 1)], 0)
+            .expect("valid");
+        dag.add_process(format!("s{i}"), "sense.OD", m);
+    }
+    dag
+}
+
+/// An "extreme ratio" stress DAG: a single `1:skew` mix (drives
+/// cascading when `skew + 1` exceeds the machine span).
+pub fn extreme_ratio_dag(skew: u64) -> Dag {
+    let mut dag = Dag::new();
+    let a = dag.add_input("A");
+    let b = dag.add_input("B");
+    let m = dag
+        .add_mix("extreme", &[(a, 1), (b, skew)], 0)
+        .expect("valid");
+    dag.add_process("sense", "sense.OD", m);
+    dag
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqua_volume::{dagsolve, Machine};
+
+    #[test]
+    fn layered_dags_are_valid_and_deterministic() {
+        for seed in 0..20 {
+            let d1 = layered_dag(seed, &LayeredConfig::default());
+            let d2 = layered_dag(seed, &LayeredConfig::default());
+            assert!(d1.validate().is_ok(), "seed {seed}: {:?}", d1.validate());
+            assert_eq!(d1.num_nodes(), d2.num_nodes());
+            assert_eq!(d1.num_edges(), d2.num_edges());
+        }
+    }
+
+    #[test]
+    fn layered_dags_mostly_solve() {
+        let machine = Machine::paper_default();
+        let mut solved = 0;
+        for seed in 0..20 {
+            let d = layered_dag(seed, &LayeredConfig::default());
+            if dagsolve::solve(&d, &machine)
+                .map(|s| s.underflow.is_none())
+                .unwrap_or(false)
+            {
+                solved += 1;
+            }
+        }
+        assert!(solved >= 15, "only {solved}/20 solved");
+    }
+
+    #[test]
+    fn stress_generators_have_the_right_shape() {
+        let d = many_uses_dag(100);
+        assert_eq!(d.num_uses(d.find_node("stock").unwrap()), 100);
+        let d = extreme_ratio_dag(4999);
+        let m = d.find_node("extreme").unwrap();
+        let min_frac = d
+            .in_edges(m)
+            .iter()
+            .map(|&e| d.edge(e).fraction)
+            .min()
+            .unwrap();
+        assert_eq!(min_frac, aqua_rational::Ratio::new(1, 5000).unwrap());
+    }
+}

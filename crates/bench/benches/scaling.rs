@@ -1,0 +1,40 @@
+//! The Enzyme-N scaling study behind Table 2's Enzyme10 row: DAGSolve
+//! stays linear in DAG size while the LP's cost grows polynomially —
+//! the crossover the paper uses to justify DAGSolve as the run-time
+//! default.
+
+use aqua_lang::compile_to_flat;
+use aqua_lp::solve;
+use aqua_volume::lpform::{self, LpOptions};
+use aqua_volume::{dagsolve, Machine};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn enzyme_dag(n: u32) -> aqua_dag::Dag {
+    let flat = compile_to_flat(&aqua_assays::enzyme::source_n(n)).expect("parses");
+    aqua_compiler::lower_to_dag(&flat).expect("lowers").0
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let machine = Machine::paper_default();
+    let mut group = c.benchmark_group("enzyme_scaling");
+    group.sample_size(10);
+    for n in [2u32, 4, 6, 8] {
+        let dag = enzyme_dag(n);
+        group.bench_with_input(BenchmarkId::new("dagsolve", n), &dag, |b, dag| {
+            b.iter(|| black_box(dagsolve::solve(black_box(dag), &machine).unwrap()));
+        });
+        if n <= 6 {
+            group.bench_with_input(BenchmarkId::new("lp", n), &dag, |b, dag| {
+                b.iter(|| {
+                    let form = lpform::build(black_box(dag), &machine, &LpOptions::rvol());
+                    black_box(solve(&form.model))
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Regenerates Figure 12: the glucose assay's Vnorms and dispensed
+//! volumes (everything static; zero run-time work).
+
+use aqua_bench::benchmark_dag;
+use aqua_bench::Benchmark;
+use aqua_volume::{dagsolve, Machine};
+
+fn main() {
+    let machine = Machine::paper_default();
+    let dag = benchmark_dag(Benchmark::Glucose);
+    let sol = dagsolve::solve(&dag, &machine).expect("glucose solves");
+
+    println!("=== Figure 12: glucose assay ===");
+    println!("{} nodes, {} edges\n", dag.num_nodes(), dag.num_edges());
+    println!("{:<22} {:>12} {:>14}", "node", "Vnorm", "volume (nl)");
+    for id in dag.node_ids() {
+        println!(
+            "{:<22} {:>12} {:>14.2}",
+            dag.node(id).name,
+            sol.vnorms.node[id.index()].to_string(),
+            sol.node_nl(id).to_f64()
+        );
+    }
+    let (_, min) = sol.min_edge.expect("has edges");
+    println!(
+        "\nsmallest dispensed volume: {:.2} nl (paper: 3.3 nl)",
+        min.to_f64()
+    );
+    println!(
+        "underflow: {} (paper: none; all volumes at compile time)",
+        sol.underflow.is_some()
+    );
+}

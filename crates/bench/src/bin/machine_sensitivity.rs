@@ -1,0 +1,57 @@
+//! Sensitivity study: how the benchmark assays' feasibility and minimum
+//! dispensed volumes move with the hardware least count (at a fixed
+//! 100 nl capacity). The paper fixes 100 pl (the demonstrated PDMS-valve
+//! resolution, [12]); this sweep shows how much headroom that choice
+//! leaves — and when the volume-management hierarchy has to start
+//! rewriting.
+
+use aqua_bench::{benchmark_dag, Benchmark};
+use aqua_rational::Ratio;
+use aqua_volume::{dagsolve, manage_volumes, Machine, ManagedOutcome};
+
+fn main() {
+    println!("=== Machine sensitivity: least count sweep (capacity 100 nl) ===\n");
+    println!(
+        "{:<10} {:>12} {:>8} {:>16} {:>14} {:>22}",
+        "assay", "least count", "span", "min dispense", "raw DAGSolve", "hierarchy outcome"
+    );
+    // Least counts from 10 pl (fine) to 10 nl (coarse).
+    let least_counts = [
+        ("10 pl", Ratio::new(1, 100).unwrap()),
+        ("100 pl", Ratio::new(1, 10).unwrap()),
+        ("1 nl", Ratio::from_int(1)),
+        ("10 nl", Ratio::from_int(10)),
+    ];
+    for bench in [Benchmark::Glucose, Benchmark::Enzyme] {
+        let dag = benchmark_dag(bench);
+        for (label, lc) in least_counts {
+            let machine = Machine::new(Ratio::from_int(100), lc).expect("valid machine");
+            let sol = dagsolve::solve(&dag, &machine).expect("solves");
+            let (_, min) = sol.min_edge.expect("edges");
+            let raw = if sol.underflow.is_some() {
+                "underflow"
+            } else {
+                "feasible"
+            };
+            let outcome = match manage_volumes(&dag, &machine, &Default::default()) {
+                ManagedOutcome::Solved { volumes, .. } => format!("{}", volumes.method),
+                ManagedOutcome::NeedsRegeneration { .. } => "needs regeneration".into(),
+                ManagedOutcome::ResourcesExceeded { .. } => "resources exceeded".into(),
+            };
+            println!(
+                "{:<10} {:>12} {:>8} {:>13.3} nl {:>14} {:>22}",
+                bench.name(),
+                label,
+                machine.span(),
+                min.to_f64(),
+                raw,
+                outcome
+            );
+        }
+        println!();
+    }
+    println!("Reading: glucose survives coarse metering until the least count");
+    println!("approaches its 3.3 nl minimum aliquot; the enzyme assay needs the");
+    println!("hierarchy's rewrites even at the paper's 100 pl and becomes");
+    println!("unsalvageable (regeneration-bound) on coarse hardware.");
+}

@@ -1,0 +1,49 @@
+//! Ablation: independent rounding (the paper's simple scheme) vs
+//! apportioned rounding (one of the "more sophisticated rounding
+//! techniques" the paper defers to future work — largest-remainder
+//! apportionment of least counts per node).
+
+use aqua_bench::{benchmark_dag, Benchmark};
+use aqua_volume::round::{round_apportioned, round_assignment};
+use aqua_volume::{dagsolve, Machine};
+
+fn main() {
+    let machine = Machine::paper_default();
+    println!("=== Rounding ablation: independent vs apportioned ===\n");
+    println!(
+        "{:<10} {:>8} {:>16} {:>16} {:>16} {:>16}",
+        "assay", "scheme", "max err %", "mean err %", "underflows", "conserving"
+    );
+    for bench in [Benchmark::Glucose, Benchmark::Enzyme] {
+        let dag = benchmark_dag(bench);
+        let sol = dagsolve::solve(&dag, &machine).expect("solves");
+        for (label, rounded) in [
+            ("indep", round_assignment(&dag, &machine, &sol)),
+            ("apport", round_apportioned(&dag, &machine, &sol)),
+        ] {
+            // Conservation check: does every node's rounded consumption
+            // stay within its rounded production?
+            let conserving = dag.node_ids().all(|n| {
+                let out: aqua_rational::Ratio = dag
+                    .out_edges(n)
+                    .iter()
+                    .map(|&e| rounded.edge_volumes_nl[e.index()])
+                    .sum();
+                out <= rounded.node_volumes_nl[n.index()]
+            });
+            println!(
+                "{:<10} {:>8} {:>16.3} {:>16.3} {:>16} {:>16}",
+                bench.name(),
+                label,
+                rounded.max_ratio_error.to_f64() * 100.0,
+                rounded.mean_ratio_error.to_f64() * 100.0,
+                rounded.underflows.len(),
+                if conserving { "yes" } else { "no" }
+            );
+        }
+    }
+    println!("\nApportioned rounding guarantees per-node conservation by");
+    println!("construction at essentially unchanged ratio error — it removes the");
+    println!("rounding-drift deficits the independent scheme can cause at high");
+    println!("fan-outs, which is the property the executed volume plan needs.");
+}

@@ -1,0 +1,198 @@
+//! Benchmark harness shared by the table/figure regenerator binaries
+//! and the Criterion benches.
+//!
+//! Each binary under `src/bin/` regenerates one table or figure of the
+//! paper's evaluation (§4); run them with `cargo run --release --bin
+//! <name>`:
+//!
+//! | binary            | artifact |
+//! |-------------------|----------|
+//! | `fig2_example`    | Figures 2/3/5 — running example, LP constraints, DAGSolve numbers |
+//! | `fig12_glucose`   | Figure 12 — glucose volumes |
+//! | `fig13_glycomics` | Figure 13 — glycomics partitions |
+//! | `fig14_enzyme`    | Figure 14 — enzyme cascading + replication story |
+//! | `rounding_error`  | §4.2 — RVol→IVol rounding error |
+//! | `table2`          | Table 2 — DAGSolve vs LP times, constraints, regenerations |
+//! | `lp_constrained`  | §4.3 — LP with DAGSolve's extra constraints |
+//! | `ilp_vs_lp`       | §4.3 — ILP (budgeted) vs LP |
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+use aqua_dag::Dag;
+use aqua_lp::{solve_with, SimplexConfig, Status};
+use aqua_rational::Ratio;
+use aqua_sim::regen::{count_regenerations, RegenConfig};
+use aqua_volume::lpform::{self, LpOptions};
+use aqua_volume::unknown;
+use aqua_volume::Machine;
+
+pub use aqua_assays::Benchmark;
+
+/// One measured Table 2 row.
+#[derive(Debug, Clone)]
+pub struct Table2Row {
+    /// Benchmark name.
+    pub assay: String,
+    /// DAGSolve wall time (compile-time Vnorm + dispensing; for
+    /// partitioned assays the sum over all partitions, as in the paper).
+    pub dagsolve: Duration,
+    /// LP wall time (formulation + solve).
+    pub lp: Duration,
+    /// Whether the LP found a feasible solution.
+    pub lp_feasible: bool,
+    /// Number of LP constraints as formulated.
+    pub lp_constraints: usize,
+    /// Regenerations without volume management.
+    pub regen_count: u64,
+}
+
+/// Repeats a measurement like the paper ("each number is averaged over
+/// 10 runs"): fast measurements are re-run 10x and averaged; anything
+/// slower than a second is reported from a single run.
+fn averaged<T>(mut f: impl FnMut() -> (Duration, T)) -> (Duration, T) {
+    let (first, value) = f();
+    if first > Duration::from_secs(1) {
+        return (first, value);
+    }
+    let mut total = first;
+    for _ in 0..9 {
+        total += f().0;
+    }
+    (total / 10, value)
+}
+
+/// Times DAGSolve end to end on a DAG (averaged over 10 runs). For DAGs
+/// with unknown volumes this is partitioning + compile-time Vnorms +
+/// one run-time dispensing sweep with synthetic measurements (10 nl
+/// yields), matching the paper's glycomics methodology.
+pub fn time_dagsolve(dag: &Dag, machine: &Machine) -> (Duration, bool) {
+    averaged(|| time_dagsolve_once(dag, machine))
+}
+
+fn time_dagsolve_once(dag: &Dag, machine: &Machine) -> (Duration, bool) {
+    let start = Instant::now();
+    let ok = if unknown::has_unknown_volumes(dag) {
+        match unknown::partition(dag, machine) {
+            Ok(plan) => plan
+                .dispense_all(machine, |_, _| Some(Ratio::from_int(10)))
+                .is_ok(),
+            Err(_) => false,
+        }
+    } else {
+        aqua_volume::dagsolve::solve(dag, machine)
+            .map(|s| s.underflow.is_none())
+            .unwrap_or(false)
+    };
+    (start.elapsed(), ok)
+}
+
+/// Times LP formulation + solve on a DAG (per partition when volumes
+/// are unknown, like the paper's four-partition glycomics runs),
+/// averaged over 10 runs when fast. Returns (time, feasible,
+/// constraint count).
+pub fn time_lp(dag: &Dag, machine: &Machine, opts: &LpOptions) -> (Duration, bool, usize) {
+    let (d, (ok, n)) = averaged(|| {
+        let (d, ok, n) = time_lp_once(dag, machine, opts);
+        (d, (ok, n))
+    });
+    (d, ok, n)
+}
+
+fn time_lp_once(dag: &Dag, machine: &Machine, opts: &LpOptions) -> (Duration, bool, usize) {
+    let config = SimplexConfig::default();
+    let start = Instant::now();
+    if unknown::has_unknown_volumes(dag) {
+        let Ok(plan) = unknown::partition(dag, machine) else {
+            return (start.elapsed(), false, 0);
+        };
+        let mut constraints = 0;
+        let mut feasible = true;
+        for part in &plan.partitions {
+            let form = lpform::build(&part.dag, machine, opts);
+            constraints += form.num_constraints;
+            let out = solve_with(&form.model, &config);
+            feasible &= matches!(out.status, Status::Optimal(_));
+        }
+        (start.elapsed(), feasible, constraints)
+    } else {
+        let form = lpform::build(dag, machine, opts);
+        let constraints = form.num_constraints;
+        let out = solve_with(&form.model, &config);
+        let feasible = matches!(out.status, Status::Optimal(_));
+        (start.elapsed(), feasible, constraints)
+    }
+}
+
+/// Builds a benchmark's DAG without volume management.
+///
+/// # Panics
+///
+/// Panics if the bundled benchmark source fails to compile (that would
+/// be a bug in this crate).
+pub fn benchmark_dag(bench: Benchmark) -> Dag {
+    let flat = aqua_lang::compile_to_flat(&bench.source()).expect("benchmark parses");
+    let (dag, _) = aqua_compiler::lower_to_dag(&flat).expect("benchmark lowers");
+    dag
+}
+
+/// Measures one Table 2 row.
+pub fn table2_row(bench: Benchmark, machine: &Machine) -> Table2Row {
+    let dag = benchmark_dag(bench);
+    let (dagsolve, _) = time_dagsolve(&dag, machine);
+    let (lp, lp_feasible, lp_constraints) = time_lp(&dag, machine, &LpOptions::rvol());
+    let regen = count_regenerations(&dag, machine, &RegenConfig::default());
+    Table2Row {
+        assay: bench.name(),
+        dagsolve,
+        lp,
+        lp_feasible,
+        lp_constraints,
+        regen_count: regen.regenerations,
+    }
+}
+
+/// Formats a duration in seconds with three decimals (Table 2 style).
+pub fn secs(d: Duration) -> String {
+    format!("{:.3}", d.as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn glucose_row_has_expected_structure() {
+        let machine = Machine::paper_default();
+        let row = table2_row(Benchmark::Glucose, &machine);
+        assert_eq!(row.assay, "Glucose");
+        // Constraint count from the paper's accounting (49).
+        assert_eq!(row.lp_constraints, 49);
+        assert!(row.lp_feasible);
+        assert!(row.regen_count > 0, "baseline must regenerate");
+    }
+
+    #[test]
+    fn glycomics_times_cover_all_partitions() {
+        let machine = Machine::paper_default();
+        let dag = benchmark_dag(Benchmark::Glycomics);
+        let (t, ok) = time_dagsolve(&dag, &machine);
+        assert!(ok, "glycomics dispensing failed");
+        assert!(t.as_secs_f64() < 5.0);
+    }
+
+    #[test]
+    fn enzyme_lp_is_infeasible_like_the_paper() {
+        // §4.2: "we found that LP also fails to avoid this underflow".
+        let machine = Machine::paper_default();
+        let dag = benchmark_dag(Benchmark::Enzyme);
+        let (_, feasible, constraints) = time_lp(&dag, &machine, &LpOptions::rvol());
+        assert!(!feasible);
+        // Paper counts 872; our accounting lands in the same regime.
+        assert!(
+            (800..=1100).contains(&constraints),
+            "constraints {constraints}"
+        );
+    }
+}

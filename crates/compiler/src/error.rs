@@ -1,0 +1,67 @@
+//! Compiler errors.
+
+use std::error::Error;
+use std::fmt;
+
+use aqua_dag::DagError;
+use aqua_lang::LangError;
+use aqua_volume::unknown::PartitionError;
+
+/// Any failure of the compilation pipeline.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub enum CompileError {
+    /// Lexical/syntactic/semantic error in the assay source.
+    Lang(LangError),
+    /// The lowered DAG failed validation (compiler bug or degenerate
+    /// assay such as an all-zero mix).
+    Dag(DagError),
+    /// Partitioning for unknown volumes failed.
+    Partition(PartitionError),
+    /// A rewrite needed more fluid-path resources than the machine has.
+    ResourcesExceeded(String),
+    /// Code generation could not honor the machine's unit inventory.
+    Codegen(String),
+    /// The assay uses a separation's waste stream, which the volume DAG
+    /// does not model.
+    WasteUsed {
+        /// The waste fluid's name.
+        fluid: String,
+    },
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::Lang(e) => write!(f, "{e}"),
+            CompileError::Dag(e) => write!(f, "invalid assay DAG: {e}"),
+            CompileError::Partition(e) => write!(f, "partitioning failed: {e}"),
+            CompileError::ResourcesExceeded(what) => {
+                write!(f, "assay exceeds machine resources: {what}")
+            }
+            CompileError::Codegen(what) => write!(f, "code generation failed: {what}"),
+            CompileError::WasteUsed { fluid } => write!(
+                f,
+                "waste stream `{fluid}` is consumed later in the assay; waste volumes are \
+                 not managed"
+            ),
+        }
+    }
+}
+
+impl Error for CompileError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CompileError::Lang(e) => Some(e),
+            CompileError::Dag(e) => Some(e),
+            CompileError::Partition(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LangError> for CompileError {
+    fn from(e: LangError) -> CompileError {
+        CompileError::Lang(e)
+    }
+}

@@ -1,0 +1,294 @@
+//! Biostream-style fixed-ratio (1:1) mixing plans.
+//!
+//! The paper contrasts its variable-ratio mixes with Biostream, which
+//! "allow[s] mixing only in a 1:1 ratio, and discard[s] half of the
+//! output of the mix ... achieving arbitrary mix ratios always requires
+//! cascading (except for 1:1 mixing), which executes on the slow fluid
+//! path" (§3.4.1). This module makes that comparison quantitative: it
+//! plans the classic bit-serial dilution sequence that approximates an
+//! arbitrary target fraction using only 1:1 merges, and reports the
+//! number of slow wet operations and the discarded excess it costs.
+//!
+//! The construction processes the target's binary expansion from the
+//! least-significant bit: start from a pure droplet, then repeatedly
+//! merge 1:1 with pure `A` or pure `B` — after `n` steps the achieved
+//! concentration is the `n`-bit truncation of the target, so the error
+//! is below `2^-n`.
+
+use std::error::Error;
+use std::fmt;
+
+use aqua_rational::Ratio;
+
+/// One 1:1 merge step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BitStep {
+    /// Merge the working droplet 1:1 with pure component `A`.
+    MergeWithA,
+    /// Merge the working droplet 1:1 with pure diluent/component `B`.
+    MergeWithB,
+}
+
+/// A planned 1:1-only mixing sequence. The working droplet starts as
+/// pure `B` (the diluent side) and each step merges it 1:1 with a pure
+/// droplet; processing the target's binary expansion least-significant
+/// bit first realizes the truncated expansion exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BitMixPlan {
+    /// The merge sequence, applied in order.
+    pub steps: Vec<BitStep>,
+    /// The concentration of `A` actually achieved.
+    pub achieved: Ratio,
+    /// The requested concentration of `A`.
+    pub target: Ratio,
+}
+
+impl BitMixPlan {
+    /// Number of slow wet mix operations (merges).
+    pub fn wet_mixes(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Droplet-volumes of fluid discarded: every merge doubles the
+    /// droplet and half is thrown away to keep unit volume (Biostream's
+    /// policy), so one unit per merge.
+    pub fn discarded_units(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Absolute concentration error.
+    pub fn error(&self) -> Ratio {
+        (self.achieved - self.target).abs()
+    }
+}
+
+/// Error from bit-mix planning.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BitMixError {
+    /// The target concentration is not in `(0, 1)`.
+    TargetOutOfRange,
+    /// The tolerance is not positive.
+    BadTolerance,
+}
+
+impl fmt::Display for BitMixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BitMixError::TargetOutOfRange => {
+                write!(f, "target concentration must be strictly between 0 and 1")
+            }
+            BitMixError::BadTolerance => write!(f, "tolerance must be positive"),
+        }
+    }
+}
+
+impl Error for BitMixError {}
+
+/// Plans a 1:1-only merge sequence achieving concentration `target` of
+/// component `A` within `tolerance`.
+///
+/// # Errors
+///
+/// Returns [`BitMixError`] for targets outside `(0, 1)` or non-positive
+/// tolerances.
+///
+/// # Examples
+///
+/// A 1:3 mix (concentration 1/4) is exact in two merges from a pure
+/// diluent droplet; a 1:9 mix
+/// (concentration 1/10) has no finite binary expansion and needs one
+/// merge per bit of tolerance:
+///
+/// ```
+/// use aqua_rational::Ratio;
+/// use aqua_volume::bitmix::plan;
+///
+/// let exact = plan(Ratio::new(1, 4)?, Ratio::new(1, 1000)?)?;
+/// assert_eq!(exact.wet_mixes(), 2);
+/// assert!(exact.error().is_zero());
+///
+/// let tenth = plan(Ratio::new(1, 10)?, Ratio::new(1, 1000)?)?;
+/// assert!(tenth.wet_mixes() >= 9); // ~log2(1000) merges
+/// assert!(tenth.error() < Ratio::new(1, 1000)?);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn plan(target: Ratio, tolerance: Ratio) -> Result<BitMixPlan, BitMixError> {
+    if !target.is_positive() || target >= Ratio::ONE {
+        return Err(BitMixError::TargetOutOfRange);
+    }
+    if !tolerance.is_positive() {
+        return Err(BitMixError::BadTolerance);
+    }
+    // Bits needed: smallest n with 2^-n <= tolerance; cap for sanity.
+    let mut n = 1u32;
+    let mut pow = Ratio::new(1, 2).expect("valid");
+    while pow > tolerance && n < 64 {
+        n += 1;
+        pow /= Ratio::from_int(2);
+    }
+    // Truncate the target to n bits: bits[i] is the coefficient of
+    // 2^-(i+1). Stop early if the expansion terminates.
+    let mut bits = Vec::with_capacity(n as usize);
+    let mut rest = target;
+    for _ in 0..n {
+        rest *= Ratio::from_int(2);
+        if rest >= Ratio::ONE {
+            bits.push(true);
+            rest -= Ratio::ONE;
+        } else {
+            bits.push(false);
+        }
+        if rest.is_zero() {
+            break;
+        }
+    }
+    // One merge per bit, least-significant first: after all merges the
+    // bit at position i sits at weight 2^-i.
+    let mut steps = Vec::with_capacity(bits.len());
+    for &bit in bits.iter().rev() {
+        steps.push(if bit {
+            BitStep::MergeWithA
+        } else {
+            BitStep::MergeWithB
+        });
+    }
+    // Achieved concentration: replay the plan from a pure-B droplet.
+    let mut achieved = Ratio::ZERO;
+    for step in &steps {
+        let pure = match step {
+            BitStep::MergeWithA => Ratio::ONE,
+            BitStep::MergeWithB => Ratio::ZERO,
+        };
+        achieved = (achieved + pure) / Ratio::from_int(2);
+    }
+    Ok(BitMixPlan {
+        steps,
+        achieved,
+        target,
+    })
+}
+
+/// Counts the slow wet mixes a whole DAG costs under Biostream's
+/// 1:1-only regime vs this paper's variable-ratio mixes.
+///
+/// For every mix node, the variable-ratio cost is 1 wet operation; the
+/// 1:1-only cost decomposes a `k`-way mix into `k-1` sequential binary
+/// combinations, each planned to `tolerance`.
+pub fn compare_wet_mixes(
+    dag: &aqua_dag::Dag,
+    tolerance: Ratio,
+) -> Result<MixOpComparison, BitMixError> {
+    let mut ours = 0usize;
+    let mut biostream = 0usize;
+    let mut discarded = 0usize;
+    for n in dag.node_ids() {
+        if !matches!(dag.node(n).kind, aqua_dag::NodeKind::Mix { .. }) {
+            continue;
+        }
+        ours += 1;
+        // Sequential pairwise combination: fold components in, always
+        // targeting the cumulative fraction of the first group.
+        let fractions: Vec<Ratio> = dag
+            .in_edges(n)
+            .iter()
+            .map(|&e| dag.edge(e).fraction)
+            .collect();
+        let mut acc = fractions[0];
+        for &f in &fractions[1..] {
+            let combined = acc + f;
+            let target = acc / combined;
+            if target.is_positive() && target < Ratio::ONE {
+                let p = plan(target, tolerance)?;
+                biostream += p.wet_mixes().max(1);
+                discarded += p.discarded_units();
+            } else {
+                biostream += 1;
+            }
+            acc = combined;
+        }
+    }
+    Ok(MixOpComparison {
+        variable_ratio_mixes: ours,
+        one_to_one_mixes: biostream,
+        discarded_units: discarded,
+    })
+}
+
+/// Result of [`compare_wet_mixes`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MixOpComparison {
+    /// Wet mixes with variable-ratio hardware (this paper): one per mix
+    /// node.
+    pub variable_ratio_mixes: usize,
+    /// Wet mixes under the 1:1-only regime (Biostream).
+    pub one_to_one_mixes: usize,
+    /// Unit droplets discarded by the 1:1-only regime.
+    pub discarded_units: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i128, d: i128) -> Ratio {
+        Ratio::new(n, d).unwrap()
+    }
+
+    #[test]
+    fn powers_of_two_are_exact() {
+        for (num, den, steps) in [(1, 2, 1), (1, 4, 2), (3, 4, 2), (1, 8, 3), (5, 8, 3)] {
+            let p = plan(r(num, den), r(1, 1_000_000)).unwrap();
+            assert!(p.error().is_zero(), "{num}/{den}: error {}", p.error());
+            assert_eq!(p.wet_mixes(), steps, "{num}/{den}");
+        }
+    }
+
+    #[test]
+    fn achieved_matches_replayed_expansion() {
+        let p = plan(r(1, 10), r(1, 1024)).unwrap();
+        assert!(p.error() < r(1, 1024));
+        assert!(p.wet_mixes() >= 9 && p.wet_mixes() <= 11);
+    }
+
+    #[test]
+    fn tighter_tolerance_needs_more_merges() {
+        let coarse = plan(r(1, 3), r(1, 100)).unwrap();
+        let fine = plan(r(1, 3), r(1, 100_000)).unwrap();
+        assert!(fine.wet_mixes() > coarse.wet_mixes());
+        assert!(fine.error() < coarse.error());
+    }
+
+    #[test]
+    fn rejects_degenerate_inputs() {
+        assert!(plan(Ratio::ZERO, r(1, 100)).is_err());
+        assert!(plan(Ratio::ONE, r(1, 100)).is_err());
+        assert!(plan(r(3, 2), r(1, 100)).is_err());
+        assert!(plan(r(1, 2), Ratio::ZERO).is_err());
+    }
+
+    #[test]
+    fn paper_claim_variable_ratio_needs_far_fewer_wet_ops() {
+        // Glucose-shaped DAG: 5 mixes for us; Biostream needs a bit
+        // cascade per non-power-of-two ratio.
+        let mut d = aqua_dag::Dag::new();
+        let g = d.add_input("G");
+        let rgt = d.add_input("R");
+        for (i, parts) in [(1u64, 1u64), (1, 2), (1, 4), (1, 8), (1, 1)]
+            .iter()
+            .enumerate()
+        {
+            let m = d
+                .add_mix(format!("m{i}"), &[(g, parts.0), (rgt, parts.1)], 10)
+                .unwrap();
+            d.add_process(format!("s{i}"), "sense.OD", m);
+        }
+        let cmp = compare_wet_mixes(&d, r(1, 100)).unwrap();
+        assert_eq!(cmp.variable_ratio_mixes, 5);
+        assert!(cmp.one_to_one_mixes > cmp.variable_ratio_mixes, "{cmp:?}");
+        // 1:1 and 1:3(conc 1/4... here 1:2 -> 1/3, 1:4 -> 1/5, 1:8 -> 1/9
+        // are all infinite binary expansions: ~7 merges each at 1%.
+        assert!(cmp.one_to_one_mixes >= 20, "{cmp:?}");
+        assert!(cmp.discarded_units > 0);
+    }
+}

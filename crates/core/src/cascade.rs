@@ -1,0 +1,482 @@
+//! Cascaded mixing for extreme mix ratios (§3.4.1, Figure 7).
+//!
+//! A mix whose smallest input fraction is below `least_count /
+//! max_capacity` cannot be realized in one step on the hardware: metering
+//! the small component underflows even when the mix fills the unit. The
+//! classic remedy is to build the dilution in stages — `1:99` becomes two
+//! `1:9` mixes — producing *excess* intermediate fluid whose discarded
+//! share is known a priori, which is what lets DAGSolve keep its backward
+//! pass (the excess edge's Vnorm is a fixed share of the producer).
+
+use std::error::Error;
+use std::fmt;
+
+use aqua_dag::{Dag, EdgeId, NodeId, NodeKind, Ratio};
+
+use crate::machine::Machine;
+
+/// Maximum cascade depth attempted before giving up (a span of 10 with
+/// depth 12 already covers a 10^12 dilution — far beyond real assays).
+const MAX_DEPTH: u32 = 12;
+
+/// Error from cascade planning/application.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CascadeError {
+    /// Node is not a mix (nothing to cascade).
+    NotAMix {
+        /// Name of the node.
+        node: String,
+    },
+    /// The mix is not extreme on this machine (cascading would only
+    /// waste resources).
+    NotExtreme {
+        /// Name of the node.
+        node: String,
+    },
+    /// No stage factoring with per-stage ratios within the machine span
+    /// exists up to the depth limit (e.g. span 1 hardware).
+    NoFeasiblePlan {
+        /// Name of the node.
+        node: String,
+    },
+    /// Exact arithmetic overflowed.
+    Arithmetic,
+}
+
+impl fmt::Display for CascadeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CascadeError::NotAMix { node } => write!(f, "node `{node}` is not a mix"),
+            CascadeError::NotExtreme { node } => {
+                write!(f, "mix `{node}` is not extreme on this machine")
+            }
+            CascadeError::NoFeasiblePlan { node } => write!(
+                f,
+                "no cascade of depth <= {MAX_DEPTH} makes mix `{node}` feasible"
+            ),
+            CascadeError::Arithmetic => write!(f, "cascade arithmetic overflowed"),
+        }
+    }
+}
+
+impl Error for CascadeError {}
+
+/// Finds mix nodes whose smallest input fraction is at or below
+/// `1 / machine.span()`. Strictly below is infeasible outright; exactly
+/// at the span is marginal — it succeeds only if the mix receives the
+/// entire machine capacity, which any competing demand destroys (the
+/// enzyme assay's 1:999 dilutions are this case).
+///
+/// # Examples
+///
+/// ```
+/// use aqua_dag::Dag;
+/// use aqua_volume::{cascade, Machine};
+///
+/// let mut dag = Dag::new();
+/// let a = dag.add_input("A");
+/// let b = dag.add_input("B");
+/// let m = dag.add_mix("mx", &[(a, 1), (b, 1999)], 0)?;
+/// dag.add_process("sink", "sense.OD", m);
+/// let extreme = cascade::find_extreme_mixes(&dag, &Machine::paper_default());
+/// assert_eq!(extreme, vec![m]);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn find_extreme_mixes(dag: &Dag, machine: &Machine) -> Vec<NodeId> {
+    let threshold = machine.span().checked_recip().expect("span is positive");
+    dag.node_ids()
+        .filter(|&n| {
+            matches!(dag.node(n).kind, NodeKind::Mix { .. })
+                && dag
+                    .in_edges(n)
+                    .iter()
+                    .any(|&e| dag.edge(e).fraction <= threshold)
+        })
+        .collect()
+}
+
+/// A cascade plan: the dilution factor of each stage. The factors
+/// multiply to exactly `1 / smallest_fraction` of the original mix, so
+/// the final composition is preserved exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CascadePlan {
+    /// Per-stage total-parts factor (`s` means a `1:(s-1)` stage). The
+    /// last factor may be rational to make the product exact.
+    pub factors: Vec<Ratio>,
+}
+
+impl CascadePlan {
+    /// Number of mix stages.
+    pub fn depth(&self) -> usize {
+        self.factors.len()
+    }
+}
+
+/// Plans stage factors for a total dilution `total` (= 1/f_min) under a
+/// per-stage limit of `span`.
+///
+/// Strategy, following the paper's worked examples: if the total has a
+/// small exact integer root, use it — `1:99` becomes two `1:9`s and
+/// `1:999` three `1:9`s. Otherwise iteratively deepen with
+/// `s = ceil(total^(1/k))` equal stages and an exact rational remainder
+/// stage (`1:399` becomes two `1:19`s).
+///
+/// A total comfortably inside the span (at most half of it) needs no
+/// cascade and plans as a single stage.
+///
+/// # Errors
+///
+/// Returns [`CascadeError::NoFeasiblePlan`] if no depth up to the
+/// internal limit (12 stages) works.
+pub fn plan_cascade(total: Ratio, span: Ratio) -> Result<CascadePlan, CascadeError> {
+    if total.checked_mul(Ratio::from_int(2)).unwrap_or(total) <= span {
+        // Depth 1: no cascade needed.
+        return Ok(CascadePlan {
+            factors: vec![total],
+        });
+    }
+    if span <= Ratio::ONE {
+        return Err(CascadeError::NoFeasiblePlan {
+            node: String::new(),
+        });
+    }
+    let total_f = total.to_f64();
+    // Stage factors stay at or below half the span so no stage is
+    // itself marginal (the same comfort rule as the single-stage case).
+    let comfort = span / Ratio::from_int(2);
+    // Preferred: exact integer roots (the paper's 10^k dilutions).
+    if total.is_integer() {
+        for k in 2..=MAX_DEPTH {
+            let s = (total_f.powf(1.0 / k as f64).round()).max(2.0) as i128;
+            for cand in [s - 1, s, s + 1] {
+                if cand >= 2 && pow_ratio(cand, k)? == total && Ratio::from_int(cand) <= comfort {
+                    return Ok(CascadePlan {
+                        factors: vec![Ratio::from_int(cand); k as usize],
+                    });
+                }
+            }
+        }
+    }
+    for k in 2..=MAX_DEPTH {
+        // Integer k-th root, rounded up, with f64 seed + exact fix-up.
+        let mut s = total_f.powf(1.0 / k as f64).ceil() as i128;
+        s = s.max(2);
+        while pow_ratio(s - 1, k)? >= total && s > 2 {
+            s -= 1;
+        }
+        while pow_ratio(s, k)? < total {
+            s += 1;
+        }
+        let s_ratio = Ratio::from_int(s);
+        if s_ratio > comfort {
+            continue; // even equal stages at this depth are too skewed
+        }
+        // k-1 equal stages of s, final stage the exact remainder.
+        let head = pow_ratio(s, k - 1)?;
+        let last = total
+            .checked_div(head)
+            .map_err(|_| CascadeError::Arithmetic)?;
+        if last > Ratio::ONE && last <= comfort {
+            let mut factors = vec![s_ratio; (k - 1) as usize];
+            factors.push(last);
+            return Ok(CascadePlan { factors });
+        }
+        // Remainder collapsed to <= 1: fold it into fewer equal stages.
+        let head2 = pow_ratio(s, k - 2)?;
+        let last2 = total
+            .checked_div(head2)
+            .map_err(|_| CascadeError::Arithmetic)?;
+        if last2 > Ratio::ONE && last2 <= comfort {
+            let mut factors = vec![s_ratio; (k - 2) as usize];
+            factors.push(last2);
+            return Ok(CascadePlan { factors });
+        }
+    }
+    Err(CascadeError::NoFeasiblePlan {
+        node: String::new(),
+    })
+}
+
+fn pow_ratio(base: i128, exp: u32) -> Result<Ratio, CascadeError> {
+    let mut acc = Ratio::ONE;
+    for _ in 0..exp {
+        acc = acc
+            .checked_mul(Ratio::from_int(base))
+            .map_err(|_| CascadeError::Arithmetic)?;
+    }
+    Ok(acc)
+}
+
+/// Record of one applied cascade.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CascadeInfo {
+    /// The original (now final-stage) mix node.
+    pub node: NodeId,
+    /// Newly created intermediate mix nodes, first stage first.
+    pub intermediates: Vec<NodeId>,
+    /// Newly created excess nodes, one per intermediate.
+    pub excess_nodes: Vec<NodeId>,
+    /// The plan that was applied.
+    pub plan: CascadePlan,
+}
+
+/// Rewrites an extreme mix into a cascade of milder stages in place.
+///
+/// The smallest-fraction input is pre-diluted into the largest-fraction
+/// input over `plan` stages; each intermediate discards the a-priori
+/// known excess share. The final composition of `node` is preserved
+/// exactly (verified by the DAG fraction invariants).
+///
+/// # Errors
+///
+/// Returns [`CascadeError`] if the node is not an extreme mix or no
+/// feasible plan exists.
+pub fn apply_cascade(
+    dag: &mut Dag,
+    node: NodeId,
+    machine: &Machine,
+) -> Result<CascadeInfo, CascadeError> {
+    let name = dag.node(node).name.clone();
+    let seconds = match dag.node(node).kind {
+        NodeKind::Mix { seconds } => seconds,
+        _ => return Err(CascadeError::NotAMix { node: name }),
+    };
+    let threshold = machine.span().checked_recip().expect("positive span");
+    // Identify the extreme (smallest-fraction) and carrier
+    // (largest-fraction) inputs.
+    let ins: Vec<EdgeId> = dag.in_edges(node).to_vec();
+    let (&small_e, _) = ins
+        .iter()
+        .map(|e| (e, dag.edge(*e).fraction))
+        .min_by(|a, b| a.1.cmp(&b.1))
+        .expect("mix has inputs");
+    let (&big_e, _) = ins
+        .iter()
+        .map(|e| (e, dag.edge(*e).fraction))
+        .max_by(|a, b| a.1.cmp(&b.1))
+        .expect("mix has inputs");
+    let f_small = dag.edge(small_e).fraction;
+    if f_small > threshold {
+        return Err(CascadeError::NotExtreme { node: name });
+    }
+    let total = f_small
+        .checked_recip()
+        .map_err(|_| CascadeError::Arithmetic)?;
+    let mut plan = plan_cascade(total, machine.span())?;
+    if plan.depth() < 2 {
+        // plan_cascade can return depth 1 when total <= span, but we
+        // already know f_small < 1/span, so this cannot happen; guard
+        // for rational span corner cases anyway.
+        plan = CascadePlan {
+            factors: vec![total],
+        };
+    }
+    let k = plan.depth();
+    let small_src = dag.edge(small_e).src;
+    let big_src = dag.edge(big_e).src;
+
+    // Build intermediate stages C1..C_{k-1}: Ci = mix(prev : carrier) in
+    // ratio 1:(s_i - 1), discarding 1 - 1/s_{i+1} of its output.
+    let mut intermediates = Vec::new();
+    let mut excess_nodes = Vec::new();
+    let mut prev = small_src;
+    for i in 0..k - 1 {
+        let s_i = plan.factors[i];
+        let stage_name = format!("{name}#c{}", i + 1);
+        let one_over = s_i.checked_recip().map_err(|_| CascadeError::Arithmetic)?;
+        let rest = Ratio::ONE
+            .checked_sub(one_over)
+            .map_err(|_| CascadeError::Arithmetic)?;
+        let stage = dag
+            .add_mix_exact(&stage_name, &[(prev, one_over), (big_src, rest)], seconds)
+            .map_err(|_| CascadeError::Arithmetic)?;
+        let s_next = plan.factors[i + 1];
+        let discard = Ratio::ONE
+            .checked_sub(
+                s_next
+                    .checked_recip()
+                    .map_err(|_| CascadeError::Arithmetic)?,
+            )
+            .map_err(|_| CascadeError::Arithmetic)?;
+        let ex = dag.add_excess(format!("{stage_name}#excess"), stage, discard);
+        intermediates.push(stage);
+        excess_nodes.push(ex);
+        prev = stage;
+    }
+
+    // Rewire the original node: the small edge now comes from the last
+    // intermediate with fraction 1/s_k; the carrier edge absorbs the
+    // carrier fluid already inside the intermediate.
+    let s_k = plan.factors[k - 1];
+    let new_small_frac = s_k.checked_recip().map_err(|_| CascadeError::Arithmetic)?;
+    // Carrier already delivered via the cascade: new_small_frac - f_small.
+    let f_big = dag.edge(big_e).fraction;
+    let carried = new_small_frac
+        .checked_sub(f_small)
+        .map_err(|_| CascadeError::Arithmetic)?;
+    let new_big_frac = f_big
+        .checked_sub(carried)
+        .map_err(|_| CascadeError::Arithmetic)?;
+    if !new_big_frac.is_positive() {
+        return Err(CascadeError::NoFeasiblePlan { node: name });
+    }
+    dag.redirect_edge_src(small_e, prev);
+    dag.set_edge_fraction(small_e, new_small_frac);
+    dag.set_edge_fraction(big_e, new_big_frac);
+
+    Ok(CascadeInfo {
+        node,
+        intermediates,
+        excess_nodes,
+        plan,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dagsolve;
+
+    fn r(n: i128, d: i128) -> Ratio {
+        Ratio::new(n, d).unwrap()
+    }
+
+    #[test]
+    fn plan_1_to_99_is_two_stages_of_ten() {
+        // The paper's Figure 7 example: on hardware with a least-count
+        // to capacity ratio of 1:100, 1:99 -> 1:9 then 1:9.
+        let plan = plan_cascade(Ratio::from_int(100), Ratio::from_int(100)).unwrap();
+        assert_eq!(plan.factors, vec![Ratio::from_int(10), Ratio::from_int(10)]);
+    }
+
+    #[test]
+    fn plan_1_to_999_is_three_stages_of_ten() {
+        // The enzyme assay's case on the paper-default span of 1000.
+        let plan = plan_cascade(Ratio::from_int(1000), Ratio::from_int(1000)).unwrap();
+        assert_eq!(plan.factors.len(), 3);
+        assert!(plan.factors.iter().all(|&f| f == Ratio::from_int(10)));
+    }
+
+    #[test]
+    fn plan_remainder_stage_is_exact() {
+        // total 500, span 30: s = ceil(500^(1/2)) = 23; last = 500/23.
+        let plan = plan_cascade(Ratio::from_int(500), Ratio::from_int(30)).unwrap();
+        let product = plan.factors.iter().copied().fold(Ratio::ONE, |a, b| a * b);
+        assert_eq!(product, Ratio::from_int(500));
+        for f in &plan.factors {
+            assert!(*f > Ratio::ONE && *f <= Ratio::from_int(30));
+        }
+    }
+
+    #[test]
+    fn plan_within_span_is_single_stage() {
+        let plan = plan_cascade(Ratio::from_int(50), Ratio::from_int(1000)).unwrap();
+        assert_eq!(plan.factors, vec![Ratio::from_int(50)]);
+    }
+
+    #[test]
+    fn plan_fails_on_unit_span() {
+        assert!(plan_cascade(Ratio::from_int(100), Ratio::ONE).is_err());
+    }
+
+    #[test]
+    fn find_extreme_detects_only_infeasible_mixes() {
+        let machine = Machine::paper_default(); // span 1000
+        let mut d = Dag::new();
+        let a = d.add_input("A");
+        let b = d.add_input("B");
+        let ok = d.add_mix("ok", &[(a, 1), (b, 998)], 0).unwrap();
+        let bad = d.add_mix("bad", &[(a, 1), (b, 1999)], 0).unwrap();
+        d.add_process("s1", "sense.OD", ok);
+        d.add_process("s2", "sense.OD", bad);
+        assert_eq!(find_extreme_mixes(&d, &machine), vec![bad]);
+    }
+
+    #[test]
+    fn cascade_preserves_final_composition_and_fixes_underflow() {
+        // 1:1999 on span-1000 hardware: direct mix underflows; after
+        // cascading the composition is identical and DAGSolve succeeds.
+        let machine = Machine::paper_default();
+        let mut d = Dag::new();
+        let a = d.add_input("A");
+        let b = d.add_input("B");
+        let m = d.add_mix("mx", &[(a, 1), (b, 1999)], 0).unwrap();
+        d.add_process("sink", "sense.OD", m);
+        assert!(dagsolve::solve(&d, &machine).unwrap().underflow.is_some());
+
+        let info = apply_cascade(&mut d, m, &machine).unwrap();
+        assert!(d.validate().is_ok(), "{:?}", d.validate());
+        assert!(info.plan.depth() >= 2);
+        let sol = dagsolve::solve(&d, &machine).unwrap();
+        assert!(
+            sol.underflow.is_none(),
+            "still underflows: {:?}",
+            sol.underflow
+        );
+        // Composition: A's share of mx must still be 1/2000. Walk the
+        // cascade: share of A in stage i output is the product of the
+        // small-edge fractions.
+        let mut share = Ratio::ONE;
+        let mut cur = m;
+        loop {
+            let small = d
+                .in_edges(cur)
+                .iter()
+                .map(|&e| d.edge(e))
+                .min_by(|x, y| x.fraction.cmp(&y.fraction))
+                .unwrap()
+                .clone();
+            share *= small.fraction;
+            if small.src == a {
+                break;
+            }
+            cur = small.src;
+        }
+        assert_eq!(share, r(1, 2000));
+    }
+
+    #[test]
+    fn cascade_on_mild_mix_is_rejected() {
+        let machine = Machine::paper_default();
+        let mut d = Dag::new();
+        let a = d.add_input("A");
+        let b = d.add_input("B");
+        let m = d.add_mix("mx", &[(a, 1), (b, 9)], 0).unwrap();
+        d.add_process("sink", "sense.OD", m);
+        assert!(matches!(
+            apply_cascade(&mut d, m, &machine),
+            Err(CascadeError::NotExtreme { .. })
+        ));
+    }
+
+    #[test]
+    fn cascade_on_non_mix_is_rejected() {
+        let machine = Machine::paper_default();
+        let mut d = Dag::new();
+        let a = d.add_input("A");
+        let p = d.add_process("p", "incubate", a);
+        d.add_process("sink", "sense.OD", p);
+        assert!(matches!(
+            apply_cascade(&mut d, p, &machine),
+            Err(CascadeError::NotAMix { .. })
+        ));
+    }
+
+    #[test]
+    fn three_way_extreme_mix_cascades_against_carrier() {
+        // effluent : buffer : catalyst = 1 : 5000 : 10 on span-1000
+        // hardware: the 1/5011 component is extreme.
+        let machine = Machine::paper_default();
+        let mut d = Dag::new();
+        let e = d.add_input("effluent");
+        let b = d.add_input("buffer");
+        let c = d.add_input("catalyst");
+        let m = d.add_mix("mx", &[(e, 1), (b, 5000), (c, 10)], 0).unwrap();
+        d.add_process("sink", "sense.OD", m);
+        apply_cascade(&mut d, m, &machine).unwrap();
+        assert!(d.validate().is_ok(), "{:?}", d.validate());
+        let sol = dagsolve::solve(&d, &machine).unwrap();
+        assert!(sol.underflow.is_none(), "{:?}", sol.underflow);
+    }
+}

@@ -1,0 +1,533 @@
+//! The volume-management hierarchy of Figure 6.
+//!
+//! The preferred solver is DAGSolve (fast, occasionally infeasible);
+//! its underflows fall back to the LP (slow, strictly more general);
+//! LP failures trigger the DAG rewrites — cascading for extreme mix
+//! ratios, static replication for numerous uses — and the rewritten DAG
+//! re-enters the hierarchy. When everything fails within budget, the
+//! assay must rely on reactive regeneration at run time (Biostream's
+//! policy, provided by the simulator) — better a slow solution than
+//! none.
+
+use std::fmt;
+
+use aqua_dag::{Dag, Ratio};
+
+use crate::cascade;
+use crate::dagsolve::{self, VolumeAssignment};
+use crate::lpform::{self, LpOptions};
+use crate::machine::Machine;
+use crate::replicate;
+use crate::vnorm;
+
+/// Which solver finally produced the accepted assignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// Plain DAGSolve on the original DAG.
+    DagSolve,
+    /// LP fallback on the original DAG.
+    Lp,
+    /// DAGSolve after cascading and/or replication rewrites.
+    DagSolveAfterRewrites,
+    /// LP after cascading and/or replication rewrites.
+    LpAfterRewrites,
+}
+
+impl fmt::Display for Method {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Method::DagSolve => write!(f, "DAGSolve"),
+            Method::Lp => write!(f, "LP"),
+            Method::DagSolveAfterRewrites => write!(f, "DAGSolve (after rewrites)"),
+            Method::LpAfterRewrites => write!(f, "LP (after rewrites)"),
+        }
+    }
+}
+
+/// Budgets for the hierarchy.
+#[derive(Debug, Clone)]
+pub struct VolumeManagerOptions {
+    /// Maximum rewrite rounds (each round cascades every extreme mix or
+    /// replicates one bottleneck).
+    pub max_rewrite_rounds: usize,
+    /// Whether excess production (and hence cascading) is allowed; some
+    /// fluids forbid discarding for safety/cost/regulatory reasons.
+    pub allow_excess: bool,
+    /// Whether the LP fallback runs at all (DAGSolve-only mode for
+    /// run-time use).
+    pub use_lp: bool,
+    /// Relative output weights by node id (absent = 1): the paper's
+    /// `Va:Vb:Vc` proportions, fed to DAGSolve's Vnorm initialization.
+    pub output_weights: std::collections::HashMap<aqua_dag::NodeId, Ratio>,
+    /// Fluids (by node name) for which excess production is forbidden —
+    /// cascading never rewrites a mix that consumes them (§3.4.1:
+    /// "because of safety, cost, regulation, or even correctness").
+    pub no_excess_fluids: Vec<String>,
+}
+
+impl Default for VolumeManagerOptions {
+    fn default() -> VolumeManagerOptions {
+        VolumeManagerOptions {
+            max_rewrite_rounds: 6,
+            allow_excess: true,
+            use_lp: true,
+            output_weights: std::collections::HashMap::new(),
+            no_excess_fluids: Vec::new(),
+        }
+    }
+}
+
+/// Volumes accepted by the hierarchy, tagged by solver.
+#[derive(Debug, Clone)]
+pub struct ManagedVolumes {
+    /// Exact per-edge volumes in nl, indexed by edge id of the
+    /// *transformed* DAG.
+    pub edge_volumes_nl: Vec<Ratio>,
+    /// Exact per-node production in nl.
+    pub node_volumes_nl: Vec<Ratio>,
+    /// Which solver produced this.
+    pub method: Method,
+}
+
+/// Final outcome of the hierarchy.
+///
+/// Variants intentionally carry the (large) rewritten DAG by value: the
+/// caller owns it from here on and the hierarchy runs once per
+/// compilation, so boxing would only add indirection.
+#[derive(Debug, Clone)]
+#[allow(clippy::large_enum_variant)]
+pub enum ManagedOutcome {
+    /// An underflow-free assignment was found; `dag` is the (possibly
+    /// rewritten) DAG the volumes refer to.
+    Solved {
+        /// The DAG the volumes index into (original or rewritten).
+        dag: Dag,
+        /// The accepted volumes.
+        volumes: ManagedVolumes,
+        /// Human-readable solve log (one line per attempt).
+        log: Vec<String>,
+    },
+    /// No static assignment exists within budget; execution must rely on
+    /// run-time regeneration. The best-effort assignment (with
+    /// underflows) is included so execution can still be attempted.
+    NeedsRegeneration {
+        /// The last rewritten DAG attempted.
+        dag: Dag,
+        /// Best-effort DAGSolve result on that DAG (may underflow).
+        best_effort: Option<VolumeAssignment>,
+        /// Human-readable solve log.
+        log: Vec<String>,
+    },
+    /// A rewrite exceeded the machine's fluid-path resources:
+    /// compilation fails (§3.4.2).
+    ResourcesExceeded {
+        /// Description of the exhausted resource.
+        reason: String,
+        /// Human-readable solve log.
+        log: Vec<String>,
+    },
+}
+
+impl ManagedOutcome {
+    /// Whether a full assignment was produced.
+    pub fn is_solved(&self) -> bool {
+        matches!(self, ManagedOutcome::Solved { .. })
+    }
+}
+
+/// Runs the Figure 6 hierarchy on an assay DAG.
+///
+/// # Examples
+///
+/// ```
+/// use aqua_dag::Dag;
+/// use aqua_volume::{manage_volumes, Machine, Method, VolumeManagerOptions};
+///
+/// let mut dag = Dag::new();
+/// let a = dag.add_input("A");
+/// let b = dag.add_input("B");
+/// let m = dag.add_mix("mx", &[(a, 1), (b, 4)], 0)?;
+/// dag.add_process("sense", "sense.OD", m);
+/// let out = manage_volumes(&dag, &Machine::paper_default(), &VolumeManagerOptions::default());
+/// assert!(out.is_solved());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn manage_volumes(dag: &Dag, machine: &Machine, opts: &VolumeManagerOptions) -> ManagedOutcome {
+    let mut work = dag.clone();
+    let mut log = Vec::new();
+    let mut rewritten = false;
+    let mut best_effort: Option<VolumeAssignment> = None;
+
+    for round in 0..=opts.max_rewrite_rounds {
+        // --- 1. DAGSolve ---
+        match dagsolve::solve_weighted(&work, machine, &opts.output_weights) {
+            Ok(sol) if sol.underflow.is_none() => {
+                log.push(format!("round {round}: DAGSolve succeeded"));
+                let method = if rewritten {
+                    Method::DagSolveAfterRewrites
+                } else {
+                    Method::DagSolve
+                };
+                return ManagedOutcome::Solved {
+                    volumes: ManagedVolumes {
+                        edge_volumes_nl: sol.edge_volumes_nl.clone(),
+                        node_volumes_nl: sol.node_volumes_nl.clone(),
+                        method,
+                    },
+                    dag: work,
+                    log,
+                };
+            }
+            Ok(sol) => {
+                log.push(format!(
+                    "round {round}: DAGSolve underflowed ({})",
+                    sol.underflow.as_ref().expect("checked").volume_nl
+                ));
+                best_effort = Some(sol);
+            }
+            Err(e) => {
+                log.push(format!("round {round}: DAGSolve error: {e}"));
+            }
+        }
+
+        // --- 2. LP fallback ---
+        if opts.use_lp {
+            // Explicit output weights override the default anti-skew
+            // band (which would force outputs equal-ish and fight the
+            // requested proportions).
+            let lp_opts = if opts.output_weights.is_empty() {
+                LpOptions::rvol()
+            } else {
+                LpOptions {
+                    output_band: None,
+                    ..LpOptions::rvol()
+                }
+            };
+            let form = lpform::build(&work, machine, &lp_opts);
+            let out = aqua_lp::solve(&form.model);
+            match out.status {
+                aqua_lp::Status::Optimal(sol) => {
+                    log.push(format!(
+                        "round {round}: LP succeeded ({} constraints)",
+                        form.num_constraints
+                    ));
+                    let vols = form.volumes(&work, machine, &sol);
+                    let edge_volumes_nl = vols.rounded(machine);
+                    let mut node_volumes_nl = vec![Ratio::ZERO; work.num_nodes()];
+                    for n in work.node_ids() {
+                        let from_edges = Ratio::checked_sum(
+                            work.in_edges(n).iter().map(|&e| edge_volumes_nl[e.index()]),
+                        )
+                        .unwrap_or(Ratio::ZERO);
+                        node_volumes_nl[n.index()] = if work.in_edges(n).is_empty() {
+                            machine.round_to_least_count(float_to_ratio_nl(vols.node_nl[n.index()]))
+                        } else {
+                            from_edges
+                        };
+                    }
+                    let method = if rewritten {
+                        Method::LpAfterRewrites
+                    } else {
+                        Method::Lp
+                    };
+                    return ManagedOutcome::Solved {
+                        volumes: ManagedVolumes {
+                            edge_volumes_nl,
+                            node_volumes_nl,
+                            method,
+                        },
+                        dag: work,
+                        log,
+                    };
+                }
+                aqua_lp::Status::Infeasible => {
+                    log.push(format!("round {round}: LP infeasible"));
+                }
+                other => {
+                    log.push(format!("round {round}: LP failed: {other:?}"));
+                }
+            }
+        }
+
+        if round == opts.max_rewrite_rounds {
+            break;
+        }
+
+        // --- 3. Rewrites: cascade extreme ratios, else replicate the
+        // bottleneck. ---
+        let mut changed = false;
+        if opts.allow_excess {
+            let extremes = cascade::find_extreme_mixes(&work, machine);
+            for node in extremes {
+                // Respect per-fluid excess bans: skip mixes consuming a
+                // protected fluid (their rescue must come from
+                // replication or regeneration).
+                let protected = work.in_edges(node).iter().any(|&e| {
+                    opts.no_excess_fluids
+                        .contains(&work.node(work.edge(e).src).name)
+                });
+                if protected {
+                    log.push(format!(
+                        "round {round}: `{}` consumes a no-excess fluid; cascade skipped",
+                        work.node(node).name
+                    ));
+                    continue;
+                }
+                match cascade::apply_cascade(&mut work, node, machine) {
+                    Ok(info) => {
+                        log.push(format!(
+                            "round {round}: cascaded `{}` into {} stages",
+                            work.node(info.node).name,
+                            info.plan.depth()
+                        ));
+                        changed = true;
+                    }
+                    Err(e) => log.push(format!("round {round}: cascade failed: {e}")),
+                }
+            }
+        }
+        if !changed {
+            // Replicate the current bottleneck.
+            match vnorm::compute(&work) {
+                Ok(t) => match replicate::bottleneck_candidate(&work, &t) {
+                    Some(node) => {
+                        let name = work.node(node).name.clone();
+                        match replicate::replicate_node(&mut work, node, 2, machine) {
+                            Ok(_) => {
+                                log.push(format!("round {round}: replicated `{name}` x2"));
+                                changed = true;
+                            }
+                            Err(replicate::ReplicateError::ResourcesExceeded { what }) => {
+                                log.push(format!("round {round}: replication blocked: {what}"));
+                                return ManagedOutcome::ResourcesExceeded { reason: what, log };
+                            }
+                            Err(e) => log.push(format!("round {round}: replication failed: {e}")),
+                        }
+                    }
+                    None => log.push(format!("round {round}: no replication candidate")),
+                },
+                Err(e) => log.push(format!("round {round}: vnorm failed: {e}")),
+            }
+        }
+        if !changed {
+            break; // nothing left to try
+        }
+        rewritten = true;
+    }
+
+    log.push("falling back to run-time regeneration".into());
+    ManagedOutcome::NeedsRegeneration {
+        dag: work,
+        best_effort,
+        log,
+    }
+}
+
+/// Converts an LP float (nl) to an exact ratio via milli-least-count
+/// quantization; only used for reporting source loads.
+fn float_to_ratio_nl(v: f64) -> Ratio {
+    let scaled = (v * 1_000_000.0).round() as i128;
+    Ratio::new(scaled, 1_000_000).unwrap_or(Ratio::ZERO)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn easy_assay_solves_with_dagsolve() {
+        let mut d = Dag::new();
+        let a = d.add_input("A");
+        let b = d.add_input("B");
+        let m = d.add_mix("mx", &[(a, 1), (b, 1)], 0).unwrap();
+        d.add_process("s", "sense.OD", m);
+        let out = manage_volumes(&d, &Machine::paper_default(), &Default::default());
+        match out {
+            ManagedOutcome::Solved { volumes, .. } => {
+                assert_eq!(volumes.method, Method::DagSolve);
+            }
+            other => panic!("expected solved, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn extreme_ratio_is_rescued_by_cascading() {
+        let mut d = Dag::new();
+        let a = d.add_input("A");
+        let b = d.add_input("B");
+        let m = d.add_mix("mx", &[(a, 1), (b, 1999)], 0).unwrap();
+        d.add_process("s", "sense.OD", m);
+        let out = manage_volumes(&d, &Machine::paper_default(), &Default::default());
+        match out {
+            ManagedOutcome::Solved { volumes, dag, .. } => {
+                assert_eq!(volumes.method, Method::DagSolveAfterRewrites);
+                // The rewritten DAG gained cascade stages.
+                assert!(dag.num_nodes() > d.num_nodes());
+            }
+            other => panic!("expected solved, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn numerous_uses_are_rescued_by_replication() {
+        // 1500 equal uses of one fluid: each transfer is 100/1500 nl
+        // = 0.067 < 0.1 least count. No extreme ratios (all mixes 1:1),
+        // so only replication can help.
+        let mut d = Dag::new();
+        let stock = d.add_input("stock");
+        let other = d.add_input("other");
+        for i in 0..1500 {
+            let m = d
+                .add_mix(format!("m{i}"), &[(stock, 1), (other, 1)], 0)
+                .unwrap();
+            d.add_process(format!("s{i}"), "sense.OD", m);
+        }
+        let mut machine = Machine::paper_default();
+        machine.reservoirs = 64;
+        machine.input_ports = 64;
+        let opts = VolumeManagerOptions {
+            use_lp: false, // LP can't fix a structural underflow either
+            ..Default::default()
+        };
+        let out = manage_volumes(&d, &machine, &opts);
+        match out {
+            ManagedOutcome::Solved { volumes, .. } => {
+                assert_eq!(volumes.method, Method::DagSolveAfterRewrites);
+                let min = volumes
+                    .edge_volumes_nl
+                    .iter()
+                    .filter(|v| v.is_positive())
+                    .min()
+                    .unwrap();
+                assert!(*min >= machine.least_count_nl());
+            }
+            other => panic!("expected solved, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn resource_exhaustion_fails_compilation() {
+        let mut d = Dag::new();
+        let stock = d.add_input("stock");
+        let other = d.add_input("other");
+        for i in 0..1500 {
+            let m = d
+                .add_mix(format!("m{i}"), &[(stock, 1), (other, 1)], 0)
+                .unwrap();
+            d.add_process(format!("s{i}"), "sense.OD", m);
+        }
+        let mut machine = Machine::paper_default();
+        machine.input_ports = 2; // replication cannot add inputs
+        let opts = VolumeManagerOptions {
+            use_lp: false,
+            ..Default::default()
+        };
+        let out = manage_volumes(&d, &machine, &opts);
+        assert!(matches!(out, ManagedOutcome::ResourcesExceeded { .. }));
+    }
+
+    #[test]
+    fn impossible_assay_falls_back_to_regeneration() {
+        // Forbid excess production: the extreme mix cannot be cascaded,
+        // LP is infeasible, replication does not change ratios.
+        let mut d = Dag::new();
+        let a = d.add_input("A");
+        let b = d.add_input("B");
+        let m = d.add_mix("mx", &[(a, 1), (b, 1999)], 0).unwrap();
+        d.add_process("s", "sense.OD", m);
+        let opts = VolumeManagerOptions {
+            allow_excess: false,
+            ..Default::default()
+        };
+        let out = manage_volumes(&d, &Machine::paper_default(), &opts);
+        match out {
+            ManagedOutcome::NeedsRegeneration { best_effort, .. } => {
+                assert!(best_effort.expect("has best effort").underflow.is_some());
+            }
+            other => panic!("expected regeneration fallback, got {other:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod no_excess_tests {
+    use super::*;
+
+    #[test]
+    fn protected_fluids_are_never_cascaded() {
+        let mut d = Dag::new();
+        let a = d.add_input("PreciousSample");
+        let b = d.add_input("Buffer");
+        let m = d.add_mix("mx", &[(a, 1), (b, 1999)], 0).unwrap();
+        d.add_process("s", "sense.OD", m);
+        let opts = VolumeManagerOptions {
+            no_excess_fluids: vec!["PreciousSample".into()],
+            ..Default::default()
+        };
+        let out = manage_volumes(&d, &Machine::paper_default(), &opts);
+        match out {
+            ManagedOutcome::NeedsRegeneration { dag, log, .. } => {
+                // No cascade stages were added for the protected mix.
+                assert_eq!(dag.num_nodes(), d.num_nodes());
+                assert!(log.iter().any(|l| l.contains("cascade skipped")), "{log:?}");
+            }
+            other => panic!("expected regeneration fallback, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unprotected_fluids_still_cascade() {
+        let mut d = Dag::new();
+        let a = d.add_input("Dye");
+        let b = d.add_input("Buffer");
+        let m = d.add_mix("mx", &[(a, 1), (b, 1999)], 0).unwrap();
+        d.add_process("s", "sense.OD", m);
+        let opts = VolumeManagerOptions {
+            no_excess_fluids: vec!["SomethingElse".into()],
+            ..Default::default()
+        };
+        let out = manage_volumes(&d, &Machine::paper_default(), &opts);
+        assert!(out.is_solved());
+    }
+}
+
+#[cfg(test)]
+mod weighted_lp_tests {
+    use super::*;
+    use aqua_rational::Ratio;
+
+    /// A weighted assay that DAGSolve cannot satisfy directly (extreme
+    /// ratio forces the LP / rewrites): the LP fallback must honor the
+    /// weights instead of fighting them with the anti-skew band.
+    #[test]
+    fn lp_fallback_respects_output_weights() {
+        let mut d = Dag::new();
+        let a = d.add_input("A");
+        let b = d.add_input("B");
+        let heavy = d.add_mix("heavy", &[(a, 1), (b, 1)], 0).unwrap();
+        let light = d.add_mix("light", &[(a, 1), (b, 999)], 0).unwrap();
+        let oh = d.add_output("oh", heavy);
+        let ol = d.add_output("ol", light);
+        let mut opts = VolumeManagerOptions::default();
+        opts.output_weights.insert(oh, Ratio::from_int(5));
+        opts.output_weights.insert(ol, Ratio::ONE);
+        let out = manage_volumes(&d, &Machine::paper_default(), &opts);
+        match out {
+            ManagedOutcome::Solved { volumes, dag, .. } => {
+                // Whatever solver won, the outcome satisfies the least
+                // count everywhere.
+                let lc = Machine::paper_default().least_count_nl();
+                for e in dag.edge_ids() {
+                    if !dag.edge_is_live(e) {
+                        continue;
+                    }
+                    if dag.node(dag.edge(e).dst).kind == aqua_dag::NodeKind::Excess {
+                        continue;
+                    }
+                    assert!(volumes.edge_volumes_nl[e.index()] >= lc);
+                }
+            }
+            other => panic!("expected solved, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,398 @@
+//! RVol → IVol rounding (§3.2, evaluated in §4.2).
+//!
+//! DAGSolve and LP solve the *rational* relaxation; real hardware meters
+//! integer multiples of the least count. Rounding each transfer to the
+//! nearest least-count multiple perturbs mix ratios slightly; the
+//! chemistry tolerates small errors (the paper measured ≤ 2% on its
+//! benchmarks), and this module measures exactly that error.
+
+use aqua_dag::{Dag, NodeKind, Ratio};
+
+use crate::dagsolve::VolumeAssignment;
+use crate::machine::Machine;
+
+/// A least-count-integral volume assignment plus its rounding error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundedAssignment {
+    /// Rounded transfer volume per edge, in nl (exact least-count
+    /// multiples).
+    pub edge_volumes_nl: Vec<Ratio>,
+    /// Rounded production per node: the sum of its rounded in-edge
+    /// volumes (inputs keep their rounded total demand).
+    pub node_volumes_nl: Vec<Ratio>,
+    /// Largest relative mix-ratio error across all mix-node inputs.
+    pub max_ratio_error: Ratio,
+    /// Mean relative mix-ratio error across all mix-node inputs.
+    pub mean_ratio_error: Ratio,
+    /// Edges whose rounded volume fell below the least count (rounding
+    /// can only cause this for transfers already within half a least
+    /// count of the floor).
+    pub underflows: Vec<usize>,
+}
+
+/// Rounds a rational assignment to least-count multiples and measures
+/// the resulting mix-ratio error.
+///
+/// # Examples
+///
+/// ```
+/// use aqua_dag::Dag;
+/// use aqua_volume::{dagsolve, round::round_assignment, Machine};
+///
+/// let mut dag = Dag::new();
+/// let a = dag.add_input("A");
+/// let b = dag.add_input("B");
+/// let m = dag.add_mix("mx", &[(a, 1), (b, 3)], 0)?;
+/// dag.add_output("o", m);
+/// let machine = Machine::paper_default();
+/// let sol = dagsolve::solve(&dag, &machine)?;
+/// let rounded = round_assignment(&dag, &machine, &sol);
+/// assert!(rounded.underflows.is_empty());
+/// // 25 + 75 nl are exact least-count multiples: zero error.
+/// assert!(rounded.max_ratio_error.is_zero());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn round_assignment(
+    dag: &Dag,
+    machine: &Machine,
+    assignment: &VolumeAssignment,
+) -> RoundedAssignment {
+    let mut edge_volumes_nl = vec![Ratio::ZERO; dag.num_edges()];
+    let mut underflows = Vec::new();
+    for e in dag.edge_ids() {
+        if !dag.edge_is_live(e) {
+            continue;
+        }
+        let exact = assignment.edge_volumes_nl[e.index()];
+        let rounded = machine.round_to_least_count(exact);
+        edge_volumes_nl[e.index()] = rounded;
+        let is_excess = dag.node(dag.edge(e).dst).kind == NodeKind::Excess;
+        if rounded < machine.least_count_nl() && !is_excess {
+            underflows.push(e.index());
+        }
+    }
+
+    // Node production after rounding = rounded input total (for sources:
+    // rounded output demand).
+    let mut node_volumes_nl = vec![Ratio::ZERO; dag.num_nodes()];
+    for id in dag.node_ids() {
+        let ins = dag.in_edges(id);
+        node_volumes_nl[id.index()] = if ins.is_empty() {
+            Ratio::checked_sum(
+                dag.out_edges(id)
+                    .iter()
+                    .map(|&e| edge_volumes_nl[e.index()]),
+            )
+            .unwrap_or(Ratio::ZERO)
+        } else {
+            Ratio::checked_sum(ins.iter().map(|&e| edge_volumes_nl[e.index()]))
+                .unwrap_or(Ratio::ZERO)
+        };
+    }
+
+    // Mix-ratio error: for each in-edge of each mix node, compare the
+    // achieved input share against the specified fraction.
+    let mut max_err = Ratio::ZERO;
+    let mut total_err = Ratio::ZERO;
+    let mut samples: i128 = 0;
+    for id in dag.node_ids() {
+        if !matches!(dag.node(id).kind, NodeKind::Mix { .. }) {
+            continue;
+        }
+        let total = node_volumes_nl[id.index()];
+        if !total.is_positive() {
+            continue;
+        }
+        for &e in dag.in_edges(id) {
+            let spec = dag.edge(e).fraction;
+            let got = edge_volumes_nl[e.index()] / total;
+            let err = (got - spec).abs() / spec;
+            max_err = max_err.max(err);
+            total_err += err;
+            samples += 1;
+        }
+    }
+    let mean_ratio_error = if samples > 0 {
+        total_err / Ratio::from_int(samples)
+    } else {
+        Ratio::ZERO
+    };
+
+    RoundedAssignment {
+        edge_volumes_nl,
+        node_volumes_nl,
+        max_ratio_error: max_err,
+        mean_ratio_error,
+        underflows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dagsolve;
+
+    fn r(n: i128, d: i128) -> Ratio {
+        Ratio::new(n, d).unwrap()
+    }
+
+    #[test]
+    fn rounding_error_is_bounded_by_half_count_over_volume() {
+        // Glucose-like mix 1:8 at 100 nl scale: shares 11.11/88.89 round
+        // to 11.1/88.9 — tiny relative error.
+        let mut d = Dag::new();
+        let a = d.add_input("G");
+        let b = d.add_input("R");
+        let m = d.add_mix("mx", &[(a, 1), (b, 8)], 0).unwrap();
+        d.add_output("o", m);
+        let machine = Machine::paper_default();
+        let sol = dagsolve::solve(&d, &machine).unwrap();
+        let rounded = round_assignment(&d, &machine, &sol);
+        assert!(rounded.underflows.is_empty());
+        // The paper reports <= 2% on its assays; this toy case is far
+        // below that.
+        assert!(rounded.max_ratio_error < r(2, 100));
+        // All volumes are least-count multiples.
+        for id in d.edge_ids() {
+            assert!(machine.is_least_count_multiple(rounded.edge_volumes_nl[id.index()]));
+        }
+    }
+
+    #[test]
+    fn near_least_count_transfer_can_round_into_underflow() {
+        // A 1:1999 mix underflows before rounding; rounding the 0.05 nl
+        // transfer lands at 0.1 or 0.0 depending on the exact value.
+        let mut d = Dag::new();
+        let a = d.add_input("A");
+        let b = d.add_input("B");
+        let m = d.add_mix("mx", &[(a, 1), (b, 2999)], 0).unwrap();
+        d.add_output("o", m);
+        let machine = Machine::paper_default();
+        let sol = dagsolve::solve(&d, &machine).unwrap();
+        assert!(sol.underflow.is_some());
+        let rounded = round_assignment(&d, &machine, &sol);
+        // 100 nl / 3000 = 0.0333 nl -> rounds to 0.0: recorded underflow.
+        assert_eq!(rounded.underflows.len(), 1);
+    }
+
+    #[test]
+    fn zero_error_when_volumes_divide_exactly() {
+        let mut d = Dag::new();
+        let a = d.add_input("A");
+        let b = d.add_input("B");
+        let m = d.add_mix("mx", &[(a, 1), (b, 1)], 0).unwrap();
+        d.add_output("o", m);
+        let machine = Machine::paper_default();
+        let sol = dagsolve::solve(&d, &machine).unwrap();
+        let rounded = round_assignment(&d, &machine, &sol);
+        assert!(rounded.max_ratio_error.is_zero());
+        assert!(rounded.mean_ratio_error.is_zero());
+    }
+}
+
+/// The paper defers "more sophisticated rounding techniques to the
+/// future" (§3.2); this is one such technique: **apportioned rounding**.
+///
+/// Instead of rounding each transfer independently (which lets a node's
+/// uses drift away from both its production and the specified mix
+/// ratios), each node's total input is rounded once and the least-count
+/// units are apportioned among its in-edges by the largest-remainder
+/// method. This guarantees per-node conservation (the rounded parts sum
+/// exactly to the rounded total) and minimizes the worst ratio error
+/// for that total.
+///
+/// Returns the same structure as [`round_assignment`] so the two
+/// schemes can be compared head to head (see the `rounding_ablation`
+/// bench binary).
+pub fn round_apportioned(
+    dag: &Dag,
+    machine: &Machine,
+    assignment: &VolumeAssignment,
+) -> RoundedAssignment {
+    let lc = machine.least_count_nl();
+    let mut edge_volumes_nl = vec![Ratio::ZERO; dag.num_edges()];
+    let mut underflows = Vec::new();
+
+    for id in dag.node_ids() {
+        let ins: Vec<_> = dag
+            .in_edges(id)
+            .iter()
+            .copied()
+            .filter(|&e| dag.edge_is_live(e))
+            .collect();
+        if ins.is_empty() {
+            continue;
+        }
+        // Total counts for this node's input, rounded once.
+        let exact_total =
+            Ratio::checked_sum(ins.iter().map(|&e| assignment.edge_volumes_nl[e.index()]))
+                .unwrap_or(Ratio::ZERO);
+        let total_counts = (exact_total / lc).round().max(0);
+        // Quotas per edge; floor first, then hand out the remaining
+        // counts by largest fractional remainder.
+        let mut floors: Vec<i128> = Vec::with_capacity(ins.len());
+        let mut remainders: Vec<(usize, Ratio)> = Vec::with_capacity(ins.len());
+        let mut used = 0i128;
+        for (i, &e) in ins.iter().enumerate() {
+            let quota = assignment.edge_volumes_nl[e.index()] / lc;
+            let fl = quota.floor().max(0);
+            floors.push(fl);
+            used += fl;
+            let rem = quota - Ratio::from_int(quota.floor());
+            remainders.push((i, rem));
+        }
+        let mut leftover = total_counts - used;
+        remainders.sort_by_key(|&(_, rem)| std::cmp::Reverse(rem));
+        for (i, _) in remainders {
+            if leftover <= 0 {
+                break;
+            }
+            floors[i] += 1;
+            leftover -= 1;
+        }
+        for (i, &e) in ins.iter().enumerate() {
+            let v = Ratio::from_int(floors[i]) * lc;
+            edge_volumes_nl[e.index()] = v;
+            let is_excess = dag.node(dag.edge(e).dst).kind == NodeKind::Excess;
+            if v < lc && !is_excess {
+                underflows.push(e.index());
+            }
+        }
+    }
+
+    // Shared tail with round_assignment: node totals + error metrics.
+    finish_rounding(dag, edge_volumes_nl, underflows)
+}
+
+/// Computes node totals and mix-ratio error for a rounded edge table.
+fn finish_rounding(
+    dag: &Dag,
+    edge_volumes_nl: Vec<Ratio>,
+    underflows: Vec<usize>,
+) -> RoundedAssignment {
+    let mut node_volumes_nl = vec![Ratio::ZERO; dag.num_nodes()];
+    for id in dag.node_ids() {
+        let ins = dag.in_edges(id);
+        node_volumes_nl[id.index()] = if ins.is_empty() {
+            Ratio::checked_sum(
+                dag.out_edges(id)
+                    .iter()
+                    .map(|&e| edge_volumes_nl[e.index()]),
+            )
+            .unwrap_or(Ratio::ZERO)
+        } else {
+            Ratio::checked_sum(ins.iter().map(|&e| edge_volumes_nl[e.index()]))
+                .unwrap_or(Ratio::ZERO)
+        };
+    }
+    let mut max_err = Ratio::ZERO;
+    let mut total_err = Ratio::ZERO;
+    let mut samples: i128 = 0;
+    for id in dag.node_ids() {
+        if !matches!(dag.node(id).kind, NodeKind::Mix { .. }) {
+            continue;
+        }
+        let total = node_volumes_nl[id.index()];
+        if !total.is_positive() {
+            continue;
+        }
+        for &e in dag.in_edges(id) {
+            let spec = dag.edge(e).fraction;
+            let got = edge_volumes_nl[e.index()] / total;
+            let err = (got - spec).abs() / spec;
+            max_err = max_err.max(err);
+            total_err += err;
+            samples += 1;
+        }
+    }
+    let mean_ratio_error = if samples > 0 {
+        total_err / Ratio::from_int(samples)
+    } else {
+        Ratio::ZERO
+    };
+    RoundedAssignment {
+        edge_volumes_nl,
+        node_volumes_nl,
+        max_ratio_error: max_err,
+        mean_ratio_error,
+        underflows,
+    }
+}
+
+#[cfg(test)]
+mod apportion_tests {
+    use super::*;
+    use crate::dagsolve;
+
+    fn r(n: i128, d: i128) -> Ratio {
+        Ratio::new(n, d).unwrap()
+    }
+
+    #[test]
+    fn apportioned_rounding_conserves_per_node_totals() {
+        // A 1:1:1 three-way split of 100 nl cannot round each part to
+        // 33.3 AND keep the total at 100.0 under independent rounding;
+        // apportionment must.
+        let mut d = Dag::new();
+        let a = d.add_input("A");
+        let b = d.add_input("B");
+        let c = d.add_input("C");
+        let m = d.add_mix("m", &[(a, 1), (b, 1), (c, 1)], 0).unwrap();
+        d.add_process("s", "sense.OD", m);
+        let machine = Machine::paper_default();
+        let sol = dagsolve::solve(&d, &machine).unwrap();
+        let ap = round_apportioned(&d, &machine, &sol);
+        let total: Ratio = d
+            .in_edges(m)
+            .iter()
+            .map(|&e| ap.edge_volumes_nl[e.index()])
+            .sum();
+        assert!(machine.is_least_count_multiple(total));
+        assert_eq!(total, machine.round_to_least_count(sol.node_nl(m)));
+    }
+
+    #[test]
+    fn apportioned_never_beats_half_count_per_edge_by_much() {
+        // Apportionment moves each edge at most one least count away
+        // from its independent rounding.
+        let mut d = Dag::new();
+        let a = d.add_input("A");
+        let b = d.add_input("B");
+        let m = d.add_mix("m", &[(a, 3), (b, 7)], 0).unwrap();
+        d.add_process("s", "sense.OD", m);
+        let machine = Machine::paper_default();
+        let sol = dagsolve::solve(&d, &machine).unwrap();
+        let indep = round_assignment(&d, &machine, &sol);
+        let ap = round_apportioned(&d, &machine, &sol);
+        for e in d.edge_ids() {
+            let delta = (indep.edge_volumes_nl[e.index()] - ap.edge_volumes_nl[e.index()]).abs();
+            assert!(delta <= machine.least_count_nl(), "edge {e} delta {delta}");
+        }
+    }
+
+    #[test]
+    fn apportioned_error_is_at_most_independent_error_on_enzyme_style_mixes() {
+        // The regime the paper cares about: skewed ratios at small
+        // volumes. Mean error under apportionment must not exceed the
+        // independent scheme's.
+        let machine = Machine::paper_default();
+        let mut d = Dag::new();
+        let stock = d.add_input("stock");
+        let dil = d.add_input("dil");
+        for (i, parts) in [(1u64, 9u64), (1, 99), (3, 7), (2, 5)].iter().enumerate() {
+            let m = d
+                .add_mix(format!("m{i}"), &[(stock, parts.0), (dil, parts.1)], 0)
+                .unwrap();
+            d.add_process(format!("s{i}"), "sense.OD", m);
+        }
+        let sol = dagsolve::solve(&d, &machine).unwrap();
+        let indep = round_assignment(&d, &machine, &sol);
+        let ap = round_apportioned(&d, &machine, &sol);
+        assert!(
+            ap.mean_ratio_error <= indep.mean_ratio_error + r(1, 1000),
+            "apportioned {} vs independent {}",
+            ap.mean_ratio_error,
+            indep.mean_ratio_error
+        );
+    }
+}

@@ -1,0 +1,373 @@
+//! The backward `Vnorm` pass of DAGSolve (Figure 4, lines 2–7).
+//!
+//! A node's *Vnorm* is its output volume relative to the assay's final
+//! outputs (which are pinned to Vnorm 1, or to caller-provided weights).
+//! An edge's Vnorm is the relative volume of the fluid transferred along
+//! it. The pass walks the DAG in reverse topological order, applying:
+//!
+//! * flow conservation — a node produces exactly the sum of its uses
+//!   (DAGSolve's second artificial constraint);
+//! * ratio constraints — each in-edge takes its fraction of the node's
+//!   total input;
+//! * output-to-input relations — a separation's input is `output /
+//!   fraction`;
+//! * excess handling — cascading's discard edges take a fixed share of
+//!   the *producer's* output, so `V = useful / (1 - discard_share)`.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use aqua_dag::{Dag, DagError, NodeId, NodeKind, Ratio};
+use aqua_rational::RatioError;
+
+/// Per-node and per-edge relative volumes computed by the backward pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VnormTable {
+    /// Output-volume Vnorm per node, indexed by [`NodeId::index`].
+    pub node: Vec<Ratio>,
+    /// Volume Vnorm per edge, indexed by [`aqua_dag::EdgeId::index`].
+    /// Cut edges hold zero.
+    pub edge: Vec<Ratio>,
+    /// Input-side load per node (`max(output, sum of in-edges)`), the
+    /// quantity bounded by the hardware capacity.
+    pub load: Vec<Ratio>,
+}
+
+impl VnormTable {
+    /// The largest load Vnorm across the DAG — the paper's `Max_Vnorm`
+    /// used by the dispensing pass.
+    pub fn max_load(&self) -> Ratio {
+        self.load
+            .iter()
+            .copied()
+            .fold(Ratio::ZERO, |acc, v| acc.max(v))
+    }
+}
+
+/// Error from the Vnorm pass.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum VnormError {
+    /// The DAG failed structural validation.
+    Dag(DagError),
+    /// A node with statically-unknown output volume still has consumers;
+    /// partition the DAG first (see [`crate::unknown`]).
+    UnknownVolumeInterior {
+        /// The offending node's name.
+        node: String,
+    },
+    /// A node discards 100% or more of its output to excess.
+    ExcessShareTooLarge {
+        /// The offending node's name.
+        node: String,
+    },
+    /// The DAG has no output (leaf) node to normalize against.
+    NoOutputs,
+    /// Exact arithmetic overflowed (absurdly deep or skewed DAG).
+    Arithmetic(RatioError),
+}
+
+impl fmt::Display for VnormError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VnormError::Dag(e) => write!(f, "invalid assay DAG: {e}"),
+            VnormError::UnknownVolumeInterior { node } => write!(
+                f,
+                "node `{node}` has a statically-unknown output volume but still has consumers; \
+                 apply unknown-volume partitioning first"
+            ),
+            VnormError::ExcessShareTooLarge { node } => {
+                write!(f, "node `{node}` discards its entire output to excess")
+            }
+            VnormError::NoOutputs => write!(f, "assay DAG has no output node"),
+            VnormError::Arithmetic(e) => write!(f, "vnorm arithmetic failed: {e}"),
+        }
+    }
+}
+
+impl Error for VnormError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            VnormError::Dag(e) => Some(e),
+            VnormError::Arithmetic(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DagError> for VnormError {
+    fn from(e: DagError) -> VnormError {
+        VnormError::Dag(e)
+    }
+}
+
+impl From<RatioError> for VnormError {
+    fn from(e: RatioError) -> VnormError {
+        VnormError::Arithmetic(e)
+    }
+}
+
+/// Computes the Vnorm table with every leaf weighted 1 (the paper's
+/// default of equal output volumes).
+///
+/// # Errors
+///
+/// See [`VnormError`].
+pub fn compute(dag: &Dag) -> Result<VnormTable, VnormError> {
+    compute_weighted(dag, &HashMap::new())
+}
+
+/// Computes the Vnorm table with explicit leaf weights.
+///
+/// Any sink node (a node without live out-edges) that is not an
+/// [`NodeKind::Excess`] node counts as a leaf: final outputs, and —
+/// after partitioning — unknown-volume separations whose consumers were
+/// cut. Leaves absent from `weights` default to 1; weights must be
+/// positive.
+///
+/// # Errors
+///
+/// See [`VnormError`].
+pub fn compute_weighted(
+    dag: &Dag,
+    weights: &HashMap<NodeId, Ratio>,
+) -> Result<VnormTable, VnormError> {
+    dag.validate()?;
+    let order = dag.topological_order()?;
+    let mut node_v = vec![Ratio::ZERO; dag.num_nodes()];
+    let mut edge_v = vec![Ratio::ZERO; dag.num_edges()];
+
+    let mut leaves = 0usize;
+    for &id in order.iter().rev() {
+        let node = dag.node(id);
+        if node.kind == NodeKind::Excess {
+            continue; // assigned by its producer, below
+        }
+        let outs = dag.out_edges(id);
+        if outs.is_empty() {
+            if node.kind.is_source() {
+                // An input nobody uses: load nothing.
+                node_v[id.index()] = Ratio::ZERO;
+                continue;
+            }
+            // Leaf: pinned by weight (default 1).
+            node_v[id.index()] = weights.get(&id).copied().unwrap_or(Ratio::ONE);
+            leaves += 1;
+        } else {
+            // Fig. 4, line 5 — plus the excess refinement of §3.4.1.
+            let mut useful = Ratio::ZERO;
+            let mut discard_share = Ratio::ZERO;
+            for &e in outs {
+                let edge = dag.edge(e);
+                if dag.node(edge.dst).kind == NodeKind::Excess {
+                    discard_share = discard_share.checked_add(edge.fraction)?;
+                } else {
+                    useful = useful.checked_add(edge_v[e.index()])?;
+                }
+            }
+            if discard_share >= Ratio::ONE {
+                return Err(VnormError::ExcessShareTooLarge {
+                    node: node.name.clone(),
+                });
+            }
+            let total = useful.checked_div(Ratio::ONE.checked_sub(discard_share)?)?;
+            node_v[id.index()] = total;
+            for &e in outs {
+                let edge = dag.edge(e);
+                if dag.node(edge.dst).kind == NodeKind::Excess {
+                    let v = edge.fraction.checked_mul(total)?;
+                    edge_v[e.index()] = v;
+                    node_v[edge.dst.index()] = v;
+                }
+            }
+        }
+        // Fig. 4, line 7: propagate demand to in-edges, adjusted for the
+        // node's output-to-input relation.
+        let demand = match &node.kind {
+            NodeKind::Separate { fraction: Some(f) } => node_v[id.index()].checked_div(*f)?,
+            NodeKind::Separate { fraction: None } => {
+                if !outs.is_empty() {
+                    return Err(VnormError::UnknownVolumeInterior {
+                        node: node.name.clone(),
+                    });
+                }
+                // As a partition sink, the unknown node's *input* is what
+                // gets normalized; demand equals its pinned Vnorm.
+                node_v[id.index()]
+            }
+            _ => node_v[id.index()],
+        };
+        for &e in dag.in_edges(id) {
+            edge_v[e.index()] = dag.edge(e).fraction.checked_mul(demand)?;
+        }
+    }
+    if leaves == 0 {
+        return Err(VnormError::NoOutputs);
+    }
+
+    // Loads: what capacity must hold at each node.
+    let mut load = vec![Ratio::ZERO; dag.num_nodes()];
+    for id in dag.node_ids() {
+        let in_sum = Ratio::checked_sum(dag.in_edges(id).iter().map(|&e| edge_v[e.index()]))?;
+        load[id.index()] = in_sum.max(node_v[id.index()]);
+    }
+
+    Ok(VnormTable {
+        node: node_v,
+        edge: edge_v,
+        load,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i128, d: i128) -> Ratio {
+        Ratio::new(n, d).unwrap()
+    }
+
+    /// Figure 2 / Figure 5(a): the paper's worked Vnorm numbers.
+    #[test]
+    fn figure5_vnorms_are_exact() {
+        let mut d = Dag::new();
+        let a = d.add_input("A");
+        let b = d.add_input("B");
+        let c = d.add_input("C");
+        let k = d.add_mix("K", &[(a, 1), (b, 4)], 0).unwrap();
+        let l = d.add_mix("L", &[(b, 2), (c, 1)], 0).unwrap();
+        let m = d.add_mix("M", &[(k, 2), (l, 1)], 0).unwrap();
+        let n = d.add_mix("N", &[(l, 2), (c, 3)], 0).unwrap();
+        d.add_output("M_out", m);
+        d.add_output("N_out", n);
+        let t = compute(&d).unwrap();
+
+        // Outputs pinned to 1; M and N conserve flow.
+        assert_eq!(t.node[m.index()], Ratio::ONE);
+        assert_eq!(t.node[n.index()], Ratio::ONE);
+        // L feeds 1/3 of M and 2/5 of N: Vnorm = 1/3 + 2/5 = 11/15.
+        assert_eq!(t.node[l.index()], r(11, 15));
+        // K feeds 2/3 of M.
+        assert_eq!(t.node[k.index()], r(2, 3));
+        // Edge B->L = 2/3 * 11/15 = 22/45; C->L = 11/45 (paper's example).
+        let b_l = d
+            .in_edges(l)
+            .iter()
+            .find(|&&e| d.edge(e).src == b)
+            .copied()
+            .unwrap();
+        let c_l = d
+            .in_edges(l)
+            .iter()
+            .find(|&&e| d.edge(e).src == c)
+            .copied()
+            .unwrap();
+        assert_eq!(t.edge[b_l.index()], r(22, 45));
+        assert_eq!(t.edge[c_l.index()], r(11, 45));
+        // B is used in K (4/5 * 2/3 = 8/15) and L (22/45): 24/45+22/45=46/45.
+        assert_eq!(t.node[b.index()], r(46, 45));
+        // A = 1/5 * 2/3 = 2/15.
+        assert_eq!(t.node[a.index()], r(2, 15));
+        // C = 11/45 + 3/5 * 1 = 11/45 + 27/45 = 38/45.
+        assert_eq!(t.node[c.index()], r(38, 45));
+        // B carries the maximum load.
+        assert_eq!(t.max_load(), r(46, 45));
+    }
+
+    #[test]
+    fn separation_fraction_inflates_input_demand() {
+        let mut d = Dag::new();
+        let a = d.add_input("A");
+        let s = d.add_separate("sep", a, Some(r(1, 4)));
+        d.add_output("o", s);
+        let t = compute(&d).unwrap();
+        // Output needs 1, separation keeps 1/4 => input edge needs 4.
+        assert_eq!(t.node[s.index()], Ratio::ONE);
+        assert_eq!(t.edge[d.in_edges(s)[0].index()], Ratio::from_int(4));
+        assert_eq!(t.node[a.index()], Ratio::from_int(4));
+        // The separator's load is its input (4), not its output (1).
+        assert_eq!(t.load[s.index()], Ratio::from_int(4));
+        assert_eq!(t.max_load(), Ratio::from_int(4));
+    }
+
+    #[test]
+    fn excess_nodes_scale_producer_vnorm() {
+        // Cascaded 1:99 as in Figure 7: C' = A:B 1:9 with 9/10 excess,
+        // C = C':B 1:9.
+        let mut d = Dag::new();
+        let a = d.add_input("A");
+        let b = d.add_input("B");
+        let c1 = d.add_mix("C'", &[(a, 1), (b, 9)], 0).unwrap();
+        d.add_excess("ex", c1, r(9, 10));
+        let c = d.add_mix("C", &[(c1, 1), (b, 9)], 0).unwrap();
+        d.add_output("o", c);
+        let t = compute(&d).unwrap();
+        assert_eq!(t.node[c.index()], Ratio::ONE);
+        // C' supplies 1/10 of C but produces 10x that due to excess:
+        // V(C') = (1/10) / (1 - 9/10) = 1.
+        assert_eq!(t.node[c1.index()], Ratio::ONE);
+        // A's metered volume into C' is 1/10 — 10x the direct 1/100.
+        let a_edge = d.in_edges(c1)[0];
+        assert_eq!(t.edge[a_edge.index()], r(1, 10));
+    }
+
+    #[test]
+    fn weighted_outputs_shift_allocation() {
+        let mut d = Dag::new();
+        let a = d.add_input("A");
+        let p1 = d.add_process("p1", "incubate", a);
+        let p2 = d.add_process("p2", "incubate", a);
+        let o1 = d.add_output("o1", p1);
+        d.add_output("o2", p2);
+        let mut w = HashMap::new();
+        w.insert(o1, Ratio::from_int(3));
+        let t = compute_weighted(&d, &w).unwrap();
+        assert_eq!(t.node[o1.index()], Ratio::from_int(3));
+        assert_eq!(t.node[a.index()], Ratio::from_int(4));
+    }
+
+    #[test]
+    fn interior_unknown_volume_is_rejected() {
+        let mut d = Dag::new();
+        let a = d.add_input("A");
+        let s = d.add_separate("sep", a, None);
+        d.add_output("o", s);
+        assert!(matches!(
+            compute(&d),
+            Err(VnormError::UnknownVolumeInterior { .. })
+        ));
+    }
+
+    #[test]
+    fn sink_unknown_volume_is_a_leaf() {
+        let mut d = Dag::new();
+        let a = d.add_input("A");
+        let b = d.add_input("B");
+        let m = d.add_mix("mx", &[(a, 1), (b, 1)], 0).unwrap();
+        let s = d.add_separate("sep", m, None);
+        let t = compute(&d).unwrap();
+        assert_eq!(t.node[s.index()], Ratio::ONE);
+        assert_eq!(t.node[m.index()], Ratio::ONE);
+        assert_eq!(t.node[a.index()], r(1, 2));
+    }
+
+    #[test]
+    fn empty_dag_has_no_outputs() {
+        let d = Dag::new();
+        assert!(matches!(compute(&d), Err(VnormError::NoOutputs)));
+    }
+
+    #[test]
+    fn full_excess_discard_is_rejected() {
+        let mut d = Dag::new();
+        let a = d.add_input("A");
+        let p = d.add_process("p", "incubate", a);
+        d.add_excess("ex", p, Ratio::ONE);
+        // p has only the excess consumer: useful = 0, share = 1.
+        assert!(matches!(
+            compute(&d),
+            Err(VnormError::ExcessShareTooLarge { .. }) | Err(VnormError::NoOutputs)
+        ));
+    }
+}

@@ -1,0 +1,178 @@
+//! Typed builders that keep edge-fraction invariants.
+
+use aqua_rational::{Ratio, RatioError};
+
+use crate::graph::{Dag, NodeId, NodeKind};
+
+impl Dag {
+    /// Adds an external fluid input.
+    pub fn add_input(&mut self, name: impl Into<String>) -> NodeId {
+        self.add_node(name, NodeKind::Input)
+    }
+
+    /// Adds a constrained input (fixed available volume; see §3.5).
+    pub fn add_constrained_input(&mut self, name: impl Into<String>) -> NodeId {
+        self.add_node(name, NodeKind::ConstrainedInput)
+    }
+
+    /// Adds a mix node combining `parts` in the given integer ratio
+    /// parts, e.g. `&[(a, 1), (b, 4)]` for `mix A:B in ratio 1:4`.
+    ///
+    /// Edge fractions are normalized to sum to one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RatioError::ZeroDenominator`] if all parts are zero, or
+    /// [`RatioError::Overflow`] on absurd part magnitudes.
+    pub fn add_mix(
+        &mut self,
+        name: impl Into<String>,
+        parts: &[(NodeId, u64)],
+        seconds: u64,
+    ) -> Result<NodeId, RatioError> {
+        let ratios: Vec<(NodeId, Ratio)> = parts
+            .iter()
+            .map(|&(n, p)| (n, Ratio::from_int(p as i128)))
+            .collect();
+        self.add_mix_exact(name, &ratios, seconds)
+    }
+
+    /// Adds a mix node with exact rational ratio parts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RatioError::ZeroDenominator`] if the parts sum to zero.
+    pub fn add_mix_exact(
+        &mut self,
+        name: impl Into<String>,
+        parts: &[(NodeId, Ratio)],
+        seconds: u64,
+    ) -> Result<NodeId, RatioError> {
+        let total = Ratio::checked_sum(parts.iter().map(|&(_, r)| r))?;
+        if total.is_zero() {
+            return Err(RatioError::ZeroDenominator);
+        }
+        let node = self.add_node(name, NodeKind::Mix { seconds });
+        for &(src, part) in parts {
+            let fraction = part.checked_div(total)?;
+            self.add_edge(src, node, fraction);
+        }
+        Ok(node)
+    }
+
+    /// Adds a pass-through processing node (incubate, sense, ...).
+    pub fn add_process(
+        &mut self,
+        name: impl Into<String>,
+        op: impl Into<String>,
+        input: NodeId,
+    ) -> NodeId {
+        let node = self.add_node(name, NodeKind::Process { op: op.into() });
+        self.add_edge(input, node, Ratio::ONE);
+        node
+    }
+
+    /// Adds a separation node whose output volume is `fraction` of its
+    /// input (`None` = measured at run time).
+    pub fn add_separate(
+        &mut self,
+        name: impl Into<String>,
+        input: NodeId,
+        fraction: Option<Ratio>,
+    ) -> NodeId {
+        let node = self.add_node(name, NodeKind::Separate { fraction });
+        self.add_edge(input, node, Ratio::ONE);
+        node
+    }
+
+    /// Adds a final output node consuming `from`'s fluid.
+    pub fn add_output(&mut self, name: impl Into<String>, from: NodeId) -> NodeId {
+        let node = self.add_node(name, NodeKind::Output);
+        self.add_edge(from, node, Ratio::ONE);
+        node
+    }
+
+    /// Adds an excess (discard) node consuming `from`'s fluid; used by
+    /// cascading. The edge fraction is the *discarded share* of the
+    /// source's output, known a priori (§3.4.1).
+    pub fn add_excess(
+        &mut self,
+        name: impl Into<String>,
+        from: NodeId,
+        discard_share: Ratio,
+    ) -> NodeId {
+        let node = self.add_node(name, NodeKind::Excess);
+        self.add_edge(from, node, discard_share);
+        node
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_fractions_are_normalized() {
+        let mut d = Dag::new();
+        let a = d.add_input("A");
+        let b = d.add_input("B");
+        let k = d.add_mix("K", &[(a, 1), (b, 4)], 10).unwrap();
+        let fr: Vec<Ratio> = d.in_edges(k).iter().map(|&e| d.edge(e).fraction).collect();
+        assert_eq!(
+            fr,
+            vec![Ratio::new(1, 5).unwrap(), Ratio::new(4, 5).unwrap()]
+        );
+        assert_eq!(Ratio::checked_sum(fr).unwrap(), Ratio::ONE);
+    }
+
+    #[test]
+    fn three_way_mix() {
+        // The glycomics `MIX effluent AND buffer4 AND NaOH IN RATIOS 1:100:1`.
+        let mut d = Dag::new();
+        let e = d.add_input("effluent");
+        let b4 = d.add_input("buffer4");
+        let naoh = d.add_input("NaOH");
+        let m = d
+            .add_mix("perm", &[(e, 1), (b4, 100), (naoh, 1)], 30)
+            .unwrap();
+        let fr: Vec<Ratio> = d.in_edges(m).iter().map(|&x| d.edge(x).fraction).collect();
+        assert_eq!(fr[1], Ratio::new(100, 102).unwrap());
+        assert_eq!(fr[0], Ratio::new(1, 102).unwrap());
+    }
+
+    #[test]
+    fn zero_ratio_mix_is_rejected() {
+        let mut d = Dag::new();
+        let a = d.add_input("A");
+        let b = d.add_input("B");
+        assert!(d.add_mix("bad", &[(a, 0), (b, 0)], 0).is_err());
+    }
+
+    #[test]
+    fn exact_ratio_mix() {
+        let mut d = Dag::new();
+        let a = d.add_input("A");
+        let b = d.add_input("B");
+        let half = Ratio::new(1, 2).unwrap();
+        let k = d
+            .add_mix_exact("K", &[(a, half), (b, Ratio::ONE)], 0)
+            .unwrap();
+        let fr: Vec<Ratio> = d.in_edges(k).iter().map(|&x| d.edge(x).fraction).collect();
+        assert_eq!(
+            fr,
+            vec![Ratio::new(1, 3).unwrap(), Ratio::new(2, 3).unwrap()]
+        );
+    }
+
+    #[test]
+    fn process_separate_output_edges_are_unit() {
+        let mut d = Dag::new();
+        let a = d.add_input("A");
+        let p = d.add_process("inc", "incubate", a);
+        let s = d.add_separate("sep", p, Some(Ratio::new(1, 2).unwrap()));
+        let o = d.add_output("out", s);
+        for n in [p, s, o] {
+            assert_eq!(d.edge(d.in_edges(n)[0]).fraction, Ratio::ONE);
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! Assay DAG intermediate representation (Figure 2 of the paper).
+//!
+//! Nodes represent operations — fluid inputs, volume-aggregating mixes,
+//! pass-through processing steps (incubate/sense), separations, final
+//! outputs — and edges represent true dependences: *this* node's output
+//! fluid is consumed by *that* node. Each edge carries the exact
+//! fraction of the consumer's total input contributed by that fluid
+//! (e.g. a `mix A:B in ratio 1:4` node has in-edge fractions `1/5` and
+//! `4/5`).
+//!
+//! The DAG is the substrate of everything in `aqua-volume`: DAGSolve's
+//! two passes, the LP formulation, cascading, static replication, and
+//! run-time partitioning are all defined as computations or rewrites on
+//! this graph.
+//!
+//! # Examples
+//!
+//! Building Figure 2's running example:
+//!
+//! ```
+//! use aqua_dag::{Dag, Ratio};
+//!
+//! let mut dag = Dag::new();
+//! let a = dag.add_input("A");
+//! let b = dag.add_input("B");
+//! let c = dag.add_input("C");
+//! let k = dag.add_mix("K", &[(a, 1), (b, 4)], 0).unwrap();
+//! let l = dag.add_mix("L", &[(b, 2), (c, 1)], 0).unwrap();
+//! let m = dag.add_mix("M", &[(k, 2), (l, 1)], 0).unwrap();
+//! let n = dag.add_mix("N", &[(l, 2), (c, 3)], 0).unwrap();
+//! dag.add_output("outM", m);
+//! dag.add_output("outN", n);
+//! assert_eq!(dag.num_nodes(), 9);
+//! assert!(dag.validate().is_ok());
+//! // The A -> K edge carries 1/5 of K's input.
+//! let e = dag.in_edges(k)[0];
+//! assert_eq!(dag.edge(e).fraction, Ratio::new(1, 5).unwrap());
+//! ```
+
+#![warn(missing_docs)]
+
+mod build;
+mod dot;
+mod graph;
+mod slice;
+mod validate;
+
+pub use aqua_rational::Ratio;
+pub use graph::{Dag, Edge, EdgeId, Node, NodeId, NodeKind};
+pub use validate::DagError;

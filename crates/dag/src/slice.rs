@@ -1,0 +1,90 @@
+//! Backward slices (Tip, 1995) over the assay DAG.
+//!
+//! The backward slice of a node is the set of nodes whose re-execution
+//! regenerates that node's fluid. Regeneration (Biostream's reactive
+//! policy, used as the paper's fallback) re-executes a slice; static
+//! replication (§3.4.2) replicates part of one.
+
+use std::collections::HashSet;
+
+use crate::graph::{Dag, NodeId};
+
+impl Dag {
+    /// All nodes that transitively feed `target`, including `target`.
+    ///
+    /// The result is in no particular order; combine with
+    /// [`Dag::topological_order`] for execution order.
+    pub fn backward_slice(&self, target: NodeId) -> Vec<NodeId> {
+        let mut seen: HashSet<NodeId> = HashSet::new();
+        let mut stack = vec![target];
+        while let Some(id) = stack.pop() {
+            if !seen.insert(id) {
+                continue;
+            }
+            for &e in self.in_edges(id) {
+                stack.push(self.edge(e).src);
+            }
+        }
+        seen.into_iter().collect()
+    }
+
+    /// All nodes transitively reachable from `source`, including it.
+    ///
+    /// Used by §3.5 partitioning to find nodes that transitively lead to
+    /// an unknown-volume instruction.
+    pub fn forward_slice(&self, source: NodeId) -> Vec<NodeId> {
+        let mut seen: HashSet<NodeId> = HashSet::new();
+        let mut stack = vec![source];
+        while let Some(id) = stack.pop() {
+            if !seen.insert(id) {
+                continue;
+            }
+            for &e in self.out_edges(id) {
+                stack.push(self.edge(e).dst);
+            }
+        }
+        seen.into_iter().collect()
+    }
+
+    /// Whether `from` can reach `to` along edges.
+    pub fn reaches(&self, from: NodeId, to: NodeId) -> bool {
+        self.forward_slice(from).contains(&to)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::graph::Dag;
+
+    #[test]
+    fn backward_slice_of_diamond() {
+        let mut d = Dag::new();
+        let a = d.add_input("A");
+        let b = d.add_input("B");
+        let c = d.add_input("C");
+        let k = d.add_mix("K", &[(a, 1), (b, 1)], 0).unwrap();
+        let l = d.add_mix("L", &[(b, 1), (c, 1)], 0).unwrap();
+        let m = d.add_mix("M", &[(k, 1), (l, 1)], 0).unwrap();
+        d.add_output("o", m);
+        let mut slice = d.backward_slice(m);
+        slice.sort();
+        assert_eq!(slice, vec![a, b, c, k, l, m]);
+        let mut slice_k = d.backward_slice(k);
+        slice_k.sort();
+        assert_eq!(slice_k, vec![a, b, k]);
+    }
+
+    #[test]
+    fn forward_slice_and_reachability() {
+        let mut d = Dag::new();
+        let a = d.add_input("A");
+        let b = d.add_input("B");
+        let k = d.add_mix("K", &[(a, 1), (b, 1)], 0).unwrap();
+        let o = d.add_output("o", k);
+        assert!(d.reaches(a, o));
+        assert!(!d.reaches(o, a));
+        let mut fs = d.forward_slice(b);
+        fs.sort();
+        assert_eq!(fs, vec![b, k, o]);
+    }
+}

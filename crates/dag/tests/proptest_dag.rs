@@ -1,0 +1,127 @@
+//! Property tests: DAG structural invariants survive construction and
+//! mutation.
+
+use aqua_dag::{Dag, NodeId, Ratio};
+use proptest::prelude::*;
+
+/// Builds a random valid layered DAG from a mix plan: each entry is
+/// (source picks, ratio parts).
+#[derive(Debug, Clone)]
+struct Plan {
+    inputs: usize,
+    mixes: Vec<Vec<(usize, u64)>>, // per mix: (pool index, parts)
+}
+
+fn plan() -> impl Strategy<Value = Plan> {
+    (2usize..5).prop_flat_map(|inputs| {
+        let mix = proptest::collection::vec((0usize..64, 1u64..10), 2..4);
+        proptest::collection::vec(mix, 1..8).prop_map(move |mixes| Plan { inputs, mixes })
+    })
+}
+
+fn build(p: &Plan) -> Dag {
+    let mut dag = Dag::new();
+    let mut pool: Vec<NodeId> = (0..p.inputs)
+        .map(|i| dag.add_input(format!("in{i}")))
+        .collect();
+    for (i, mix) in p.mixes.iter().enumerate() {
+        // Map picks into the current pool, dedup by node.
+        let mut parts: Vec<(NodeId, u64)> = Vec::new();
+        for &(pick, w) in mix {
+            let node = pool[pick % pool.len()];
+            if let Some(e) = parts.iter_mut().find(|(n, _)| *n == node) {
+                e.1 += w;
+            } else {
+                parts.push((node, w));
+            }
+        }
+        let m = dag.add_mix(format!("m{i}"), &parts, 0).expect("valid");
+        pool.push(m);
+    }
+    // Terminate every dangling product.
+    let leaves: Vec<NodeId> = dag
+        .node_ids()
+        .filter(|&n| dag.out_edges(n).is_empty() && !dag.in_edges(n).is_empty())
+        .collect();
+    for (i, l) in leaves.into_iter().enumerate() {
+        dag.add_process(format!("s{i}"), "sense.OD", l);
+    }
+    dag
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn random_dags_validate(p in plan()) {
+        let dag = build(&p);
+        prop_assert!(dag.validate().is_ok(), "{:?}", dag.validate());
+    }
+
+    #[test]
+    fn in_edge_fractions_sum_to_one(p in plan()) {
+        let dag = build(&p);
+        for n in dag.node_ids() {
+            if dag.in_edges(n).is_empty() {
+                continue;
+            }
+            let sum = Ratio::checked_sum(
+                dag.in_edges(n).iter().map(|&e| dag.edge(e).fraction),
+            )
+            .unwrap();
+            prop_assert_eq!(sum, Ratio::ONE);
+        }
+    }
+
+    #[test]
+    fn topological_order_is_consistent(p in plan()) {
+        let dag = build(&p);
+        let order = dag.topological_order().unwrap();
+        prop_assert_eq!(order.len(), dag.num_nodes());
+        let pos: std::collections::HashMap<NodeId, usize> =
+            order.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+        for e in dag.edge_ids() {
+            let edge = dag.edge(e);
+            prop_assert!(pos[&edge.src] < pos[&edge.dst]);
+        }
+    }
+
+    #[test]
+    fn backward_slice_contains_all_ancestors(p in plan()) {
+        let dag = build(&p);
+        for n in dag.node_ids() {
+            let slice = dag.backward_slice(n);
+            for &e in dag.in_edges(n) {
+                prop_assert!(slice.contains(&dag.edge(e).src));
+            }
+            // Everything in the slice reaches n.
+            for &m in &slice {
+                prop_assert!(dag.reaches(m, n) || m == n);
+            }
+        }
+    }
+
+    #[test]
+    fn cut_edges_disappear_from_adjacency(p in plan()) {
+        let mut dag = build(&p);
+        // Cut the first live edge and re-check bookkeeping.
+        let Some(e) = dag.edge_ids().find(|&e| dag.edge_is_live(e)) else {
+            return Ok(());
+        };
+        let edge = dag.edge(e).clone();
+        dag.cut_edge(e);
+        prop_assert!(!dag.edge_is_live(e));
+        prop_assert!(!dag.out_edges(edge.src).contains(&e));
+        prop_assert!(!dag.in_edges(edge.dst).contains(&e));
+    }
+
+    #[test]
+    fn dot_mentions_every_node(p in plan()) {
+        let dag = build(&p);
+        let dot = dag.to_dot("g");
+        for n in dag.node_ids() {
+            let needle = format!("label=\"{}\"", dag.node(n).name);
+            prop_assert!(dot.contains(&needle), "missing {needle}");
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! Serde round-trips for the data-structure crates (requires the
+//! `serde` feature: `cargo test -p aqua-dag --features serde`).
+
+#![cfg(feature = "serde")]
+
+use aqua_dag::{Dag, Ratio};
+
+#[test]
+fn ratio_roundtrips_exactly() {
+    for (n, d) in [(11i128, 15i128), (-3, 7), (0, 1), (1_000_000, 1)] {
+        let r = Ratio::new(n, d).unwrap();
+        let json = serde_json::to_string(&r).unwrap();
+        let back: Ratio = serde_json::from_str(&json).unwrap();
+        assert_eq!(r, back);
+    }
+}
+
+#[test]
+fn ratio_deserialize_validates() {
+    assert!(serde_json::from_str::<Ratio>("\"1/0\"").is_err());
+    assert!(serde_json::from_str::<Ratio>("\"bogus\"").is_err());
+}
+
+#[test]
+fn dag_roundtrips_with_structure() {
+    let mut d = Dag::new();
+    let a = d.add_input("A");
+    let b = d.add_input("B");
+    let m = d.add_mix("mx", &[(a, 1), (b, 4)], 30).unwrap();
+    d.add_process("sense", "sense.OD", m);
+    let json = serde_json::to_string(&d).unwrap();
+    let back: Dag = serde_json::from_str(&json).unwrap();
+    assert_eq!(d, back);
+    assert!(back.validate().is_ok());
+    assert_eq!(
+        back.edge(back.in_edges(m)[0]).fraction,
+        Ratio::new(1, 5).unwrap()
+    );
+}

@@ -1,0 +1,272 @@
+//! Abstract syntax of the assay language.
+
+use crate::diag::Span;
+
+/// A parsed assay: name, declarations, statements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Assay {
+    /// The assay's name (from `ASSAY name START`).
+    pub name: String,
+    /// `fluid` declarations: (name, array length if any).
+    pub fluids: Vec<(String, Option<u64>)>,
+    /// `VAR` declarations: (name, array dimensions, possibly empty).
+    pub vars: Vec<(String, Vec<u64>)>,
+    /// The statement sequence.
+    pub body: Vec<Stmt>,
+}
+
+/// Reference to a fluid: a bare name or an indexed array element.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FluidExpr {
+    /// Declared fluid name, or `it` for the previous product.
+    pub name: String,
+    /// Array indices (expressions over loop variables).
+    pub indices: Vec<Expr>,
+    /// Source position.
+    pub span: Span,
+}
+
+/// A scalar expression over `VAR`s and literals.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(u64, Span),
+    /// Variable reference (possibly array-indexed).
+    Var(String, Vec<Expr>, Span),
+    /// Binary arithmetic.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+        /// Source position.
+        span: Span,
+    },
+}
+
+impl Expr {
+    /// The expression's source span.
+    pub fn span(&self) -> Span {
+        match self {
+            Expr::Int(_, s) | Expr::Var(_, _, s) => *s,
+            Expr::Binary { span, .. } => *span,
+        }
+    }
+}
+
+/// Binary scalar operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/` (integer division)
+    Div,
+}
+
+/// Comparison operators in `IF` conditions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+}
+
+/// Which separation chemistry a `SEPARATE` statement requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SepKind {
+    /// `SEPARATE ... MATRIX m` — affinity separation.
+    Affinity,
+    /// `LCSEPARATE` — liquid chromatography.
+    LiquidChromatography,
+    /// `CESEPARATE` — capillary electrophoresis.
+    Electrophoresis,
+    /// `SIZESEPARATE` — size-based.
+    Size,
+}
+
+/// Which sensing modality a `SENSE` statement requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SenseMode {
+    /// `SENSE OPTICAL`.
+    Optical,
+    /// `SENSE FLUORESCENCE`.
+    Fluorescence,
+}
+
+/// One statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `dst = MIX f1 AND f2 [AND f3...] [IN RATIOS r1:r2[:r3...]] FOR t;`
+    /// (`dst =` optional; the product is then only reachable as `it`).
+    Mix {
+        /// Optional destination fluid.
+        dst: Option<FluidExpr>,
+        /// The mixed fluids.
+        fluids: Vec<FluidExpr>,
+        /// Ratio expressions; empty = all equal.
+        ratios: Vec<Expr>,
+        /// Mixing time (seconds).
+        seconds: Expr,
+        /// Source position.
+        span: Span,
+    },
+    /// `[dst =] [LC|CE|SIZE]SEPARATE src MATRIX m USING b FOR t INTO eff
+    /// AND waste [YIELD p / q];`
+    Separate {
+        /// Which separation chemistry.
+        kind: SepKind,
+        /// The fluid being separated.
+        src: FluidExpr,
+        /// The affinity/chromatography matrix fluid.
+        matrix: String,
+        /// The carrier/pusher buffer.
+        using: String,
+        /// Separation time (seconds).
+        seconds: Expr,
+        /// Name bound to the effluent stream.
+        effluent: FluidExpr,
+        /// Name bound to the waste stream.
+        waste: FluidExpr,
+        /// Optional programmer hint: known output fraction `p/q`
+        /// (absent = volume measured at run time, §3.5).
+        yield_hint: Option<(u64, u64)>,
+        /// Source position.
+        span: Span,
+    },
+    /// `INCUBATE f AT temp FOR t;`
+    Incubate {
+        /// The incubated fluid.
+        fluid: FluidExpr,
+        /// Temperature (deg C).
+        temp: Expr,
+        /// Duration (seconds).
+        seconds: Expr,
+        /// Source position.
+        span: Span,
+    },
+    /// `CONCENTRATE f AT temp FOR t;`
+    Concentrate {
+        /// The concentrated fluid.
+        fluid: FluidExpr,
+        /// Temperature (deg C).
+        temp: Expr,
+        /// Duration (seconds).
+        seconds: Expr,
+        /// Source position.
+        span: Span,
+    },
+    /// `SENSE OPTICAL f INTO slot;`
+    Sense {
+        /// Sensing modality.
+        mode: SenseMode,
+        /// The sensed fluid (consumed).
+        fluid: FluidExpr,
+        /// Result variable (possibly indexed).
+        target: Expr,
+        /// Source position.
+        span: Span,
+    },
+    /// `OUTPUT f [WEIGHT n];` — declare `f` a final assay output,
+    /// optionally with a relative production weight (the paper's
+    /// `Va:Vb:Vc` output proportions; default weight 1).
+    Output {
+        /// The output fluid (consumed).
+        fluid: FluidExpr,
+        /// Relative weight among outputs.
+        weight: Option<Expr>,
+        /// Source position.
+        span: Span,
+    },
+    /// `var = expr;` — scalar assignment.
+    Assign {
+        /// Variable name.
+        var: String,
+        /// Array indices, if any.
+        indices: Vec<Expr>,
+        /// Assigned value.
+        value: Expr,
+        /// Source position.
+        span: Span,
+    },
+    /// `FOR i FROM a TO b START ... ENDFOR` — unrolled at compile time.
+    For {
+        /// Loop variable.
+        var: String,
+        /// Inclusive lower bound.
+        from: Expr,
+        /// Inclusive upper bound.
+        to: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+        /// Source position.
+        span: Span,
+    },
+    /// `WHILE cond BOUND n START ... ENDWHILE` — an unknown-iteration
+    /// loop with the programmer's §3.5 hint: an upper bound `n` on the
+    /// iteration count. The compiler conservatively unrolls the body
+    /// `n` times (re-evaluating the condition, which over scalar state
+    /// is decidable at compile time; a condition that is still true
+    /// after `n` iterations is a compile error — the hint was wrong).
+    While {
+        /// Left comparison operand.
+        lhs: Expr,
+        /// Comparison operator.
+        op: CmpOp,
+        /// Right comparison operand.
+        rhs: Expr,
+        /// The programmer's iteration bound.
+        bound: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+        /// Source position.
+        span: Span,
+    },
+    /// `IF a op b START ... [ELSE ...] ENDIF` over compile-time scalars.
+    If {
+        /// Left comparison operand.
+        lhs: Expr,
+        /// Comparison operator.
+        op: CmpOp,
+        /// Right comparison operand.
+        rhs: Expr,
+        /// Then-branch.
+        then_body: Vec<Stmt>,
+        /// Else-branch (possibly empty).
+        else_body: Vec<Stmt>,
+        /// Source position.
+        span: Span,
+    },
+}
+
+impl Stmt {
+    /// The statement's source span.
+    pub fn span(&self) -> Span {
+        match self {
+            Stmt::Mix { span, .. }
+            | Stmt::Separate { span, .. }
+            | Stmt::Incubate { span, .. }
+            | Stmt::Concentrate { span, .. }
+            | Stmt::Sense { span, .. }
+            | Stmt::Output { span, .. }
+            | Stmt::Assign { span, .. }
+            | Stmt::For { span, .. }
+            | Stmt::While { span, .. }
+            | Stmt::If { span, .. } => *span,
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! Diagnostics with source positions.
+
+use std::error::Error;
+use std::fmt;
+
+/// A half-open byte range in the source, with a 1-based line for
+/// human-readable messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+    /// 1-based source line of `start`.
+    pub line: usize,
+}
+
+impl Span {
+    /// Creates a span.
+    pub fn new(start: usize, end: usize, line: usize) -> Span {
+        Span { start, end, line }
+    }
+
+    /// A span covering both operands.
+    pub fn merge(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+            line: self.line.min(other.line),
+        }
+    }
+}
+
+/// An error from assay compilation, carrying the offending span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LangError {
+    /// Where in the source the problem is.
+    pub span: Span,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl LangError {
+    /// Creates an error at a span.
+    pub fn new(span: Span, message: impl Into<String>) -> LangError {
+        LangError {
+            span,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.span.line, self.message)
+    }
+}
+
+impl Error for LangError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_covers_both() {
+        let a = Span::new(0, 5, 1);
+        let b = Span::new(10, 20, 3);
+        let m = a.merge(b);
+        assert_eq!((m.start, m.end, m.line), (0, 20, 1));
+    }
+
+    #[test]
+    fn display_mentions_line() {
+        let e = LangError::new(Span::new(0, 1, 7), "unexpected token");
+        assert_eq!(e.to_string(), "line 7: unexpected token");
+    }
+}

@@ -1,0 +1,156 @@
+//! The flat (unrolled) assay representation.
+//!
+//! All loops are unrolled, all scalar arithmetic folded, all fluid
+//! references resolved to SSA-style instances. This is the hand-off
+//! point to the DAG lowering in `aqua-compiler`.
+
+use aqua_rational::Ratio;
+
+use crate::ast::{SenseMode, SepKind};
+
+/// Handle to one concrete fluid instance (SSA value).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FluidId(pub(crate) usize);
+
+impl FluidId {
+    /// Zero-based index into [`FlatAssay::fluids`].
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Metadata of one fluid instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlatFluid {
+    /// Human-readable name (`Glucose`, `Diluted_Inhibitor[2]`,
+    /// `it@14`, ...).
+    pub name: String,
+    /// Whether this fluid is an external input (never produced by an
+    /// operation).
+    pub is_input: bool,
+}
+
+/// One unrolled fluid operation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FlatOp {
+    /// Mix `parts` (with exact ratio weights) into `out`.
+    Mix {
+        /// The product.
+        out: FluidId,
+        /// The consumed fluids and their ratio parts.
+        parts: Vec<(FluidId, Ratio)>,
+        /// Mixing time in seconds.
+        seconds: u64,
+    },
+    /// Incubate `input` producing `out` (same volume).
+    Incubate {
+        /// The product.
+        out: FluidId,
+        /// The consumed fluid.
+        input: FluidId,
+        /// Temperature in deg C.
+        temp_c: i64,
+        /// Duration in seconds.
+        seconds: u64,
+    },
+    /// Concentrate `input` producing `out`.
+    Concentrate {
+        /// The product.
+        out: FluidId,
+        /// The consumed fluid.
+        input: FluidId,
+        /// Temperature in deg C.
+        temp_c: i64,
+        /// Duration in seconds.
+        seconds: u64,
+    },
+    /// Separate `input` into an effluent (and implicit waste).
+    Separate {
+        /// The effluent product.
+        out: FluidId,
+        /// The waste product (dead end unless the assay uses it).
+        waste: FluidId,
+        /// The consumed fluid.
+        input: FluidId,
+        /// Separation chemistry.
+        kind: SepKind,
+        /// Matrix fluid name (loaded into the separator, not part of
+        /// the volume DAG).
+        matrix: String,
+        /// Pusher/carrier fluid name.
+        using: String,
+        /// Duration in seconds.
+        seconds: u64,
+        /// Known output fraction, or `None` for a run-time measured
+        /// volume (§3.5).
+        yield_hint: Option<Ratio>,
+    },
+    /// Declare `input` a final output, collected off-chip.
+    Output {
+        /// The consumed fluid.
+        input: FluidId,
+        /// Relative production weight among outputs.
+        weight: u64,
+    },
+    /// Sense `input` (consuming it) into a dry result slot.
+    Sense {
+        /// The consumed fluid.
+        input: FluidId,
+        /// Sensing modality.
+        mode: SenseMode,
+        /// Result-slot label, e.g. `Result[3]`.
+        target: String,
+    },
+}
+
+/// A fully unrolled assay.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlatAssay {
+    /// The assay name.
+    pub name: String,
+    /// Fluid instance table.
+    pub fluids: Vec<FlatFluid>,
+    /// The operation sequence.
+    pub ops: Vec<FlatOp>,
+}
+
+impl FlatAssay {
+    /// Metadata for a fluid instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is stale.
+    pub fn fluid(&self, id: FluidId) -> &FlatFluid {
+        &self.fluids[id.0]
+    }
+
+    /// All external input fluids.
+    pub fn inputs(&self) -> Vec<FluidId> {
+        self.fluids
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.is_input)
+            .map(|(i, _)| FluidId(i))
+            .collect()
+    }
+
+    /// Number of uses (consumptions) per fluid instance.
+    pub fn use_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.fluids.len()];
+        for op in &self.ops {
+            match op {
+                FlatOp::Mix { parts, .. } => {
+                    for (f, _) in parts {
+                        counts[f.0] += 1;
+                    }
+                }
+                FlatOp::Incubate { input, .. }
+                | FlatOp::Concentrate { input, .. }
+                | FlatOp::Separate { input, .. }
+                | FlatOp::Output { input, .. }
+                | FlatOp::Sense { input, .. } => counts[input.0] += 1,
+            }
+        }
+        counts
+    }
+}

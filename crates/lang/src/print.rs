@@ -1,0 +1,363 @@
+//! Pretty-printer: renders an [`Assay`] AST back to source text.
+//!
+//! `parse(print(parse(src)))` produces the same unrolled assay as
+//! `parse(src)` (verified by round-trip tests), making the printer
+//! usable for formatting tools and for persisting programmatically
+//! built assays.
+
+use std::fmt;
+
+use crate::ast::*;
+
+impl fmt::Display for Assay {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "ASSAY {} START", self.name)?;
+        if !self.fluids.is_empty() {
+            write!(f, "fluid ")?;
+            for (i, (name, len)) in self.fluids.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                match len {
+                    Some(n) => write!(f, "{name}[{n}]")?,
+                    None => write!(f, "{name}")?,
+                }
+            }
+            writeln!(f, ";")?;
+        }
+        if !self.vars.is_empty() {
+            write!(f, "VAR ")?;
+            for (i, (name, dims)) in self.vars.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{name}")?;
+                for d in dims {
+                    write!(f, "[{d}]")?;
+                }
+            }
+            writeln!(f, ";")?;
+        }
+        for stmt in &self.body {
+            write_stmt(f, stmt, 0)?;
+        }
+        writeln!(f, "END")
+    }
+}
+
+fn indent(f: &mut fmt::Formatter<'_>, depth: usize) -> fmt::Result {
+    for _ in 0..depth {
+        write!(f, "  ")?;
+    }
+    Ok(())
+}
+
+fn write_stmt(f: &mut fmt::Formatter<'_>, stmt: &Stmt, depth: usize) -> fmt::Result {
+    indent(f, depth)?;
+    match stmt {
+        Stmt::Mix {
+            dst,
+            fluids,
+            ratios,
+            seconds,
+            ..
+        } => {
+            if let Some(d) = dst {
+                write!(f, "{} = ", FluidRef(d))?;
+            }
+            write!(f, "MIX ")?;
+            for (i, fl) in fluids.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " AND ")?;
+                }
+                write!(f, "{}", FluidRef(fl))?;
+            }
+            if !ratios.is_empty() {
+                write!(f, " IN RATIOS ")?;
+                for (i, r) in ratios.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " : ")?;
+                    }
+                    write!(f, "{}", ExprRef(r))?;
+                }
+            }
+            writeln!(f, " FOR {};", ExprRef(seconds))
+        }
+        Stmt::Separate {
+            kind,
+            src,
+            matrix,
+            using,
+            seconds,
+            effluent,
+            waste,
+            yield_hint,
+            ..
+        } => {
+            let kw = match kind {
+                SepKind::Affinity => "SEPARATE",
+                SepKind::LiquidChromatography => "LCSEPARATE",
+                SepKind::Electrophoresis => "CESEPARATE",
+                SepKind::Size => "SIZESEPARATE",
+            };
+            write!(
+                f,
+                "{kw} {} MATRIX {matrix} USING {using} FOR {} INTO {} AND {}",
+                FluidRef(src),
+                ExprRef(seconds),
+                FluidRef(effluent),
+                FluidRef(waste)
+            )?;
+            if let Some((p, q)) = yield_hint {
+                write!(f, " YIELD {p}/{q}")?;
+            }
+            writeln!(f, ";")
+        }
+        Stmt::Incubate {
+            fluid,
+            temp,
+            seconds,
+            ..
+        } => writeln!(
+            f,
+            "INCUBATE {} AT {} FOR {};",
+            FluidRef(fluid),
+            ExprRef(temp),
+            ExprRef(seconds)
+        ),
+        Stmt::Concentrate {
+            fluid,
+            temp,
+            seconds,
+            ..
+        } => writeln!(
+            f,
+            "CONCENTRATE {} AT {} FOR {};",
+            FluidRef(fluid),
+            ExprRef(temp),
+            ExprRef(seconds)
+        ),
+        Stmt::Sense {
+            mode,
+            fluid,
+            target,
+            ..
+        } => {
+            let kw = match mode {
+                SenseMode::Optical => "OPTICAL",
+                SenseMode::Fluorescence => "FLUORESCENCE",
+            };
+            writeln!(
+                f,
+                "SENSE {kw} {} INTO {};",
+                FluidRef(fluid),
+                ExprRef(target)
+            )
+        }
+        Stmt::Output { fluid, weight, .. } => {
+            write!(f, "OUTPUT {}", FluidRef(fluid))?;
+            if let Some(w) = weight {
+                write!(f, " WEIGHT {}", ExprRef(w))?;
+            }
+            writeln!(f, ";")
+        }
+        Stmt::Assign {
+            var,
+            indices,
+            value,
+            ..
+        } => {
+            write!(f, "{var}")?;
+            for i in indices {
+                write!(f, "[{}]", ExprRef(i))?;
+            }
+            writeln!(f, " = {};", ExprRef(value))
+        }
+        Stmt::For {
+            var,
+            from,
+            to,
+            body,
+            ..
+        } => {
+            writeln!(
+                f,
+                "FOR {var} FROM {} TO {} START",
+                ExprRef(from),
+                ExprRef(to)
+            )?;
+            for s in body {
+                write_stmt(f, s, depth + 1)?;
+            }
+            indent(f, depth)?;
+            writeln!(f, "ENDFOR")
+        }
+        Stmt::While {
+            lhs,
+            op,
+            rhs,
+            bound,
+            body,
+            ..
+        } => {
+            writeln!(
+                f,
+                "WHILE {} {} {} BOUND {} START",
+                ExprRef(lhs),
+                cmp(*op),
+                ExprRef(rhs),
+                ExprRef(bound)
+            )?;
+            for s in body {
+                write_stmt(f, s, depth + 1)?;
+            }
+            indent(f, depth)?;
+            writeln!(f, "ENDWHILE")
+        }
+        Stmt::If {
+            lhs,
+            op,
+            rhs,
+            then_body,
+            else_body,
+            ..
+        } => {
+            writeln!(f, "IF {} {} {} START", ExprRef(lhs), cmp(*op), ExprRef(rhs))?;
+            for s in then_body {
+                write_stmt(f, s, depth + 1)?;
+            }
+            if !else_body.is_empty() {
+                indent(f, depth)?;
+                writeln!(f, "ELSE")?;
+                for s in else_body {
+                    write_stmt(f, s, depth + 1)?;
+                }
+            }
+            indent(f, depth)?;
+            writeln!(f, "ENDIF")
+        }
+    }
+}
+
+fn cmp(op: CmpOp) -> &'static str {
+    match op {
+        CmpOp::Lt => "<",
+        CmpOp::Le => "<=",
+        CmpOp::Gt => ">",
+        CmpOp::Ge => ">=",
+        CmpOp::Eq => "==",
+        CmpOp::Ne => "!=",
+    }
+}
+
+struct FluidRef<'a>(&'a FluidExpr);
+
+impl fmt::Display for FluidRef<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0.name)?;
+        for i in &self.0.indices {
+            write!(f, "[{}]", ExprRef(i))?;
+        }
+        Ok(())
+    }
+}
+
+struct ExprRef<'a>(&'a Expr);
+
+impl fmt::Display for ExprRef<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            Expr::Int(v, _) => write!(f, "{v}"),
+            Expr::Var(name, indices, _) => {
+                write!(f, "{name}")?;
+                for i in indices {
+                    write!(f, "[{}]", ExprRef(i))?;
+                }
+                Ok(())
+            }
+            Expr::Binary { op, lhs, rhs, .. } => {
+                // Fully parenthesized: precedence-safe without tracking
+                // context.
+                let sym = match op {
+                    BinOp::Add => "+",
+                    BinOp::Sub => "-",
+                    BinOp::Mul => "*",
+                    BinOp::Div => "/",
+                };
+                write!(f, "({} {sym} {})", ExprRef(lhs), ExprRef(rhs))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{compile_to_flat, parse};
+
+    /// Parse → print → parse must yield the same unrolled assay.
+    fn roundtrip(src: &str) {
+        let ast = parse(src).unwrap();
+        let printed = ast.to_string();
+        let reparsed = parse(&printed).unwrap_or_else(|e| panic!("{e}\n---\n{printed}"));
+        let flat1 = crate::eval::compile_to_flat_ast(&ast).unwrap();
+        let flat2 = crate::eval::compile_to_flat_ast(&reparsed).unwrap();
+        assert_eq!(flat1, flat2, "printed form diverged:\n{printed}");
+        let _ = compile_to_flat(src).unwrap();
+    }
+
+    #[test]
+    fn roundtrips_simple_assay() {
+        roundtrip(
+            "ASSAY g START
+             fluid A, B;
+             VAR R[2];
+             MIX A AND B IN RATIOS 1 : 4 FOR 10;
+             SENSE OPTICAL it INTO R[1];
+             END",
+        );
+    }
+
+    #[test]
+    fn roundtrips_loops_and_conditionals() {
+        roundtrip(
+            "ASSAY g START
+             fluid A, B, D[4];
+             VAR i, t, n;
+             t = 1;
+             FOR i FROM 1 TO 4 START
+               D[i] = MIX A AND B IN RATIOS 1 : t FOR 5;
+               t = t * 10 - 1;
+             ENDFOR
+             n = 0;
+             WHILE n < 2 BOUND 5 START
+               MIX D[1] AND D[2] FOR 3;
+               SENSE OPTICAL it INTO R[n];
+               n = n + 1;
+             ENDWHILE
+             IF t > 10 START
+               MIX A AND B FOR 1;
+               SENSE OPTICAL it INTO X;
+             ELSE
+               MIX B AND A FOR 1;
+               SENSE OPTICAL it INTO Y;
+             ENDIF
+             END",
+        );
+    }
+
+    #[test]
+    fn roundtrips_separations() {
+        roundtrip(
+            "ASSAY g START
+             fluid A, B, s, m, buf, e1, w1, e2, w2;
+             s = MIX A AND B FOR 30;
+             SEPARATE s MATRIX m USING buf FOR 30 INTO e1 AND w1;
+             MIX e1 AND A FOR 5;
+             INCUBATE it AT 37 FOR 300;
+             LCSEPARATE it MATRIX m USING buf FOR 60 INTO e2 AND w2 YIELD 1/3;
+             CONCENTRATE e2 AT 90 FOR 10;
+             SENSE FLUORESCENCE it INTO R;
+             END",
+        );
+    }
+}

@@ -1,0 +1,120 @@
+//! Linear expressions over model variables.
+
+use crate::model::VarId;
+
+/// A linear expression `sum(coeff_i * var_i)`.
+///
+/// Duplicate variable mentions are allowed while building and are merged
+/// by [`LinExpr::compact`] (which the model calls before storing).
+///
+/// # Examples
+///
+/// ```
+/// use aqua_lp::{LinExpr, Model, Sense};
+///
+/// let mut m = Model::new(Sense::Maximize);
+/// let x = m.add_var("x", 0.0, 1.0);
+/// let mut e = LinExpr::new();
+/// e.add_term(x, 2.0);
+/// e.add_term(x, 3.0);
+/// assert_eq!(e.compact().terms(), &[(x, 5.0)]);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LinExpr {
+    terms: Vec<(VarId, f64)>,
+}
+
+impl LinExpr {
+    /// Creates an empty (zero) expression.
+    pub fn new() -> LinExpr {
+        LinExpr { terms: Vec::new() }
+    }
+
+    /// Appends `coeff * var` to the expression.
+    pub fn add_term(&mut self, var: VarId, coeff: f64) -> &mut LinExpr {
+        self.terms.push((var, coeff));
+        self
+    }
+
+    /// The raw (possibly uncompacted) term list.
+    pub fn terms(&self) -> &[(VarId, f64)] {
+        &self.terms
+    }
+
+    /// Whether the expression has no terms.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Merges duplicate variables and drops zero coefficients, returning
+    /// a canonical expression sorted by variable id.
+    pub fn compact(mut self) -> LinExpr {
+        self.terms.sort_by_key(|&(v, _)| v);
+        let mut out: Vec<(VarId, f64)> = Vec::with_capacity(self.terms.len());
+        for (v, c) in self.terms {
+            match out.last_mut() {
+                Some((lv, lc)) if *lv == v => *lc += c,
+                _ => out.push((v, c)),
+            }
+        }
+        out.retain(|&(_, c)| c != 0.0);
+        LinExpr { terms: out }
+    }
+
+    /// Evaluates the expression at a point given as a dense slice indexed
+    /// by variable id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a variable id is out of range for `point`.
+    pub fn eval(&self, point: &[f64]) -> f64 {
+        self.terms.iter().map(|&(v, c)| c * point[v.index()]).sum()
+    }
+}
+
+impl FromIterator<(VarId, f64)> for LinExpr {
+    fn from_iter<I: IntoIterator<Item = (VarId, f64)>>(iter: I) -> LinExpr {
+        LinExpr {
+            terms: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<(VarId, f64)> for LinExpr {
+    fn extend<I: IntoIterator<Item = (VarId, f64)>>(&mut self, iter: I) {
+        self.terms.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Model, Sense};
+
+    #[test]
+    fn compact_merges_and_sorts() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", 0.0, 1.0);
+        let y = m.add_var("y", 0.0, 1.0);
+        let e: LinExpr = [(y, 1.0), (x, 2.0), (y, 3.0)].into_iter().collect();
+        let c = e.compact();
+        assert_eq!(c.terms(), &[(x, 2.0), (y, 4.0)]);
+    }
+
+    #[test]
+    fn compact_drops_cancelled_terms() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", 0.0, 1.0);
+        let e: LinExpr = [(x, 1.0), (x, -1.0)].into_iter().collect();
+        assert!(e.compact().is_empty());
+    }
+
+    #[test]
+    fn eval_at_point() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", 0.0, 10.0);
+        let y = m.add_var("y", 0.0, 10.0);
+        let e: LinExpr = [(x, 2.0), (y, -1.0)].into_iter().collect();
+        assert_eq!(e.eval(&[3.0, 4.0]), 2.0);
+    }
+}

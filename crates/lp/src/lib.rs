@@ -1,0 +1,44 @@
+//! A from-scratch linear-programming substrate for the AquaCore
+//! volume-management reproduction.
+//!
+//! The paper solves its RVol formulation with Matlab's `linprog` (LIPSOL)
+//! and its IVol formulation with LP_Solve 5.5. Neither is available here,
+//! so this crate provides the substitute substrate:
+//!
+//! * [`Model`] — an LP/ILP model builder (variables with bounds,
+//!   `<=`/`>=`/`=` constraints, maximize/minimize objective);
+//! * [`solve`] — a two-phase primal simplex with bounded variables,
+//!   Bland's anti-cycling rule, and single-variable-row presolve;
+//! * [`solve_ilp`] — branch-and-bound integer programming on top of the
+//!   relaxation, with node- and time-budgets (the paper's ILP "ran for
+//!   hours"; budgets turn that into a reportable outcome).
+//!
+//! # Examples
+//!
+//! ```
+//! use aqua_lp::{Model, Sense, solve, Status};
+//!
+//! // maximize x + 2y  s.t.  x + y <= 4,  y <= 3,  x, y >= 0
+//! let mut m = Model::new(Sense::Maximize);
+//! let x = m.add_var("x", 0.0, f64::INFINITY);
+//! let y = m.add_var("y", 0.0, 3.0);
+//! m.set_objective([(x, 1.0), (y, 2.0)]);
+//! m.add_le("cap", [(x, 1.0), (y, 1.0)], 4.0);
+//! let out = solve(&m);
+//! let sol = match out.status { Status::Optimal(s) => s, _ => unreachable!() };
+//! assert!((sol.objective - 7.0).abs() < 1e-6);
+//! ```
+
+#![warn(missing_docs)]
+
+mod expr;
+mod ilp;
+mod model;
+mod simplex;
+mod solution;
+
+pub use expr::LinExpr;
+pub use ilp::{solve_ilp, IlpConfig, IlpOutcome, IlpStats, IlpStatus};
+pub use model::{Constraint, ConstraintSense, Model, ModelError, Sense, VarId};
+pub use simplex::{solve, solve_with, SimplexConfig, SolveOutput, SolveStats, Status};
+pub use solution::Solution;

@@ -1,0 +1,30 @@
+//! Solution values returned by the solvers.
+
+use crate::model::{Model, VarId};
+
+/// An optimal (or incumbent, for ILP) assignment of variable values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solution {
+    /// Objective value in the model's own sense (maximization values are
+    /// reported as maximization values).
+    pub objective: f64,
+    /// Variable values, indexed by [`VarId::index`].
+    pub values: Vec<f64>,
+}
+
+impl Solution {
+    /// The value of one variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` does not belong to the model this solution solves.
+    pub fn value(&self, var: VarId) -> f64 {
+        self.values[var.index()]
+    }
+
+    /// Checks this solution against a model: all bounds and constraints
+    /// within `tol`.
+    pub fn is_feasible_for(&self, model: &Model, tol: f64) -> bool {
+        model.is_feasible(&self.values, tol)
+    }
+}

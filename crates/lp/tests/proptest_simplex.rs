@@ -1,0 +1,139 @@
+//! Property-based tests for the simplex solver.
+//!
+//! Strategy: generate random LPs that are feasible *by construction* (the
+//! right-hand sides are chosen so that a known witness point satisfies
+//! every row). The solver must then (a) report optimal, (b) return a
+//! feasible point, and (c) do at least as well as the witness.
+
+use aqua_lp::{solve, Model, Sense, Status};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct RandomLp {
+    nvars: usize,
+    witness: Vec<f64>,
+    rows: Vec<Vec<f64>>, // coefficients per row
+    costs: Vec<f64>,
+    ubs: Vec<f64>,
+}
+
+fn random_lp() -> impl Strategy<Value = RandomLp> {
+    (2usize..6).prop_flat_map(|nvars| {
+        let witness = proptest::collection::vec(0.0f64..5.0, nvars);
+        let ubs = proptest::collection::vec(6.0f64..20.0, nvars);
+        let costs = proptest::collection::vec(-3.0f64..3.0, nvars);
+        let row = proptest::collection::vec(-2.0f64..2.0, nvars);
+        let rows = proptest::collection::vec(row, 1..6);
+        (witness, ubs, costs, rows).prop_map(move |(witness, ubs, costs, rows)| RandomLp {
+            nvars,
+            witness,
+            rows,
+            costs,
+            ubs,
+        })
+    })
+}
+
+fn build(lp: &RandomLp) -> (Model, Vec<aqua_lp::VarId>) {
+    let mut m = Model::new(Sense::Maximize);
+    let vars: Vec<_> = (0..lp.nvars)
+        .map(|i| m.add_var(format!("x{i}"), 0.0, lp.ubs[i]))
+        .collect();
+    m.set_objective(vars.iter().copied().zip(lp.costs.iter().copied()));
+    for (r, row) in lp.rows.iter().enumerate() {
+        // rhs = value at witness + small slack so the witness is feasible.
+        let rhs: f64 = row.iter().zip(&lp.witness).map(|(c, w)| c * w).sum::<f64>() + 0.5;
+        m.add_le(
+            format!("r{r}"),
+            vars.iter().copied().zip(row.iter().copied()),
+            rhs,
+        );
+    }
+    (m, vars)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn feasible_by_construction_lps_solve_to_optimal(lp in random_lp()) {
+        let (m, _) = build(&lp);
+        let out = solve(&m);
+        let sol = match &out.status {
+            Status::Optimal(s) => s,
+            other => return Err(TestCaseError::fail(format!("not optimal: {other:?}"))),
+        };
+        // (b) returned point is feasible
+        prop_assert!(sol.is_feasible_for(&m, 1e-5));
+        // (c) objective dominates the witness (clip witness to bounds first)
+        let clipped: Vec<f64> = lp
+            .witness
+            .iter()
+            .zip(&lp.ubs)
+            .map(|(w, u)| w.min(*u))
+            .collect();
+        if m.is_feasible(&clipped, 1e-9) {
+            let witness_obj: f64 = clipped
+                .iter()
+                .zip(&lp.costs)
+                .map(|(x, c)| x * c)
+                .sum();
+            prop_assert!(
+                sol.objective >= witness_obj - 1e-5,
+                "solver {} < witness {}",
+                sol.objective,
+                witness_obj
+            );
+        }
+    }
+
+    #[test]
+    fn tightening_rhs_never_improves_objective(lp in random_lp()) {
+        let (m1, _) = build(&lp);
+        // Same LP with every rhs reduced: the feasible set shrinks, so the
+        // optimum cannot improve.
+        let m2 = {
+            let mut m = Model::new(Sense::Maximize);
+            let vars2: Vec<_> = (0..lp.nvars)
+                .map(|i| m.add_var(format!("x{i}"), 0.0, lp.ubs[i]))
+                .collect();
+            m.set_objective(vars2.iter().copied().zip(lp.costs.iter().copied()));
+            for (r, row) in lp.rows.iter().enumerate() {
+                let rhs: f64 = row
+                    .iter()
+                    .zip(&lp.witness)
+                    .map(|(c, w)| c * w)
+                    .sum::<f64>()
+                    + 0.25; // tighter than the 0.5 slack in `build`
+                m.add_le(
+                    format!("r{r}"),
+                    vars2.iter().copied().zip(row.iter().copied()),
+                    rhs,
+                );
+            }
+            m
+        };
+        let (o1, o2) = (solve(&m1), solve(&m2));
+        if let (Status::Optimal(s1), Status::Optimal(s2)) = (&o1.status, &o2.status) {
+            prop_assert!(s2.objective <= s1.objective + 1e-5);
+        }
+    }
+
+    #[test]
+    fn equality_pinned_models_round_trip(vals in proptest::collection::vec(0.1f64..10.0, 1..5)) {
+        // x_i pinned by equality rows; solver must return exactly those.
+        let mut m = Model::new(Sense::Maximize);
+        let vars: Vec<_> = (0..vals.len())
+            .map(|i| m.add_var(format!("x{i}"), 0.0, f64::INFINITY))
+            .collect();
+        m.set_objective(vars.iter().map(|&v| (v, 1.0)));
+        for (i, (&v, &val)) in vars.iter().zip(&vals).enumerate() {
+            m.add_eq(format!("pin{i}"), [(v, 2.0)], 2.0 * val);
+        }
+        let out = solve(&m);
+        let sol = out.status.solution().expect("pinned model is feasible");
+        for (&v, &val) in vars.iter().zip(&vals) {
+            prop_assert!((sol.value(v) - val).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Stress tests for the simplex: classic worst cases and larger
+//! structured systems.
+
+use aqua_lp::{solve, solve_with, Model, Sense, SimplexConfig, Status};
+
+fn optimal(m: &Model) -> aqua_lp::Solution {
+    match solve(m).status {
+        Status::Optimal(s) => s,
+        other => panic!("not optimal: {other:?}"),
+    }
+}
+
+/// Klee–Minty cube of dimension `d`: exponential for naive Dantzig
+/// pricing in theory; must still terminate (stall detection switches to
+/// Bland's rule) and find the known optimum `100^(d-1) * 5` ... we use
+/// the standard formulation max sum 2^(d-j) x_j with x_1 <= 5 etc.
+#[test]
+fn klee_minty_terminates_at_the_right_vertex() {
+    let d = 8;
+    let mut m = Model::new(Sense::Maximize);
+    let x: Vec<_> = (0..d)
+        .map(|i| m.add_var(format!("x{i}"), 0.0, f64::INFINITY))
+        .collect();
+    m.set_objective((0..d).map(|j| (x[j], 2f64.powi((d - 1 - j) as i32))));
+    for i in 0..d {
+        // 2 * sum_{j<i} 2^(i-j) x_j + x_i <= 5^(i+1)
+        let mut terms = Vec::new();
+        for (j, &xv) in x.iter().enumerate().take(i) {
+            terms.push((xv, 2f64.powi((i - j) as i32 + 1)));
+        }
+        terms.push((x[i], 1.0));
+        m.add_le(format!("c{i}"), terms, 5f64.powi(i as i32 + 1));
+    }
+    let sol = optimal(&m);
+    // Known optimum: x_d = 5^d, everything else 0.
+    let expect = 5f64.powi(d as i32);
+    assert!(
+        (sol.objective - expect).abs() / expect < 1e-9,
+        "objective {} vs {}",
+        sol.objective,
+        expect
+    );
+}
+
+/// A chain of equalities x_{i+1} = 2 x_i forces many pivots through
+/// artificial variables.
+#[test]
+fn equality_chain_solves_exactly() {
+    let n = 60;
+    let mut m = Model::new(Sense::Maximize);
+    let x: Vec<_> = (0..n)
+        .map(|i| m.add_var(format!("x{i}"), 0.0, f64::INFINITY))
+        .collect();
+    m.add_eq("seed", [(x[0], 1.0)], 1.0);
+    for i in 0..n - 1 {
+        m.add_eq(format!("link{i}"), [(x[i + 1], 1.0), (x[i], -2.0)], 0.0);
+    }
+    m.set_objective([(x[n - 1], 1.0)]);
+    let sol = optimal(&m);
+    let expect = 2f64.powi((n - 1) as i32);
+    assert!(
+        (sol.objective - expect).abs() / expect < 1e-9,
+        "{} vs {expect}",
+        sol.objective
+    );
+}
+
+/// Transportation-style problem with a known optimal cost.
+#[test]
+fn transportation_problem() {
+    // 2 supplies (30, 40), 3 demands (20, 25, 25); costs:
+    //   s1: 2 3 1
+    //   s2: 5 4 8
+    let mut m = Model::new(Sense::Minimize);
+    let mut x = Vec::new();
+    for i in 0..2 {
+        for j in 0..3 {
+            x.push(m.add_var(format!("x{i}{j}"), 0.0, f64::INFINITY));
+        }
+    }
+    let cost = [2.0, 3.0, 1.0, 5.0, 4.0, 8.0];
+    m.set_objective(x.iter().copied().zip(cost.iter().copied()));
+    m.add_le("s0", [(x[0], 1.0), (x[1], 1.0), (x[2], 1.0)], 30.0);
+    m.add_le("s1", [(x[3], 1.0), (x[4], 1.0), (x[5], 1.0)], 40.0);
+    m.add_ge("d0", [(x[0], 1.0), (x[3], 1.0)], 20.0);
+    m.add_ge("d1", [(x[1], 1.0), (x[4], 1.0)], 25.0);
+    m.add_ge("d2", [(x[2], 1.0), (x[5], 1.0)], 25.0);
+    let sol = optimal(&m);
+    // Optimal plan: s1 -> d2 (25 @1), s1 -> d0 (5 @2), s2 -> d0 (15 @5),
+    // s2 -> d1 (25 @4) => 25 + 10 + 75 + 100 = 210.
+    assert!((sol.objective - 210.0).abs() < 1e-6, "{}", sol.objective);
+}
+
+/// Tight iteration caps surface as IterationLimit, not hangs or panics.
+#[test]
+fn iteration_cap_is_honored() {
+    let mut m = Model::new(Sense::Maximize);
+    let n = 30;
+    let x: Vec<_> = (0..n)
+        .map(|i| m.add_var(format!("x{i}"), 0.0, f64::INFINITY))
+        .collect();
+    m.set_objective(x.iter().map(|&v| (v, 1.0)));
+    for i in 0..n {
+        m.add_le(
+            format!("c{i}"),
+            x.iter()
+                .enumerate()
+                .map(|(j, &v)| (v, if i == j { 2.0 } else { 1.0 })),
+            100.0,
+        );
+    }
+    let config = SimplexConfig {
+        max_iters: Some(2),
+        ..SimplexConfig::default()
+    };
+    let out = solve_with(&m, &config);
+    assert!(
+        matches!(out.status, Status::IterationLimit | Status::Optimal(_)),
+        "{:?}",
+        out.status
+    );
+}
+
+/// Degenerate "cycling" construction (Beale) with zero right-hand
+/// sides: Bland's rule must terminate it.
+#[test]
+fn beale_cycling_example_terminates() {
+    let mut m = Model::new(Sense::Minimize);
+    let x1 = m.add_var("x1", 0.0, f64::INFINITY);
+    let x2 = m.add_var("x2", 0.0, f64::INFINITY);
+    let x3 = m.add_var("x3", 0.0, f64::INFINITY);
+    let x4 = m.add_var("x4", 0.0, f64::INFINITY);
+    m.set_objective([(x1, -0.75), (x2, 150.0), (x3, -0.02), (x4, 6.0)]);
+    m.add_le("r1", [(x1, 0.25), (x2, -60.0), (x3, -0.04), (x4, 9.0)], 0.0);
+    m.add_le("r2", [(x1, 0.5), (x2, -90.0), (x3, -0.02), (x4, 3.0)], 0.0);
+    m.add_le("r3", [(x3, 1.0)], 1.0);
+    let sol = optimal(&m);
+    assert!((sol.objective + 0.05).abs() < 1e-9, "{}", sol.objective);
+}
+
+/// Larger random-free structured LP: block-diagonal with coupling row.
+#[test]
+fn block_diagonal_with_coupling() {
+    let blocks = 25;
+    let mut m = Model::new(Sense::Maximize);
+    let mut all = Vec::new();
+    for b in 0..blocks {
+        let a = m.add_var(format!("a{b}"), 0.0, f64::INFINITY);
+        let c = m.add_var(format!("b{b}"), 0.0, f64::INFINITY);
+        m.add_le(format!("blk{b}"), [(a, 1.0), (c, 2.0)], 10.0);
+        all.push((a, c));
+    }
+    m.set_objective(all.iter().flat_map(|&(a, c)| [(a, 1.0), (c, 3.0)]));
+    // Coupling: total "a" across blocks limited.
+    m.add_le("couple", all.iter().map(|&(a, _)| (a, 1.0)), 50.0);
+    let sol = optimal(&m);
+    // Per block the best is c = 5 (value 15); coupling is slack.
+    assert!((sol.objective - 15.0 * blocks as f64).abs() < 1e-6);
+}

@@ -1,0 +1,32 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by checked rational arithmetic.
+///
+/// # Examples
+///
+/// ```
+/// use aqua_rational::{Ratio, RatioError};
+///
+/// assert_eq!(Ratio::new(1, 0), Err(RatioError::ZeroDenominator));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum RatioError {
+    /// A denominator of zero was supplied or produced (e.g. by division
+    /// by a zero ratio).
+    ZeroDenominator,
+    /// An intermediate product or sum exceeded the range of `i128`.
+    Overflow,
+}
+
+impl fmt::Display for RatioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RatioError::ZeroDenominator => write!(f, "rational denominator is zero"),
+            RatioError::Overflow => write!(f, "rational arithmetic overflowed i128"),
+        }
+    }
+}
+
+impl Error for RatioError {}

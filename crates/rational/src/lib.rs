@@ -1,0 +1,40 @@
+//! Exact rational arithmetic for the AquaCore volume-management stack.
+//!
+//! The volume-management algorithms of the paper (DAGSolve in particular)
+//! are defined over exact fractions: mix ratios such as `2:1`, normalized
+//! volumes such as `11/15`, and figure-level results such as the `1/204`
+//! Vnorm of the glycomics assay. Floating point would make those results
+//! approximate and the paper's worked examples untestable, so the whole
+//! stack computes over [`Ratio`], a reduced `i128` fraction with checked
+//! arithmetic.
+//!
+//! # Examples
+//!
+//! ```
+//! use aqua_rational::Ratio;
+//!
+//! let a = Ratio::new(1, 3)?;
+//! let b = Ratio::new(2, 5)?;
+//! assert_eq!(a.checked_add(b)?, Ratio::new(11, 15)?);
+//! assert_eq!(a.to_string(), "1/3");
+//! # Ok::<(), aqua_rational::RatioError>(())
+//! ```
+//!
+//! The infallible `+ - * /` operators are also implemented and panic on
+//! overflow or division by zero; the `checked_*` methods return
+//! [`RatioError`] instead. The compiler pipeline uses the checked forms so
+//! adversarial assays surface diagnostics, not crashes.
+
+#![warn(missing_docs)]
+
+mod error;
+mod ops;
+mod parse;
+mod ratio;
+
+pub use error::RatioError;
+pub use parse::ParseRatioError;
+pub use ratio::Ratio;
+
+/// Convenience alias for fallible rational computations.
+pub type Result<T> = std::result::Result<T, RatioError>;

@@ -1,0 +1,146 @@
+//! Infallible operator impls for [`Ratio`].
+//!
+//! These panic on overflow / division by zero; the checked methods on
+//! [`Ratio`] are the non-panicking alternative. Operators make test code
+//! and the DAGSolve inner loops readable where inputs are already
+//! validated.
+
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+use crate::Ratio;
+
+impl Add for Ratio {
+    type Output = Ratio;
+
+    /// # Panics
+    ///
+    /// Panics if the sum overflows `i128`.
+    fn add(self, rhs: Ratio) -> Ratio {
+        self.checked_add(rhs).expect("ratio addition overflowed")
+    }
+}
+
+impl Sub for Ratio {
+    type Output = Ratio;
+
+    /// # Panics
+    ///
+    /// Panics if the difference overflows `i128`.
+    fn sub(self, rhs: Ratio) -> Ratio {
+        self.checked_sub(rhs).expect("ratio subtraction overflowed")
+    }
+}
+
+impl Mul for Ratio {
+    type Output = Ratio;
+
+    /// # Panics
+    ///
+    /// Panics if the product overflows `i128`.
+    fn mul(self, rhs: Ratio) -> Ratio {
+        self.checked_mul(rhs)
+            .expect("ratio multiplication overflowed")
+    }
+}
+
+impl Div for Ratio {
+    type Output = Ratio;
+
+    /// # Panics
+    ///
+    /// Panics if `rhs` is zero or the quotient overflows `i128`.
+    fn div(self, rhs: Ratio) -> Ratio {
+        self.checked_div(rhs).expect("ratio division failed")
+    }
+}
+
+impl Neg for Ratio {
+    type Output = Ratio;
+
+    fn neg(self) -> Ratio {
+        self.checked_neg().expect("ratio negation overflowed")
+    }
+}
+
+impl AddAssign for Ratio {
+    fn add_assign(&mut self, rhs: Ratio) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for Ratio {
+    fn sub_assign(&mut self, rhs: Ratio) {
+        *self = *self - rhs;
+    }
+}
+
+impl MulAssign for Ratio {
+    fn mul_assign(&mut self, rhs: Ratio) {
+        *self = *self * rhs;
+    }
+}
+
+impl DivAssign for Ratio {
+    fn div_assign(&mut self, rhs: Ratio) {
+        *self = *self / rhs;
+    }
+}
+
+impl Sum for Ratio {
+    fn sum<I: Iterator<Item = Ratio>>(iter: I) -> Ratio {
+        iter.fold(Ratio::ZERO, |acc, r| acc + r)
+    }
+}
+
+impl<'a> Sum<&'a Ratio> for Ratio {
+    fn sum<I: Iterator<Item = &'a Ratio>>(iter: I) -> Ratio {
+        iter.copied().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Ratio;
+
+    fn r(n: i128, d: i128) -> Ratio {
+        Ratio::new(n, d).unwrap()
+    }
+
+    #[test]
+    fn operators_match_checked_forms() {
+        assert_eq!(r(1, 3) + r(2, 5), r(11, 15));
+        assert_eq!(r(1, 2) - r(1, 3), r(1, 6));
+        assert_eq!(r(2, 3) * r(3, 4), r(1, 2));
+        assert_eq!(r(1, 2) / r(1, 4), Ratio::from_int(2));
+        assert_eq!(-r(1, 2), r(-1, 2));
+    }
+
+    #[test]
+    fn assign_operators() {
+        let mut x = r(1, 2);
+        x += r(1, 4);
+        assert_eq!(x, r(3, 4));
+        x -= r(1, 4);
+        assert_eq!(x, r(1, 2));
+        x *= r(2, 1);
+        assert_eq!(x, Ratio::ONE);
+        x /= r(2, 1);
+        assert_eq!(x, r(1, 2));
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let v = vec![r(1, 6), r(1, 3), r(1, 2)];
+        let total: Ratio = v.iter().sum();
+        assert_eq!(total, Ratio::ONE);
+        let total2: Ratio = v.into_iter().sum();
+        assert_eq!(total2, Ratio::ONE);
+    }
+
+    #[test]
+    #[should_panic(expected = "ratio division failed")]
+    fn div_by_zero_panics() {
+        let _ = r(1, 2) / Ratio::ZERO;
+    }
+}

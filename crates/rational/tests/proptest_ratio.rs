@@ -1,0 +1,93 @@
+//! Property-based tests: field axioms and rounding laws for `Ratio`.
+
+use aqua_rational::Ratio;
+use proptest::prelude::*;
+
+/// Small-magnitude components keep checked arithmetic well inside `i128`
+/// so the algebraic laws are exercised without overflow noise.
+fn small_ratio() -> impl Strategy<Value = Ratio> {
+    (-1_000_000i128..=1_000_000, 1i128..=1_000_000)
+        .prop_map(|(n, d)| Ratio::new(n, d).expect("nonzero denominator"))
+}
+
+proptest! {
+    #[test]
+    fn addition_commutes(a in small_ratio(), b in small_ratio()) {
+        prop_assert_eq!(a + b, b + a);
+    }
+
+    #[test]
+    fn addition_associates(a in small_ratio(), b in small_ratio(), c in small_ratio()) {
+        prop_assert_eq!((a + b) + c, a + (b + c));
+    }
+
+    #[test]
+    fn multiplication_commutes(a in small_ratio(), b in small_ratio()) {
+        prop_assert_eq!(a * b, b * a);
+    }
+
+    #[test]
+    fn multiplication_distributes(a in small_ratio(), b in small_ratio(), c in small_ratio()) {
+        prop_assert_eq!(a * (b + c), a * b + a * c);
+    }
+
+    #[test]
+    fn zero_is_additive_identity(a in small_ratio()) {
+        prop_assert_eq!(a + Ratio::ZERO, a);
+        prop_assert_eq!(a - a, Ratio::ZERO);
+    }
+
+    #[test]
+    fn one_is_multiplicative_identity(a in small_ratio()) {
+        prop_assert_eq!(a * Ratio::ONE, a);
+    }
+
+    #[test]
+    fn reciprocal_inverts(a in small_ratio()) {
+        prop_assume!(!a.is_zero());
+        prop_assert_eq!(a * a.checked_recip().unwrap(), Ratio::ONE);
+    }
+
+    #[test]
+    fn invariants_hold(a in small_ratio(), b in small_ratio()) {
+        for v in [a + b, a - b, a * b] {
+            prop_assert!(v.denom() > 0);
+            // Reduced: gcd(n, d) == 1 is equivalent to re-normalizing
+            // yielding the same representation.
+            prop_assert_eq!(Ratio::new(v.numer(), v.denom()).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn floor_ceil_bracket(a in small_ratio()) {
+        let f = Ratio::from_int(a.floor());
+        let c = Ratio::from_int(a.ceil());
+        prop_assert!(f <= a && a <= c);
+        prop_assert!(c - f <= Ratio::ONE);
+    }
+
+    #[test]
+    fn round_is_nearest(a in small_ratio()) {
+        let r = Ratio::from_int(a.round());
+        let err = (a - r).abs();
+        prop_assert!(err <= Ratio::new(1, 2).unwrap());
+    }
+
+    #[test]
+    fn ordering_consistent_with_subtraction(a in small_ratio(), b in small_ratio()) {
+        prop_assert_eq!(a < b, (a - b).is_negative());
+        prop_assert_eq!(a == b, (a - b).is_zero());
+    }
+
+    #[test]
+    fn display_roundtrips(a in small_ratio()) {
+        prop_assert_eq!(a.to_string().parse::<Ratio>().unwrap(), a);
+    }
+
+    #[test]
+    fn to_f64_tracks_ordering(a in small_ratio(), b in small_ratio()) {
+        if a < b {
+            prop_assert!(a.to_f64() <= b.to_f64());
+        }
+    }
+}

@@ -1,0 +1,738 @@
+//! The AIS instruction executor.
+//!
+//! Runs a compiled program against [`crate::state::ChipState`],
+//! resolving every transfer volume from the compiler's plan. For
+//! partitioned (unknown-volume) assays, the executor lazily dispenses
+//! each partition the first time one of its volumes is needed, feeding
+//! separation measurements recorded during execution back into the
+//! run-time dispenser (§3.5) — the work that runs on the fast
+//! electronic controller on real hardware.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use aqua_ais::{Instr, Picoliters, SepPort, WetLoc};
+use aqua_compiler::{CompileOutput, PlannedVolume, VolumeResolution};
+use aqua_dag::{NodeId, Ratio};
+use aqua_volume::dagsolve::VolumeAssignment;
+use aqua_volume::Machine;
+
+use crate::state::{ChipState, Contents};
+
+/// Configuration of one execution.
+#[derive(Debug, Clone)]
+pub struct ExecConfig {
+    /// Yield model for unknown-volume separations: the fraction of the
+    /// input that comes out as effluent (default 1/2).
+    pub unknown_separation_yield: f64,
+    /// Shortfall tolerance in least counts: a metered move finding
+    /// slightly less fluid than planned (rounding drift) is clamped
+    /// rather than flagged (default 1 least count).
+    pub deficit_tolerance_lc: u64,
+    /// Record a per-instruction [`crate::trace::TraceEvent`] stream in
+    /// the report (off by default; traces of large assays are big).
+    pub record_trace: bool,
+}
+
+impl Default for ExecConfig {
+    fn default() -> ExecConfig {
+        ExecConfig {
+            unknown_separation_yield: 0.5,
+            deficit_tolerance_lc: 1,
+            record_trace: false,
+        }
+    }
+}
+
+/// One recorded sensor reading.
+#[derive(Debug, Clone)]
+pub struct SenseResult {
+    /// The result-slot label (`Result[3]`).
+    pub target: String,
+    /// Volume sensed, in picoliters.
+    pub volume_pl: Picoliters,
+    /// Composition of the sensed fluid (picoliters per input fluid).
+    pub composition: HashMap<String, f64>,
+}
+
+/// A constraint violation observed during execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Violation {
+    /// A metered transfer below the least count.
+    MeterUnderflow {
+        /// Instruction index.
+        instr: usize,
+        /// Requested volume (pl).
+        requested_pl: Picoliters,
+    },
+    /// A location exceeded the machine capacity.
+    Overflow {
+        /// Instruction index.
+        instr: usize,
+        /// The overfull location.
+        loc: WetLoc,
+        /// Volume after the transfer (pl).
+        volume_pl: Picoliters,
+    },
+    /// A transfer found materially less fluid than planned — the
+    /// condition that forces regeneration at run time.
+    Deficit {
+        /// Instruction index.
+        instr: usize,
+        /// The drained location.
+        loc: WetLoc,
+        /// Requested volume (pl).
+        requested_pl: Picoliters,
+        /// Actually available volume (pl).
+        available_pl: Picoliters,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::MeterUnderflow {
+                instr,
+                requested_pl,
+            } => write!(
+                f,
+                "instruction {instr}: metered transfer of {requested_pl} pl is below the \
+                 least count"
+            ),
+            Violation::Overflow {
+                instr,
+                loc,
+                volume_pl,
+            } => write!(f, "instruction {instr}: {loc} overflows at {volume_pl} pl"),
+            Violation::Deficit {
+                instr,
+                loc,
+                requested_pl,
+                available_pl,
+            } => write!(
+                f,
+                "instruction {instr}: {loc} holds {available_pl} pl but {requested_pl} pl \
+                 were requested (regeneration needed)"
+            ),
+        }
+    }
+}
+
+/// Execution report.
+#[derive(Debug, Clone, Default)]
+pub struct ExecReport {
+    /// Sensor readings in program order.
+    pub sense_results: Vec<SenseResult>,
+    /// All violations (empty = clean run).
+    pub violations: Vec<Violation>,
+    /// Wet instructions executed.
+    pub wet_instructions: u64,
+    /// Fluid collected at output ports (pl per port).
+    pub collected_pl: HashMap<u32, Picoliters>,
+    /// The chip's contents when the program finished (parked products,
+    /// unused leftovers).
+    pub final_state: crate::state::ChipState,
+    /// Dry (controller) registers after execution. `sense` writes the
+    /// reading into its destination register (modeled as the sensed
+    /// volume in picoliters); `dry-*` ALU ops compute over them.
+    pub dry_registers: HashMap<String, i64>,
+    /// Total wall time of the wet datapath in seconds (mix/incubate/
+    /// separate/concentrate durations; transfers are counted as 1 s
+    /// each) — the denominator of the paper's "run-time volume
+    /// computation is negligible" argument.
+    pub wet_seconds: u64,
+    /// Per-instruction trace (only when [`ExecConfig::record_trace`]).
+    pub trace: Vec<crate::trace::TraceEvent>,
+}
+
+/// Execution error (structural problems; constraint violations are
+/// reported in [`ExecReport::violations`] instead).
+#[derive(Debug, Clone)]
+pub struct ExecError(String);
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "execution failed: {}", self.0)
+    }
+}
+
+impl Error for ExecError {}
+
+/// The AIS executor. Create one per run.
+#[derive(Debug)]
+pub struct Executor {
+    machine: Machine,
+    config: ExecConfig,
+}
+
+impl Executor {
+    /// Creates an executor for a machine.
+    pub fn new(machine: &Machine, config: ExecConfig) -> Executor {
+        Executor {
+            machine: machine.clone(),
+            config,
+        }
+    }
+
+    /// Runs a compiled assay to completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError`] if the program references volumes the plan
+    /// cannot resolve (compiler bug) — never for fluidic constraint
+    /// violations, which are collected in the report.
+    pub fn run(&self, out: &CompileOutput) -> Result<ExecReport, ExecError> {
+        let lc_pl = (self.machine.least_count_nl() * Ratio::from_int(1000)).round() as u64;
+        let cap_pl = (self.machine.max_capacity_nl() * Ratio::from_int(1000)).round() as u64;
+        let mut chip = ChipState::new();
+        let mut report = ExecReport::default();
+
+        // Lazy per-partition dispensing state (§3.5).
+        let mut dispensed: Vec<Option<VolumeAssignment>> = match &out.resolution {
+            VolumeResolution::Partitioned(plan) => vec![None; plan.partitions.len()],
+            _ => Vec::new(),
+        };
+        let mut measurements: HashMap<(usize, NodeId), Ratio> = HashMap::new();
+
+        for (idx, instr) in out.program.instrs().iter().enumerate() {
+            if instr.is_wet() {
+                report.wet_instructions += 1;
+                report.wet_seconds += match instr {
+                    Instr::Mix { seconds, .. }
+                    | Instr::Separate { seconds, .. }
+                    | Instr::Incubate { seconds, .. }
+                    | Instr::Concentrate { seconds, .. } => *seconds,
+                    _ => 1, // transfers: order of a second each
+                };
+            }
+            match instr {
+                Instr::Comment(_) => {}
+                Instr::Dry { op, dst, src } => {
+                    let rhs = match src {
+                        aqua_ais::DrySrc::Imm(v) => *v,
+                        aqua_ais::DrySrc::Reg(r) => {
+                            report.dry_registers.get(&r.0).copied().unwrap_or(0)
+                        }
+                    };
+                    let cur = report.dry_registers.get(&dst.0).copied().unwrap_or(0);
+                    let value = match op {
+                        aqua_ais::DryOp::Mov => rhs,
+                        aqua_ais::DryOp::Add => cur.wrapping_add(rhs),
+                        aqua_ais::DryOp::Sub => cur.wrapping_sub(rhs),
+                        aqua_ais::DryOp::Mul => cur.wrapping_mul(rhs),
+                    };
+                    report.dry_registers.insert(dst.0.clone(), value);
+                }
+                Instr::Input { dst, port } => {
+                    let port_idx = match port {
+                        WetLoc::InputPort(p) => *p,
+                        other => return Err(ExecError(format!("bad input port {other}"))),
+                    };
+                    let fluid = out
+                        .volume_plan
+                        .port_fluids
+                        .get(&port_idx)
+                        .cloned()
+                        .unwrap_or_else(|| format!("ip{port_idx}"));
+                    let amount =
+                        match self.resolve(idx, out, &mut dispensed, &measurements, u64::MAX)? {
+                            Some(v) => v.min(cap_pl),
+                            None => cap_pl, // load to capacity
+                        };
+                    let vol = chip.deposit(*dst, Contents::pure(&fluid, amount));
+                    if vol > cap_pl {
+                        report.violations.push(Violation::Overflow {
+                            instr: idx,
+                            loc: *dst,
+                            volume_pl: vol,
+                        });
+                    }
+                }
+                Instr::Output { port, src } => {
+                    let port_idx = match port {
+                        WetLoc::OutputPort(p) => *p,
+                        other => return Err(ExecError(format!("bad output port {other}"))),
+                    };
+                    let portion = self.pull(
+                        idx,
+                        out,
+                        &mut chip,
+                        *src,
+                        &mut dispensed,
+                        &measurements,
+                        &mut report,
+                        lc_pl,
+                    )?;
+                    *report.collected_pl.entry(port_idx).or_insert(0) += portion.volume_pl;
+                    chip.clear_residue(*src, lc_pl);
+                }
+                Instr::Move { dst, src, .. } | Instr::MoveAbs { dst, src, .. } => {
+                    // `move-abs` carries its volume inline; it wins over
+                    // the (usually absent) plan entry.
+                    let inline = match instr {
+                        Instr::MoveAbs { vol, .. } => Some(*vol),
+                        _ => None,
+                    };
+                    let portion = self.pull_with_inline(
+                        idx,
+                        out,
+                        &mut chip,
+                        *src,
+                        inline,
+                        &mut dispensed,
+                        &measurements,
+                        &mut report,
+                        lc_pl,
+                    )?;
+                    if self.config.record_trace {
+                        report.trace.push(crate::trace::TraceEvent {
+                            instr: idx,
+                            what: crate::trace::TraceKind::Transfer {
+                                from: *src,
+                                to: *dst,
+                                volume_pl: portion.volume_pl,
+                            },
+                        });
+                    }
+                    let vol = chip.deposit(*dst, portion);
+                    if vol > cap_pl {
+                        report.violations.push(Violation::Overflow {
+                            instr: idx,
+                            loc: *dst,
+                            volume_pl: vol,
+                        });
+                    }
+                    chip.clear_residue(*src, lc_pl);
+                }
+                Instr::Mix { unit, .. }
+                | Instr::Incubate { unit, .. }
+                | Instr::Concentrate { unit, .. } => {
+                    // Volume-neutral wet operations.
+                    if self.config.record_trace {
+                        report.trace.push(crate::trace::TraceEvent {
+                            instr: idx,
+                            what: crate::trace::TraceKind::Operate {
+                                unit: *unit,
+                                volume_pl: chip.volume(*unit),
+                            },
+                        });
+                    }
+                }
+                Instr::Separate { unit, .. } => {
+                    if self.config.record_trace {
+                        report.trace.push(crate::trace::TraceEvent {
+                            instr: idx,
+                            what: crate::trace::TraceKind::Operate {
+                                unit: *unit,
+                                volume_pl: chip.volume(*unit),
+                            },
+                        });
+                    }
+                    let input = chip.take_all(*unit);
+                    // The matrix and pusher loads are flushed through
+                    // the column by the separation (they do not join
+                    // either output stream in our volume model).
+                    if let WetLoc::Separator(n, _) = unit {
+                        let _ = chip.take_all(WetLoc::Separator(*n, SepPort::Matrix));
+                        let _ = chip.take_all(WetLoc::Separator(*n, SepPort::Pusher));
+                    }
+                    let fraction = if let Some(f) = out.volume_plan.separation_fractions.get(&idx) {
+                        *f
+                    } else {
+                        self.config.unknown_separation_yield
+                    };
+                    let out_vol = ((input.volume_pl as f64) * fraction).round() as Picoliters;
+                    let mut input = input;
+                    let effluent = input.split(out_vol.min(input.volume_pl));
+                    // Record the measurement for run-time dispensing.
+                    if let Some(&key) = out.volume_plan.unknown_separations.get(&idx) {
+                        let nl =
+                            Ratio::new(effluent.volume_pl as i128, 1000).unwrap_or(Ratio::ZERO);
+                        measurements.insert(key, nl);
+                    }
+                    let (sep_index, _) = match unit {
+                        WetLoc::Separator(n, _) => (*n, ()),
+                        other => return Err(ExecError(format!("bad separator {other}"))),
+                    };
+                    chip.deposit(WetLoc::Separator(sep_index, SepPort::Out1), effluent);
+                    chip.deposit(WetLoc::Separator(sep_index, SepPort::Out2), input);
+                }
+                Instr::Sense { unit, dst, .. } => {
+                    let contents = chip.take_all(*unit);
+                    // The "reading" written to the controller register is
+                    // modeled as the sensed volume in picoliters.
+                    report
+                        .dry_registers
+                        .insert(dst.0.clone(), contents.volume_pl as i64);
+                    report.sense_results.push(SenseResult {
+                        target: dst.0.clone(),
+                        volume_pl: contents.volume_pl,
+                        composition: contents.composition,
+                    });
+                }
+            }
+        }
+        report.final_state = chip;
+        Ok(report)
+    }
+
+    /// Resolves the planned volume for an instruction (in pl).
+    /// `None` = move everything.
+    #[allow(clippy::too_many_arguments)]
+    fn resolve(
+        &self,
+        idx: usize,
+        out: &CompileOutput,
+        dispensed: &mut [Option<VolumeAssignment>],
+        measurements: &HashMap<(usize, NodeId), Ratio>,
+        _available: Picoliters,
+    ) -> Result<Option<Picoliters>, ExecError> {
+        match out.volume_plan.get(idx) {
+            None | Some(PlannedVolume::All) => Ok(None),
+            Some(PlannedVolume::Static(v)) => Ok(Some(*v)),
+            Some(PlannedVolume::Runtime { partition, edge }) => {
+                let plan = match &out.resolution {
+                    VolumeResolution::Partitioned(p) => p,
+                    _ => return Err(ExecError("runtime volume without a partition plan".into())),
+                };
+                if dispensed[*partition].is_none() {
+                    // Dispense partitions up to this one: their runtime
+                    // bindings refer to earlier partitions whose
+                    // measurements/dispensations exist by program order.
+                    let results = plan
+                        .dispense_upto(*partition, &self.machine, |pi, node| {
+                            measurements.get(&(pi, node)).copied()
+                        })
+                        .map_err(|e| ExecError(e.to_string()))?;
+                    for (i, r) in results.into_iter().enumerate() {
+                        if dispensed[i].is_none() {
+                            dispensed[i] = Some(r);
+                        }
+                    }
+                }
+                let assignment = dispensed[*partition]
+                    .as_ref()
+                    .ok_or_else(|| ExecError("partition not dispensed".into()))?;
+                let nl = assignment.edge_volumes_nl[edge.index()];
+                let lc = self.machine.least_count_nl();
+                let rounded = Ratio::from_int((nl / lc).round()) * lc;
+                let pl = (rounded * Ratio::from_int(1000)).round().max(0);
+                Ok(Some(pl as Picoliters))
+            }
+        }
+    }
+
+    /// Pulls the planned amount (or everything) from `src`.
+    #[allow(clippy::too_many_arguments)]
+    fn pull(
+        &self,
+        idx: usize,
+        out: &CompileOutput,
+        chip: &mut ChipState,
+        src: WetLoc,
+        dispensed: &mut [Option<VolumeAssignment>],
+        measurements: &HashMap<(usize, NodeId), Ratio>,
+        report: &mut ExecReport,
+        lc_pl: Picoliters,
+    ) -> Result<Contents, ExecError> {
+        self.pull_with_inline(
+            idx,
+            out,
+            chip,
+            src,
+            None,
+            dispensed,
+            measurements,
+            report,
+            lc_pl,
+        )
+    }
+
+    /// Like [`Executor::pull`], with an optional inline volume (from
+    /// `move-abs`) taking precedence over the plan.
+    #[allow(clippy::too_many_arguments)]
+    fn pull_with_inline(
+        &self,
+        idx: usize,
+        out: &CompileOutput,
+        chip: &mut ChipState,
+        src: WetLoc,
+        inline: Option<Picoliters>,
+        dispensed: &mut [Option<VolumeAssignment>],
+        measurements: &HashMap<(usize, NodeId), Ratio>,
+        report: &mut ExecReport,
+        lc_pl: Picoliters,
+    ) -> Result<Contents, ExecError> {
+        let available = chip.volume(src);
+        let resolved = match inline {
+            Some(v) => Some(v),
+            None => self.resolve(idx, out, dispensed, measurements, available)?,
+        };
+        match resolved {
+            None => Ok(chip.take_all(src)),
+            Some(requested) => {
+                if requested < lc_pl {
+                    report.violations.push(Violation::MeterUnderflow {
+                        instr: idx,
+                        requested_pl: requested,
+                    });
+                }
+                if requested > available {
+                    let shortfall = requested - available;
+                    if shortfall > self.config.deficit_tolerance_lc.saturating_mul(lc_pl) {
+                        report.violations.push(Violation::Deficit {
+                            instr: idx,
+                            loc: src,
+                            requested_pl: requested,
+                            available_pl: available,
+                        });
+                    }
+                    return Ok(chip.take_all(src));
+                }
+                Ok(chip.take(src, requested))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqua_compiler::{compile, CompileOptions};
+
+    fn run(src: &str) -> ExecReport {
+        let machine = Machine::paper_default();
+        let out = compile(src, &machine, &CompileOptions::default()).unwrap();
+        Executor::new(&machine, ExecConfig::default())
+            .run(&out)
+            .unwrap()
+    }
+
+    #[test]
+    fn simple_mix_senses_correct_ratio() {
+        let report = run("
+ASSAY t START
+fluid A, B;
+MIX A AND B IN RATIOS 1 : 4 FOR 10;
+SENSE OPTICAL it INTO R;
+END");
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+        let s = &report.sense_results[0];
+        let ratio = s.composition["B"] / s.composition["A"];
+        assert!((ratio - 4.0).abs() < 1e-9, "ratio {ratio}");
+    }
+
+    #[test]
+    fn glucose_executes_cleanly_with_dagsolve_volumes() {
+        let report = run("
+ASSAY glucose START
+fluid Glucose, Reagent, Sample;
+fluid a, b, c, d, e;
+VAR Result[5];
+a = MIX Glucose AND Reagent IN RATIOS 1 : 1 FOR 10;
+SENSE OPTICAL it INTO Result[1];
+b = MIX Glucose AND Reagent IN RATIOS 1 : 2 FOR 10;
+SENSE OPTICAL it INTO Result[2];
+c = MIX Glucose AND Reagent IN RATIOS 1 : 4 FOR 10;
+SENSE OPTICAL it INTO Result[3];
+d = MIX Glucose AND Reagent IN RATIOS 1 : 8 FOR 10;
+SENSE OPTICAL it INTO Result[4];
+e = MIX Sample AND Reagent IN RATIOS 1 : 1 FOR 10;
+SENSE OPTICAL it INTO Result[5];
+END");
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+        assert_eq!(report.sense_results.len(), 5);
+        // Each sensed mixture hits its specified ratio within rounding
+        // (instructions execute in topological, not source, order — find
+        // readings by their result slot).
+        for (slot, want) in [(1, 1.0), (2, 2.0), (3, 4.0), (4, 8.0)] {
+            let s = report
+                .sense_results
+                .iter()
+                .find(|s| s.target == format!("Result[{slot}]"))
+                .expect("slot sensed");
+            let r = s.composition["Reagent"] / s.composition["Glucose"];
+            assert!((r - want).abs() / want < 0.02, "ratio {r} vs {want}");
+        }
+    }
+
+    #[test]
+    fn chained_incubate_preserves_volume() {
+        let report = run("
+ASSAY t START
+fluid A, B;
+MIX A AND B FOR 10;
+INCUBATE it AT 37 FOR 300;
+SENSE OPTICAL it INTO R;
+END");
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+        assert!(report.sense_results[0].volume_pl > 0);
+    }
+
+    #[test]
+    fn known_fraction_separation_scales_volume() {
+        let report = run("
+ASSAY t START
+fluid A, B, s, m, buf, eff, waste;
+s = MIX A AND B FOR 30;
+LCSEPARATE s MATRIX m USING buf FOR 30 INTO eff AND waste YIELD 1/4;
+SENSE OPTICAL eff INTO R;
+END");
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+        // The separator input occupies up to 100 nl; effluent is 1/4.
+        let sensed = report.sense_results[0].volume_pl;
+        assert!(sensed > 0);
+        // Input was driven to the capacity 100 nl => effluent 25 nl.
+        assert_eq!(sensed, 25_000);
+    }
+
+    #[test]
+    fn unknown_separation_flows_through_runtime_dispenser() {
+        let report = run("
+ASSAY t START
+fluid A, B, s, m, buf, eff, waste;
+s = MIX A AND B FOR 30;
+SEPARATE s MATRIX m USING buf FOR 30 INTO eff AND waste;
+MIX eff AND A IN RATIOS 1 : 1 FOR 30;
+SENSE OPTICAL it INTO R;
+END");
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+        let s = &report.sense_results[0];
+        assert!(s.volume_pl > 0);
+        // The final 1:1 mix: half direct A, half effluent (itself 1/2 A
+        // + 1/2 B) => A:B = 3:1.
+        let r = s.composition["A"] / s.composition["B"];
+        assert!((r - 3.0).abs() < 0.05, "A:B = {r}");
+    }
+
+    #[test]
+    fn no_volume_management_runs_out_of_fluid() {
+        // Baseline mode: every use takes everything, so the second use
+        // of A finds an empty reservoir -> deficit/empty sense.
+        let machine = Machine::paper_default();
+        let out = compile(
+            "
+ASSAY t START
+fluid A, B, C;
+MIX A AND B FOR 10;
+SENSE OPTICAL it INTO R1;
+MIX A AND C FOR 10;
+SENSE OPTICAL it INTO R2;
+END",
+            &machine,
+            &CompileOptions {
+                skip_volume_management: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let report = Executor::new(&machine, ExecConfig::default())
+            .run(&out)
+            .unwrap();
+        // The second mixture is missing its A component entirely.
+        let second = &report.sense_results[1];
+        let a_part = second.composition.get("A").copied().unwrap_or(0.0);
+        assert!(a_part < 1e-9, "A unexpectedly present: {a_part}");
+    }
+}
+
+#[cfg(test)]
+mod dry_tests {
+    use super::*;
+    use aqua_ais::{DryOp, DrySrc, Instr};
+
+    #[test]
+    fn dry_alu_executes_on_the_controller() {
+        // Hand-build a program with dry arithmetic (the enzyme codegen
+        // style) and execute it directly.
+        let machine = Machine::paper_default();
+        let src = "
+ASSAY t START
+fluid A, B;
+MIX A AND B FOR 10;
+SENSE OPTICAL it INTO R0;
+END";
+        let mut out = aqua_compiler::compile(src, &machine, &Default::default()).unwrap();
+        // Append: temp = 1; temp *= 10; temp -= 1  => 9.
+        for (op, src_op) in [
+            (DryOp::Mov, DrySrc::Imm(1)),
+            (DryOp::Mul, DrySrc::Imm(10)),
+            (DryOp::Sub, DrySrc::Imm(1)),
+        ] {
+            out.program.push(Instr::Dry {
+                op,
+                dst: "temp".into(),
+                src: src_op,
+            });
+            out.volume_plan.entries.push(None);
+        }
+        out.program.push(Instr::Dry {
+            op: DryOp::Mov,
+            dst: "copy".into(),
+            src: DrySrc::Reg("temp".into()),
+        });
+        out.volume_plan.entries.push(None);
+
+        let report = Executor::new(&machine, ExecConfig::default())
+            .run(&out)
+            .unwrap();
+        assert_eq!(report.dry_registers.get("temp"), Some(&9));
+        assert_eq!(report.dry_registers.get("copy"), Some(&9));
+        // Sense wrote its reading register too.
+        assert!(report.dry_registers.contains_key("R0"));
+        // Wet time dominates: the 10 s mix plus transfer seconds.
+        assert!(report.wet_seconds >= 10);
+    }
+}
+
+#[cfg(test)]
+mod move_abs_tests {
+    use super::*;
+    use aqua_ais::Instr;
+
+    #[test]
+    fn move_abs_meters_its_inline_volume() {
+        let machine = Machine::paper_default();
+        let mut out = aqua_compiler::compile(
+            "
+ASSAY t START
+fluid A, B;
+MIX A AND B FOR 10;
+SENSE OPTICAL it INTO R;
+END",
+            &machine,
+            &Default::default(),
+        )
+        .unwrap();
+        // Append: load C via input? Simpler: move-abs a slice of the
+        // leftover A reservoir (inputs load exactly what is used, so
+        // move from an input port-backed reservoir may be empty; use
+        // the sensed path instead). Build a standalone program:
+        let mut p = aqua_ais::Program::new("abs");
+        p.push(Instr::Input {
+            dst: aqua_ais::WetLoc::Reservoir(1),
+            port: aqua_ais::WetLoc::InputPort(1),
+        });
+        p.push(Instr::MoveAbs {
+            dst: aqua_ais::WetLoc::Reservoir(2),
+            src: aqua_ais::WetLoc::Reservoir(1),
+            vol: 12_300,
+        });
+        out.program = p;
+        out.volume_plan.entries = vec![Some(aqua_compiler::PlannedVolume::All), None];
+        out.volume_plan.port_fluids.insert(1, "A".into());
+        let report = Executor::new(&machine, ExecConfig::default())
+            .run(&out)
+            .unwrap();
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+        assert_eq!(
+            report.final_state.volume(aqua_ais::WetLoc::Reservoir(2)),
+            12_300
+        );
+        assert_eq!(
+            report.final_state.volume(aqua_ais::WetLoc::Reservoir(1)),
+            100_000 - 12_300
+        );
+    }
+}

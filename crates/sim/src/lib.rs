@@ -1,0 +1,57 @@
+//! AquaCore PLoC simulator.
+//!
+//! Executes compiled AIS programs against a software model of the
+//! AquaCore wet datapath: reservoirs, a mixer, a heater, separators
+//! (with matrix/pusher/out ports), sensors, and I/O ports — each with
+//! the machine's capacity limit, and every metered transfer subject to
+//! the least-count resolution.
+//!
+//! Three layers:
+//!
+//! * [`state::ChipState`] — fluid contents (volume + composition) per
+//!   wet location, with overflow detection;
+//! * [`exec`] — the instruction executor, resolving each `move`'s
+//!   volume from the compiler's [`aqua_compiler::VolumePlan`]
+//!   (including §3.5 run-time dispensing for partitioned assays) and
+//!   reporting violations (underflow, deficit, overflow) instead of
+//!   crashing;
+//! * [`regen`] — the Biostream-style *reactive regeneration* baseline:
+//!   a DAG-level executor with no volume management that re-executes
+//!   backward slices whenever a fluid runs out, counting regenerations
+//!   (the right-most column of Table 2).
+//!
+//! # Examples
+//!
+//! ```
+//! use aqua_compiler::compile;
+//! use aqua_sim::exec::{ExecConfig, Executor};
+//! use aqua_volume::Machine;
+//!
+//! let src = "
+//! ASSAY demo START
+//! fluid A, B;
+//! MIX A AND B IN RATIOS 1 : 4 FOR 10;
+//! SENSE OPTICAL it INTO R;
+//! END";
+//! let machine = Machine::paper_default();
+//! let out = compile(src, &machine, &Default::default())?;
+//! let report = Executor::new(&machine, ExecConfig::default()).run(&out)?;
+//! assert!(report.violations.is_empty());
+//! assert_eq!(report.sense_results.len(), 1);
+//! // The sensed mixture is 1:4 A:B by volume.
+//! let s = &report.sense_results[0];
+//! let a = s.composition["A"];
+//! let b = s.composition["B"];
+//! assert!((b / a - 4.0).abs() < 1e-6);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod exec;
+pub mod regen;
+pub mod state;
+pub mod trace;
+
+pub use exec::{ExecConfig, ExecReport, Executor, SenseResult, Violation};
+pub use regen::{count_regenerations, ProductionPolicy, RegenConfig, RegenReport};

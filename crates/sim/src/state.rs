@@ -1,0 +1,185 @@
+//! Fluid contents of the wet datapath.
+
+use std::collections::HashMap;
+
+use aqua_ais::{Picoliters, WetLoc};
+
+/// The contents of one location: total volume plus composition by
+/// original input fluid. Volumes are picoliters; composition uses `f64`
+/// because ratio splits need not be integral per component.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Contents {
+    /// Total volume in picoliters.
+    pub volume_pl: Picoliters,
+    /// Volume per constituent input fluid (picoliters, fractional).
+    pub composition: HashMap<String, f64>,
+}
+
+impl Contents {
+    /// A pure volume of one named fluid.
+    pub fn pure(name: &str, volume_pl: Picoliters) -> Contents {
+        let mut composition = HashMap::new();
+        composition.insert(name.to_owned(), volume_pl as f64);
+        Contents {
+            volume_pl,
+            composition,
+        }
+    }
+
+    /// Whether nothing is here.
+    pub fn is_empty(&self) -> bool {
+        self.volume_pl == 0
+    }
+
+    /// Splits off `amount` picoliters, preserving composition
+    /// proportions. Callers must check availability first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `amount > self.volume_pl`.
+    pub fn split(&mut self, amount: Picoliters) -> Contents {
+        assert!(amount <= self.volume_pl, "split exceeds contents");
+        if self.volume_pl == 0 {
+            return Contents::default();
+        }
+        let share = amount as f64 / self.volume_pl as f64;
+        let mut out = Contents {
+            volume_pl: amount,
+            composition: HashMap::new(),
+        };
+        for (k, v) in self.composition.iter_mut() {
+            let taken = *v * share;
+            *v -= taken;
+            out.composition.insert(k.clone(), taken);
+        }
+        self.volume_pl -= amount;
+        out
+    }
+
+    /// Merges another portion into this location.
+    pub fn merge(&mut self, other: Contents) {
+        self.volume_pl += other.volume_pl;
+        for (k, v) in other.composition {
+            *self.composition.entry(k).or_insert(0.0) += v;
+        }
+    }
+}
+
+/// All wet locations of the chip.
+#[derive(Debug, Clone, Default)]
+pub struct ChipState {
+    contents: HashMap<WetLoc, Contents>,
+    /// Fluid collected at output ports (accumulated, never read back).
+    pub collected: HashMap<u32, Contents>,
+}
+
+impl ChipState {
+    /// Creates an empty chip.
+    pub fn new() -> ChipState {
+        ChipState::default()
+    }
+
+    /// Read-only contents at a location (empty if untouched).
+    pub fn at(&self, loc: WetLoc) -> Contents {
+        self.contents.get(&loc).cloned().unwrap_or_default()
+    }
+
+    /// Volume at a location.
+    pub fn volume(&self, loc: WetLoc) -> Picoliters {
+        self.contents.get(&loc).map_or(0, |c| c.volume_pl)
+    }
+
+    /// Mutable contents at a location.
+    pub fn at_mut(&mut self, loc: WetLoc) -> &mut Contents {
+        self.contents.entry(loc).or_default()
+    }
+
+    /// Takes everything at a location.
+    pub fn take_all(&mut self, loc: WetLoc) -> Contents {
+        self.contents.remove(&loc).unwrap_or_default()
+    }
+
+    /// Takes `amount` from a location (caller checked availability).
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than available is requested.
+    pub fn take(&mut self, loc: WetLoc, amount: Picoliters) -> Contents {
+        let c = self.at_mut(loc);
+        let out = c.split(amount);
+        if c.volume_pl == 0 {
+            self.contents.remove(&loc);
+        }
+        out
+    }
+
+    /// Deposits a portion at a location, returning the new volume.
+    pub fn deposit(&mut self, loc: WetLoc, portion: Contents) -> Picoliters {
+        let c = self.at_mut(loc);
+        c.merge(portion);
+        c.volume_pl
+    }
+
+    /// Drops sub-least-count residue at a location (dead volume lost in
+    /// the channels); keeps the state clean for reuse.
+    pub fn clear_residue(&mut self, loc: WetLoc, least_count_pl: Picoliters) {
+        if let Some(c) = self.contents.get(&loc) {
+            if c.volume_pl < least_count_pl {
+                self.contents.remove(&loc);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_preserves_proportions() {
+        let mut c = Contents::pure("A", 600);
+        c.merge(Contents::pure("B", 400));
+        let taken = c.split(500);
+        assert_eq!(taken.volume_pl, 500);
+        assert!((taken.composition["A"] - 300.0).abs() < 1e-9);
+        assert!((taken.composition["B"] - 200.0).abs() < 1e-9);
+        assert_eq!(c.volume_pl, 500);
+    }
+
+    #[test]
+    fn take_and_deposit_roundtrip() {
+        let mut chip = ChipState::new();
+        chip.deposit(WetLoc::Reservoir(1), Contents::pure("X", 1000));
+        let portion = chip.take(WetLoc::Reservoir(1), 300);
+        chip.deposit(WetLoc::Mixer(1), portion);
+        assert_eq!(chip.volume(WetLoc::Reservoir(1)), 700);
+        assert_eq!(chip.volume(WetLoc::Mixer(1)), 300);
+    }
+
+    #[test]
+    fn take_all_empties() {
+        let mut chip = ChipState::new();
+        chip.deposit(WetLoc::Mixer(1), Contents::pure("X", 123));
+        let c = chip.take_all(WetLoc::Mixer(1));
+        assert_eq!(c.volume_pl, 123);
+        assert_eq!(chip.volume(WetLoc::Mixer(1)), 0);
+    }
+
+    #[test]
+    fn residue_is_cleared_below_least_count() {
+        let mut chip = ChipState::new();
+        chip.deposit(WetLoc::Reservoir(2), Contents::pure("X", 40));
+        chip.clear_residue(WetLoc::Reservoir(2), 100);
+        assert_eq!(chip.volume(WetLoc::Reservoir(2)), 0);
+        chip.deposit(WetLoc::Reservoir(2), Contents::pure("X", 140));
+        chip.clear_residue(WetLoc::Reservoir(2), 100);
+        assert_eq!(chip.volume(WetLoc::Reservoir(2)), 140);
+    }
+
+    #[test]
+    #[should_panic(expected = "split exceeds contents")]
+    fn overdraw_panics() {
+        let mut c = Contents::pure("A", 10);
+        let _ = c.split(11);
+    }
+}

@@ -1,0 +1,162 @@
+//! Execution traces: a per-instruction event stream plus a textual
+//! timeline renderer, for debugging volume plans.
+//!
+//! Enable with [`crate::exec::ExecConfig::record_trace`].
+
+use std::fmt;
+
+use aqua_ais::{Picoliters, WetLoc};
+
+/// One traced action.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Program instruction index.
+    pub instr: usize,
+    /// What happened.
+    pub what: TraceKind,
+}
+
+/// The kind of traced action.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A fluid transfer between locations.
+    Transfer {
+        /// Source location.
+        from: WetLoc,
+        /// Destination location.
+        to: WetLoc,
+        /// Volume moved, in picoliters.
+        volume_pl: Picoliters,
+    },
+    /// A functional-unit operation (mix/incubate/separate/concentrate)
+    /// over the unit's current contents.
+    Operate {
+        /// The unit.
+        unit: WetLoc,
+        /// Contents at operation start, in picoliters.
+        volume_pl: Picoliters,
+    },
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.what {
+            TraceKind::Transfer {
+                from,
+                to,
+                volume_pl,
+            } => write!(
+                f,
+                "[{:>4}] {:>8.1} nl  {from} -> {to}",
+                self.instr,
+                *volume_pl as f64 / 1000.0
+            ),
+            TraceKind::Operate { unit, volume_pl } => write!(
+                f,
+                "[{:>4}] {:>8.1} nl  run {unit}",
+                self.instr,
+                *volume_pl as f64 / 1000.0
+            ),
+        }
+    }
+}
+
+/// Renders a trace as a plain-text timeline, one event per line.
+///
+/// # Examples
+///
+/// ```
+/// use aqua_compiler::compile;
+/// use aqua_sim::exec::{ExecConfig, Executor};
+/// use aqua_sim::trace::render_timeline;
+/// use aqua_volume::Machine;
+///
+/// let src = "
+/// ASSAY t START
+/// fluid A, B;
+/// MIX A AND B FOR 10;
+/// SENSE OPTICAL it INTO R;
+/// END";
+/// let machine = Machine::paper_default();
+/// let out = compile(src, &machine, &Default::default())?;
+/// let config = ExecConfig { record_trace: true, ..ExecConfig::default() };
+/// let report = Executor::new(&machine, config).run(&out)?;
+/// let timeline = render_timeline(&report.trace);
+/// assert!(timeline.contains("-> mixer1"));
+/// assert!(timeline.contains("run mixer1"));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn render_timeline(trace: &[TraceEvent]) -> String {
+    let mut out = String::new();
+    for event in trace {
+        out.push_str(&event.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{ExecConfig, Executor};
+    use aqua_volume::Machine;
+
+    #[test]
+    fn traces_cover_every_transfer() {
+        let machine = Machine::paper_default();
+        let out = aqua_compiler::compile(
+            "
+ASSAY t START
+fluid A, B;
+MIX A AND B IN RATIOS 1 : 4 FOR 10;
+SENSE OPTICAL it INTO R;
+END",
+            &machine,
+            &Default::default(),
+        )
+        .unwrap();
+        let config = ExecConfig {
+            record_trace: true,
+            ..ExecConfig::default()
+        };
+        let report = Executor::new(&machine, config).run(&out).unwrap();
+        let transfers = report
+            .trace
+            .iter()
+            .filter(|e| matches!(e.what, TraceKind::Transfer { .. }))
+            .count();
+        let moves = out
+            .program
+            .instrs()
+            .iter()
+            .filter(|i| matches!(i, aqua_ais::Instr::Move { .. }))
+            .count();
+        assert_eq!(transfers, moves);
+        // Transfers carry nonzero volumes on this clean plan.
+        for e in &report.trace {
+            if let TraceKind::Transfer { volume_pl, .. } = e.what {
+                assert!(volume_pl > 0, "{e}");
+            }
+        }
+    }
+
+    #[test]
+    fn tracing_defaults_off() {
+        let machine = Machine::paper_default();
+        let out = aqua_compiler::compile(
+            "
+ASSAY t START
+fluid A, B;
+MIX A AND B FOR 10;
+SENSE OPTICAL it INTO R;
+END",
+            &machine,
+            &Default::default(),
+        )
+        .unwrap();
+        let report = Executor::new(&machine, ExecConfig::default())
+            .run(&out)
+            .unwrap();
+        assert!(report.trace.is_empty());
+    }
+}

@@ -1,0 +1,131 @@
+//! Failure-injection tests: the simulator must *report* violations —
+//! never panic — when fed plans that break the physics.
+
+use aqua_compiler::{compile, CompileOptions};
+use aqua_rational::Ratio;
+use aqua_sim::exec::{ExecConfig, Executor, Violation};
+use aqua_volume::Machine;
+
+const TWO_USES: &str = "
+ASSAY t START
+fluid A, B, C;
+MIX A AND B FOR 10;
+SENSE OPTICAL it INTO R1;
+MIX A AND C FOR 10;
+SENSE OPTICAL it INTO R2;
+END";
+
+#[test]
+fn unmanaged_plans_do_not_panic() {
+    let machine = Machine::paper_default();
+    let out = compile(
+        TWO_USES,
+        &machine,
+        &CompileOptions {
+            skip_volume_management: true,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    // Move-all semantics drain A at its first use; the run completes
+    // and reports what happened instead of crashing.
+    let report = Executor::new(&machine, ExecConfig::default())
+        .run(&out)
+        .unwrap();
+    assert_eq!(report.sense_results.len(), 2);
+}
+
+#[test]
+fn cross_machine_plans_report_deficits() {
+    // Compile for a roomy machine, execute on a cramped one: planned
+    // volumes exceed physical capacity, and every shortfall surfaces as
+    // a Deficit/Overflow violation.
+    let roomy = Machine::paper_default();
+    let out = compile(TWO_USES, &roomy, &CompileOptions::default()).unwrap();
+    let cramped = Machine::new(Ratio::from_int(20), Ratio::new(1, 10).unwrap()).unwrap();
+    let report = Executor::new(&cramped, ExecConfig::default())
+        .run(&out)
+        .unwrap();
+    assert!(
+        report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::Deficit { .. } | Violation::Overflow { .. })),
+        "expected deficits/overflows, got {:?}",
+        report.violations
+    );
+}
+
+#[test]
+fn sub_least_count_meters_are_flagged() {
+    // Compile for fine metering (0.1 nl), execute on coarse hardware
+    // (5 nl least count): small planned transfers violate the meter.
+    let fine = Machine::paper_default();
+    let src = "
+ASSAY t START
+fluid A, B;
+MIX A AND B IN RATIOS 1 : 30 FOR 10;
+SENSE OPTICAL it INTO R;
+END";
+    let out = compile(src, &fine, &CompileOptions::default()).unwrap();
+    let coarse = Machine::new(Ratio::from_int(100), Ratio::from_int(5)).unwrap();
+    let report = Executor::new(&coarse, ExecConfig::default())
+        .run(&out)
+        .unwrap();
+    assert!(
+        report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::MeterUnderflow { .. })),
+        "{:?}",
+        report.violations
+    );
+}
+
+#[test]
+fn zero_yield_separation_downstream_is_graceful() {
+    let machine = Machine::paper_default();
+    let src = "
+ASSAY t START
+fluid A, B, s, m, buf, eff, waste;
+s = MIX A AND B FOR 30;
+SEPARATE s MATRIX m USING buf FOR 30 INTO eff AND waste;
+MIX eff AND A IN RATIOS 1 : 1 FOR 30;
+SENSE OPTICAL it INTO R;
+END";
+    let out = compile(src, &machine, &CompileOptions::default()).unwrap();
+    // A separation that yields (almost) nothing: downstream volumes
+    // scale to (almost) nothing; the run ends without panicking.
+    let config = ExecConfig {
+        unknown_separation_yield: 0.001,
+        ..ExecConfig::default()
+    };
+    let report = Executor::new(&machine, config).run(&out).unwrap();
+    assert_eq!(report.sense_results.len(), 1);
+    assert!(report.sense_results[0].volume_pl < 1000);
+}
+
+#[test]
+fn deficit_tolerance_is_configurable() {
+    let machine = Machine::paper_default();
+    let out = compile(TWO_USES, &machine, &CompileOptions::default()).unwrap();
+    // An absurdly large tolerance silences everything; zero tolerance
+    // can only add violations relative to the default.
+    let lenient = ExecConfig {
+        deficit_tolerance_lc: u64::MAX / 1000,
+        ..ExecConfig::default()
+    };
+    let strict = ExecConfig {
+        deficit_tolerance_lc: 0,
+        ..ExecConfig::default()
+    };
+    let lenient_report = Executor::new(&machine, lenient).run(&out).unwrap();
+    let strict_report = Executor::new(&machine, strict).run(&out).unwrap();
+    let deficits = |r: &aqua_sim::ExecReport| {
+        r.violations
+            .iter()
+            .filter(|v| matches!(v, Violation::Deficit { .. }))
+            .count()
+    };
+    assert!(deficits(&lenient_report) <= deficits(&strict_report));
+}

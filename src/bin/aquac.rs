@@ -1,0 +1,180 @@
+//! `aquac` — the AquaCore assay compiler driver.
+//!
+//! ```text
+//! aquac compile <assay-file> [--emit ais|dot|volumes|log] [--machine CAP,LC]
+//! aquac run     <assay-file> [--machine CAP,LC] [--yield FRACTION]
+//! aquac check   <assay-file>
+//! ```
+//!
+//! * `compile` prints the requested artifact (default: AIS assembly);
+//! * `run` compiles and executes on the simulated chip, reporting
+//!   sensor readings and any constraint violations;
+//! * `check` parses, lowers, and runs volume management, reporting how
+//!   volumes were resolved (exit code 1 on compile errors).
+//!
+//! `--machine CAP,LC` sets capacity and least count in nanoliters
+//! (default `100,0.1` — the paper's hardware).
+
+use std::process::ExitCode;
+
+use aqua_compiler::{compile, CompileOptions, PlannedVolume, VolumeResolution};
+use aqua_rational::Ratio;
+use aqua_sim::exec::{ExecConfig, Executor};
+use aqua_volume::hierarchy::ManagedOutcome;
+use aqua_volume::Machine;
+
+fn main() -> ExitCode {
+    match real_main() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("aquac: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn real_main() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, rest) = args.split_first().ok_or_else(usage)?;
+    let mut file = None;
+    let mut emit = "ais".to_owned();
+    let mut machine_spec = "100,0.1".to_owned();
+    let mut yield_frac = 0.5f64;
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--emit" => emit = it.next().ok_or("--emit needs a value")?.clone(),
+            "--machine" => machine_spec = it.next().ok_or("--machine needs a value")?.clone(),
+            "--yield" => {
+                yield_frac = it
+                    .next()
+                    .ok_or("--yield needs a value")?
+                    .parse()
+                    .map_err(|_| "--yield must be a number in (0,1]")?
+            }
+            other if !other.starts_with('-') && file.is_none() => file = Some(other.to_owned()),
+            other => return Err(format!("unknown argument `{other}`\n{}", usage())),
+        }
+    }
+    let file = file.ok_or_else(usage)?;
+    let src = std::fs::read_to_string(&file).map_err(|e| format!("cannot read {file}: {e}"))?;
+    let machine = parse_machine(&machine_spec)?;
+
+    let out = compile(&src, &machine, &CompileOptions::default()).map_err(|e| e.to_string())?;
+
+    match cmd.as_str() {
+        "compile" => match emit.as_str() {
+            "ais" => print!("{}", out.program),
+            "dot" => print!("{}", out.dag.to_dot(out.program.name())),
+            "volumes" => {
+                for (i, instr) in out.program.instrs().iter().enumerate() {
+                    let note = match out.volume_plan.get(i) {
+                        Some(PlannedVolume::Static(pl)) => {
+                            format!("{:.1} nl", *pl as f64 / 1000.0)
+                        }
+                        Some(PlannedVolume::Runtime { partition, .. }) => {
+                            format!("run-time (partition {partition})")
+                        }
+                        Some(PlannedVolume::All) => "all".to_owned(),
+                        None => String::new(),
+                    };
+                    println!("{:<40} {note}", instr.to_string());
+                }
+            }
+            "log" => match &out.resolution {
+                VolumeResolution::Static(
+                    ManagedOutcome::Solved { log, .. }
+                    | ManagedOutcome::NeedsRegeneration { log, .. }
+                    | ManagedOutcome::ResourcesExceeded { log, .. },
+                ) => {
+                    for line in log {
+                        println!("{line}");
+                    }
+                }
+                VolumeResolution::Partitioned(plan) => {
+                    println!("partitioned into {} run-time stages", plan.partitions.len());
+                }
+                VolumeResolution::None => println!("volume management skipped"),
+            },
+            other => return Err(format!("unknown --emit `{other}`")),
+        },
+        "check" => {
+            let how = match &out.resolution {
+                VolumeResolution::Static(ManagedOutcome::Solved { volumes, .. }) => {
+                    format!("solved statically via {}", volumes.method)
+                }
+                VolumeResolution::Static(ManagedOutcome::NeedsRegeneration { .. }) => {
+                    "compiles, but relies on run-time regeneration".to_owned()
+                }
+                VolumeResolution::Static(ManagedOutcome::ResourcesExceeded { reason, .. }) => {
+                    format!("resources exceeded: {reason}")
+                }
+                VolumeResolution::Partitioned(plan) => format!(
+                    "volumes resolved at run time over {} partitions",
+                    plan.partitions.len()
+                ),
+                VolumeResolution::None => "volume management skipped".to_owned(),
+            };
+            println!(
+                "{}: {} instructions, {} DAG nodes — {how}",
+                out.program.name(),
+                out.program.len_executable(),
+                out.dag.num_nodes()
+            );
+        }
+        "run" => {
+            let config = ExecConfig {
+                unknown_separation_yield: yield_frac,
+                ..ExecConfig::default()
+            };
+            let report = Executor::new(&machine, config)
+                .run(&out)
+                .map_err(|e| e.to_string())?;
+            for s in &report.sense_results {
+                let mut parts: Vec<String> = s
+                    .composition
+                    .iter()
+                    .map(|(k, v)| format!("{k} {:.2} nl", v / 1000.0))
+                    .collect();
+                parts.sort();
+                println!(
+                    "{}: {:.2} nl [{}]",
+                    s.target,
+                    s.volume_pl as f64 / 1000.0,
+                    parts.join(", ")
+                );
+            }
+            if report.violations.is_empty() {
+                println!("ok: no underflow, no overflow, no deficits");
+            } else {
+                for v in &report.violations {
+                    eprintln!("violation: {v}");
+                }
+                return Err(format!("{} violations", report.violations.len()));
+            }
+        }
+        other => return Err(format!("unknown command `{other}`\n{}", usage())),
+    }
+    Ok(())
+}
+
+fn parse_machine(spec: &str) -> Result<Machine, String> {
+    let (cap, lc) = spec
+        .split_once(',')
+        .ok_or("--machine expects CAP,LC in nanoliters")?;
+    let cap: Ratio = cap
+        .trim()
+        .parse()
+        .map_err(|e| format!("bad capacity: {e}"))?;
+    let lc: Ratio = lc
+        .trim()
+        .parse()
+        .map_err(|e| format!("bad least count: {e}"))?;
+    Machine::new(cap, lc).map_err(|e| e.to_string())
+}
+
+fn usage() -> String {
+    "usage: aquac <compile|run|check> <assay-file> \
+     [--emit ais|dot|volumes|log] [--machine CAP,LC] [--yield F]"
+        .to_owned()
+}

@@ -1,0 +1,13 @@
+//! Reproduction of "Automatic Volume Management for Programmable
+//! Microfluidics" (PLDI 2008): meta crate re-exporting the full stack.
+#![warn(missing_docs)]
+
+pub use aqua_ais as ais;
+pub use aqua_assays as assays;
+pub use aqua_compiler as compiler;
+pub use aqua_dag as dag;
+pub use aqua_lang as lang;
+pub use aqua_lp as lp;
+pub use aqua_rational as rational;
+pub use aqua_sim as sim;
+pub use aqua_volume as volume;

@@ -1,0 +1,99 @@
+//! Smoke tests for the `aquac` command-line driver.
+
+use std::io::Write;
+use std::process::Command;
+
+fn write_assay(name: &str, body: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(name);
+    let mut f = std::fs::File::create(&path).expect("temp file");
+    f.write_all(body.as_bytes()).expect("write");
+    path
+}
+
+fn aquac(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_aquac"))
+        .args(args)
+        .output()
+        .expect("aquac runs")
+}
+
+const DEMO: &str = "
+ASSAY demo START
+fluid A, B;
+VAR R[2];
+MIX A AND B IN RATIOS 1 : 4 FOR 10;
+SENSE OPTICAL it INTO R[1];
+MIX A AND B IN RATIOS 2 : 1 FOR 10;
+SENSE OPTICAL it INTO R[2];
+END
+";
+
+#[test]
+fn check_reports_resolution() {
+    let path = write_assay("aquac_check.assay", DEMO);
+    let out = aquac(&["check", path.to_str().unwrap()]);
+    assert!(out.status.success(), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("solved statically via DAGSolve"), "{text}");
+}
+
+#[test]
+fn compile_emits_parseable_ais() {
+    let path = write_assay("aquac_compile.assay", DEMO);
+    let out = aquac(&["compile", path.to_str().unwrap()]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    let prog: aqua_ais::Program = text.parse().expect("emitted AIS parses");
+    assert_eq!(prog.name(), "demo");
+}
+
+#[test]
+fn compile_emits_dot() {
+    let path = write_assay("aquac_dot.assay", DEMO);
+    let out = aquac(&["compile", path.to_str().unwrap(), "--emit", "dot"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.starts_with("digraph"));
+}
+
+#[test]
+fn run_executes_cleanly() {
+    let path = write_assay("aquac_run.assay", DEMO);
+    let out = aquac(&["run", path.to_str().unwrap()]);
+    assert!(out.status.success(), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("ok: no underflow"));
+    assert!(text.contains("R[1]"));
+}
+
+#[test]
+fn custom_machine_changes_volumes() {
+    let path = write_assay("aquac_machine.assay", DEMO);
+    let out = aquac(&[
+        "compile",
+        path.to_str().unwrap(),
+        "--machine",
+        "20,0.5",
+        "--emit",
+        "volumes",
+    ]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    // Capacity 20 nl: no transfer may exceed it.
+    assert!(!text.contains("100.0 nl"), "{text}");
+}
+
+#[test]
+fn bad_input_fails_with_message() {
+    let path = write_assay("aquac_bad.assay", "ASSAY broken START\nBOGUS;\nEND");
+    let out = aquac(&["check", path.to_str().unwrap()]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("line"), "{err}");
+}
+
+#[test]
+fn missing_file_fails_cleanly() {
+    let out = aquac(&["check", "/nonexistent/nope.assay"]);
+    assert!(!out.status.success());
+}

@@ -1,0 +1,281 @@
+//! Property-based tests of the volume-management invariants on random
+//! assay DAGs (DESIGN.md §7).
+
+use aqua_assays::synthetic::{self, LayeredConfig};
+use aqua_dag::{NodeKind, Ratio};
+use aqua_volume::lpform::{self, LpOptions};
+use aqua_volume::{cascade, dagsolve, Machine};
+use proptest::prelude::*;
+
+fn config_strategy() -> impl Strategy<Value = (u64, LayeredConfig)> {
+    (
+        any::<u64>(),
+        2usize..6,
+        1usize..4,
+        2usize..6,
+        2usize..4,
+        1u64..20,
+    )
+        .prop_map(|(seed, inputs, layers, width, fanin, max_part)| {
+            (
+                seed,
+                LayeredConfig {
+                    inputs,
+                    layers,
+                    width,
+                    fanin,
+                    max_part,
+                },
+            )
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// DAGSolve assignments always satisfy ratio, capacity, and
+    /// non-deficit constraints (audit clean except possibly underflow),
+    /// and never overflow by construction.
+    #[test]
+    fn dagsolve_satisfies_paper_constraints((seed, cfg) in config_strategy()) {
+        let machine = Machine::paper_default();
+        let dag = synthetic::layered_dag(seed, &cfg);
+        prop_assume!(dag.validate().is_ok());
+        let sol = dagsolve::solve(&dag, &machine).unwrap();
+        let problems = sol.audit(&dag, &machine);
+        let real: Vec<_> = problems
+            .iter()
+            .filter(|p| !p.contains("least count"))
+            .collect();
+        prop_assert!(real.is_empty(), "{real:?}");
+        // Ratio constraints: in-edge volumes of each mix in spec
+        // proportion.
+        for n in dag.node_ids() {
+            if !matches!(dag.node(n).kind, NodeKind::Mix { .. }) {
+                continue;
+            }
+            let total = Ratio::checked_sum(
+                dag.in_edges(n).iter().map(|&e| sol.edge_nl(e)),
+            )
+            .unwrap();
+            if !total.is_positive() {
+                continue;
+            }
+            for &e in dag.in_edges(n) {
+                prop_assert_eq!(
+                    sol.edge_nl(e) / total,
+                    dag.edge(e).fraction,
+                    "ratio violated at {}",
+                    dag.node(n).name
+                );
+            }
+        }
+    }
+
+    /// The LP's optimal total output dominates DAGSolve's (DAGSolve is
+    /// over-constrained), whenever both succeed.
+    #[test]
+    fn lp_dominates_dagsolve_total_output((seed, cfg) in config_strategy()) {
+        let machine = Machine::paper_default();
+        let dag = synthetic::layered_dag(seed, &cfg);
+        let Ok(sol) = dagsolve::solve(&dag, &machine) else { return Ok(()) };
+        prop_assume!(sol.underflow.is_none());
+        let form = lpform::build(&dag, &machine, &LpOptions::rvol());
+        let aqua_lp::Status::Optimal(lp_sol) = aqua_lp::solve(&form.model).status else {
+            return Ok(());
+        };
+        let ds_total: f64 = dag
+            .node_ids()
+            .filter(|&n| dag.out_edges(n).is_empty())
+            .map(|n| sol.node_nl(n).to_f64())
+            .sum();
+        let lp_total = lp_sol.objective * machine.least_count_nl().to_f64();
+        prop_assert!(
+            lp_total >= ds_total - 1e-4,
+            "LP {lp_total} < DAGSolve {ds_total}"
+        );
+    }
+
+    /// Cascading preserves the final composition of the rewritten mix
+    /// exactly and always removes the extreme-ratio infeasibility.
+    #[test]
+    fn cascading_preserves_composition(skew in 1_001u64..2_000_000) {
+        let machine = Machine::paper_default();
+        let mut dag = synthetic::extreme_ratio_dag(skew);
+        let m = dag.find_node("extreme").unwrap();
+        let a = dag.find_node("A").unwrap();
+        cascade::apply_cascade(&mut dag, m, &machine).unwrap();
+        prop_assert!(dag.validate().is_ok(), "{:?}", dag.validate());
+        // Walk the cascade: A's share of the final mix must still be
+        // 1/(skew+1).
+        let mut share = Ratio::ONE;
+        let mut cur = m;
+        loop {
+            let small = dag
+                .in_edges(cur)
+                .iter()
+                .map(|&e| dag.edge(e))
+                .min_by(|x, y| x.fraction.cmp(&y.fraction))
+                .unwrap()
+                .clone();
+            share *= small.fraction;
+            if small.src == a {
+                break;
+            }
+            cur = small.src;
+        }
+        prop_assert_eq!(share, Ratio::new(1, skew as i128 + 1).unwrap());
+        // Every stage is now within the machine span.
+        prop_assert!(cascade::find_extreme_mixes(&dag, &machine).is_empty());
+    }
+
+    /// Rounding to least counts keeps the worst per-edge volume error
+    /// within half a least count.
+    #[test]
+    fn rounding_error_is_bounded((seed, cfg) in config_strategy()) {
+        let machine = Machine::paper_default();
+        let dag = synthetic::layered_dag(seed, &cfg);
+        let Ok(sol) = dagsolve::solve(&dag, &machine) else { return Ok(()) };
+        let rounded = aqua_volume::round::round_assignment(&dag, &machine, &sol);
+        let half = machine.least_count_nl() / Ratio::from_int(2);
+        for e in dag.edge_ids() {
+            let err = (rounded.edge_volumes_nl[e.index()]
+                - sol.edge_volumes_nl[e.index()])
+            .abs();
+            prop_assert!(err <= half);
+        }
+    }
+
+    /// The dispensing scale is maximal: the most loaded node sits
+    /// exactly at machine capacity (DAGSolve's "produce as much output
+    /// as possible" objective).
+    #[test]
+    fn dispensing_saturates_capacity((seed, cfg) in config_strategy()) {
+        let machine = Machine::paper_default();
+        let dag = synthetic::layered_dag(seed, &cfg);
+        let Ok(sol) = dagsolve::solve(&dag, &machine) else { return Ok(()) };
+        let max_load_nl = dag
+            .node_ids()
+            .map(|n| sol.vnorms.load[n.index()] * sol.scale_nl)
+            .max()
+            .unwrap();
+        prop_assert_eq!(max_load_nl, machine.max_capacity_nl());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The full Figure 6 hierarchy never panics on random DAGs, and a
+    /// `Solved` outcome really is underflow-free.
+    #[test]
+    fn hierarchy_is_total_and_sound((seed, cfg) in config_strategy()) {
+        let machine = Machine::paper_default();
+        let dag = synthetic::layered_dag(seed, &cfg);
+        let out = aqua_volume::manage_volumes(&dag, &machine, &Default::default());
+        if let aqua_volume::ManagedOutcome::Solved { volumes, dag, .. } = out {
+            let lc = machine.least_count_nl();
+            for e in dag.edge_ids() {
+                if !dag.edge_is_live(e) {
+                    continue;
+                }
+                if dag.node(dag.edge(e).dst).kind == NodeKind::Excess {
+                    continue;
+                }
+                let v = volumes.edge_volumes_nl[e.index()];
+                prop_assert!(
+                    v >= lc,
+                    "solved outcome has an underflowing edge: {v} nl"
+                );
+            }
+        }
+    }
+
+    /// End-to-end totality: random DAG-shaped assays compile and
+    /// execute without panicking, whatever the outcome.
+    #[test]
+    fn compile_and_execute_are_total(seed in 0u64..200) {
+        let machine = Machine::paper_default();
+        let dag = synthetic::layered_dag(
+            seed,
+            &LayeredConfig {
+                inputs: 3,
+                layers: 2,
+                width: 3,
+                fanin: 2,
+                max_part: 12,
+            },
+        );
+        // Render the DAG back into an assay source (mixes only) and run
+        // the whole pipeline on it.
+        let mut src = String::from("ASSAY fuzz START\n");
+        let inputs: Vec<_> = dag
+            .node_ids()
+            .filter(|&n| dag.node(n).kind == NodeKind::Input)
+            .collect();
+        src.push_str("fluid ");
+        src.push_str(
+            &inputs
+                .iter()
+                .map(|&n| dag.node(n).name.clone())
+                .collect::<Vec<_>>()
+                .join(", "),
+        );
+        src.push_str(";\nfluid ");
+        let mixes: Vec<_> = dag
+            .node_ids()
+            .filter(|&n| matches!(dag.node(n).kind, NodeKind::Mix { .. }))
+            .collect();
+        src.push_str(
+            &mixes
+                .iter()
+                .map(|&n| dag.node(n).name.clone())
+                .collect::<Vec<_>>()
+                .join(", "),
+        );
+        src.push_str(";\n");
+        for (i, &m) in mixes.iter().enumerate() {
+            let parts: Vec<String> = dag
+                .in_edges(m)
+                .iter()
+                .map(|&e| dag.node(dag.edge(e).src).name.clone())
+                .collect();
+            let fracs: Vec<String> = dag
+                .in_edges(m)
+                .iter()
+                .map(|&e| dag.edge(e).fraction.numer().to_string())
+                .collect();
+            // Denominators are shared within a node (normalized), so the
+            // numerators are valid integer parts only when denominators
+            // agree; fall back to 1:1 otherwise.
+            let denoms: std::collections::HashSet<i128> = dag
+                .in_edges(m)
+                .iter()
+                .map(|&e| dag.edge(e).fraction.denom())
+                .collect();
+            let ratio_clause = if denoms.len() == 1 {
+                format!(" IN RATIOS {}", fracs.join(" : "))
+            } else {
+                String::new()
+            };
+            src.push_str(&format!(
+                "{} = MIX {}{} FOR 5;\nSENSE OPTICAL {} INTO R{i};\n",
+                dag.node(m).name,
+                parts.join(" AND "),
+                ratio_clause,
+                dag.node(m).name,
+            ));
+        }
+        src.push_str("END\n");
+        let Ok(out) = aqua_compiler::compile(&src, &machine, &Default::default()) else {
+            return Ok(()); // some renderings are degenerate; fine
+        };
+        let report = aqua_sim::exec::Executor::new(
+            &machine,
+            aqua_sim::exec::ExecConfig::default(),
+        )
+        .run(&out)
+        .expect("execution is total");
+        let _ = report;
+    }
+}
