@@ -1,3 +1,7 @@
+// Compiled only with the `proptest-tests` feature: the dependency it
+// needs is not vendored, so the default offline build skips it.
+#![cfg(feature = "proptest-tests")]
+
 //! Property test: every printable AIS program parses back identically.
 
 use aqua_ais::{DryOp, DrySrc, Instr, Program, SenseKind, SepPort, SeparateKind, WetLoc};

@@ -2,8 +2,7 @@
 //! studies, and ablations.
 
 use aqua_dag::{Dag, NodeId};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use aqua_rational::rng::XorShift64Star;
 
 /// Parameters of a random layered assay DAG.
 #[derive(Debug, Clone)]
@@ -47,7 +46,7 @@ impl Default for LayeredConfig {
 /// assert_eq!(dag.num_edges(), again.num_edges());
 /// ```
 pub fn layered_dag(seed: u64, config: &LayeredConfig) -> Dag {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = XorShift64Star::new(seed);
     let mut dag = Dag::new();
     let mut pool: Vec<NodeId> = (0..config.inputs)
         .map(|i| dag.add_input(format!("in{i}")))
@@ -60,13 +59,13 @@ pub fn layered_dag(seed: u64, config: &LayeredConfig) -> Dag {
             // Sample distinct sources.
             let mut chosen: Vec<usize> = Vec::new();
             while chosen.len() < fanin {
-                let i = rng.random_range(0..pool.len());
+                let i = rng.index(pool.len());
                 if !chosen.contains(&i) {
                     chosen.push(i);
                 }
             }
             for i in chosen {
-                parts.push((pool[i], rng.random_range(1..=config.max_part)));
+                parts.push((pool[i], rng.range_u64(1, config.max_part)));
             }
             let node = dag
                 .add_mix(format!("mix{layer}_{w}"), &parts, 10)

@@ -1,74 +1,72 @@
-//! Criterion version of Table 2's timing columns: DAGSolve vs LP on
+//! Table 2's timing columns as a standalone bench: DAGSolve vs LP on
 //! the paper's assays (the Enzyme10 LP is too slow for a statistics
 //! run; see the `scaling` bench and the `table2` binary for it).
+//!
+//! Uses the in-repo harness (`aqua_bench::harness`) instead of
+//! criterion, which is unavailable offline.
 
+use aqua_bench::harness::{report, time};
 use aqua_bench::{benchmark_dag, Benchmark};
 use aqua_lp::solve;
 use aqua_rational::Ratio;
 use aqua_volume::lpform::{self, LpOptions};
 use aqua_volume::{dagsolve, unknown, Machine};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-fn bench_assays(c: &mut Criterion) {
+fn main() {
     let machine = Machine::paper_default();
-    let mut group = c.benchmark_group("table2");
     for bench in [Benchmark::Glucose, Benchmark::Glycomics, Benchmark::Enzyme] {
         let dag = benchmark_dag(bench);
-        group.bench_with_input(
-            BenchmarkId::new("dagsolve", bench.name()),
-            &dag,
-            |b, dag| {
-                if unknown::has_unknown_volumes(dag) {
-                    b.iter(|| {
-                        let plan = unknown::partition(black_box(dag), &machine).unwrap();
-                        black_box(
-                            plan.dispense_all(&machine, |_, _| Some(Ratio::from_int(10)))
-                                .unwrap(),
-                        )
-                    });
-                } else {
-                    b.iter(|| black_box(dagsolve::solve(black_box(dag), &machine).unwrap()));
+        let name = bench.name();
+
+        let m = if unknown::has_unknown_volumes(&dag) {
+            time(&format!("dagsolve/{name}"), 3, 20, || {
+                let plan = unknown::partition(black_box(&dag), &machine).unwrap();
+                black_box(
+                    plan.dispense_all(&machine, |_, _| Some(Ratio::from_int(10)))
+                        .unwrap(),
+                )
+            })
+        } else {
+            time(&format!("dagsolve/{name}"), 3, 20, || {
+                black_box(dagsolve::solve(black_box(&dag), &machine).unwrap())
+            })
+        };
+        report(&m);
+
+        let m = if unknown::has_unknown_volumes(&dag) {
+            let plan = unknown::partition(&dag, &machine).unwrap();
+            time(&format!("lp/{name}"), 2, 10, || {
+                for part in &plan.partitions {
+                    let form = lpform::build(&part.dag, &machine, &LpOptions::rvol());
+                    black_box(solve(&form.model));
                 }
-            },
-        );
-        group.bench_with_input(BenchmarkId::new("lp", bench.name()), &dag, |b, dag| {
-            if unknown::has_unknown_volumes(dag) {
-                let plan = unknown::partition(dag, &machine).unwrap();
-                b.iter(|| {
-                    for part in &plan.partitions {
-                        let form = lpform::build(&part.dag, &machine, &LpOptions::rvol());
-                        black_box(solve(&form.model));
-                    }
-                });
-            } else {
-                b.iter(|| {
-                    let form = lpform::build(black_box(dag), &machine, &LpOptions::rvol());
-                    black_box(solve(&form.model))
-                });
-            }
-        });
+            })
+        } else {
+            time(&format!("lp/{name}"), 2, 10, || {
+                let form = lpform::build(black_box(&dag), &machine, &LpOptions::rvol());
+                black_box(solve(&form.model))
+            })
+        };
+        report(&m);
+
         // The with-constraints variant only applies to statically-known
         // DAGs (partitioned assays are covered by the plain LP above).
         if !unknown::has_unknown_volumes(&dag) {
-            group.bench_with_input(
-                BenchmarkId::new("lp_with_dagsolve_constraints", bench.name()),
-                &dag,
-                |b, dag| {
-                    b.iter(|| {
-                        let form = lpform::build(
-                            black_box(dag),
-                            &machine,
-                            &LpOptions::with_dagsolve_constraints(),
-                        );
-                        black_box(solve(&form.model))
-                    });
+            let m = time(
+                &format!("lp_with_dagsolve_constraints/{name}"),
+                2,
+                10,
+                || {
+                    let form = lpform::build(
+                        black_box(&dag),
+                        &machine,
+                        &LpOptions::with_dagsolve_constraints(),
+                    );
+                    black_box(solve(&form.model))
                 },
             );
+            report(&m);
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_assays);
-criterion_main!(benches);

@@ -1,58 +1,52 @@
 //! End-to-end compiler pipeline benchmarks (parse -> unroll -> DAG ->
 //! volume management -> AIS), plus ablations of the individual rewrite
 //! passes (cascade planning, replication) that DESIGN.md calls out.
+//!
+//! Uses the in-repo harness (`aqua_bench::harness`) instead of
+//! criterion, which is unavailable offline.
 
 use aqua_assays::{synthetic, Benchmark};
+use aqua_bench::harness::{report, time};
 use aqua_compiler::{compile, CompileOptions};
 use aqua_rational::Ratio;
 use aqua_volume::{cascade, replicate, vnorm, Machine};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-fn bench_pipeline(c: &mut Criterion) {
+fn main() {
     let machine = Machine::paper_default();
-    let mut group = c.benchmark_group("pipeline");
-    group.sample_size(10);
     for bench in [Benchmark::Glucose, Benchmark::Glycomics, Benchmark::Enzyme] {
         let src = bench.source();
-        group.bench_with_input(BenchmarkId::new("compile", bench.name()), &src, |b, src| {
-            b.iter(|| {
-                black_box(
-                    compile(black_box(src), &machine, &CompileOptions::default())
-                        .expect("compiles"),
-                )
-            });
+        let m = time(&format!("compile/{}", bench.name()), 2, 10, || {
+            black_box(
+                compile(black_box(&src), &machine, &CompileOptions::default()).expect("compiles"),
+            )
         });
+        report(&m);
     }
-    group.finish();
 
-    let mut group = c.benchmark_group("rewrites");
     // Cascade ablation: planning + application on an extreme mix.
-    group.bench_function("cascade_plan_1e6", |b| {
-        b.iter(|| {
-            black_box(cascade::plan_cascade(
-                Ratio::from_int(1_000_000),
-                Ratio::from_int(1000),
-            ))
-        });
+    let m = time("rewrites/cascade_plan_1e6", 3, 20, || {
+        black_box(cascade::plan_cascade(
+            Ratio::from_int(1_000_000),
+            Ratio::from_int(1000),
+        ))
     });
-    group.bench_function("cascade_apply", |b| {
-        b.iter(|| {
-            let mut dag = synthetic::extreme_ratio_dag(99_999);
-            let m = dag.find_node("extreme").unwrap();
-            black_box(cascade::apply_cascade(&mut dag, m, &machine).unwrap());
-        });
+    report(&m);
+    let m = time("rewrites/cascade_apply", 3, 20, || {
+        let mut dag = synthetic::extreme_ratio_dag(99_999);
+        let n = dag.find_node("extreme").unwrap();
+        black_box(cascade::apply_cascade(&mut dag, n, &machine).unwrap());
     });
+    report(&m);
     // Replication ablation on a many-uses stress DAG.
-    group.bench_function("replicate_200_uses", |b| {
-        b.iter(|| {
-            let mut dag = synthetic::many_uses_dag(200);
-            let stock = dag.find_node("stock").unwrap();
-            let mut machine = machine.clone();
-            machine.reservoirs = 64;
-            black_box(replicate::replicate_node(&mut dag, stock, 4, &machine).unwrap());
-        });
+    let m = time("rewrites/replicate_200_uses", 2, 10, || {
+        let mut dag = synthetic::many_uses_dag(200);
+        let stock = dag.find_node("stock").unwrap();
+        let mut machine = machine.clone();
+        machine.reservoirs = 64;
+        black_box(replicate::replicate_node(&mut dag, stock, 4, &machine).unwrap());
     });
+    report(&m);
     // Vnorm pass alone on a wide synthetic DAG.
     let big = synthetic::layered_dag(
         3,
@@ -64,11 +58,8 @@ fn bench_pipeline(c: &mut Criterion) {
             max_part: 9,
         },
     );
-    group.bench_function("vnorm_layered_8x32", |b| {
-        b.iter(|| black_box(vnorm::compute(black_box(&big)).unwrap()));
+    let m = time("rewrites/vnorm_layered_8x32", 3, 20, || {
+        black_box(vnorm::compute(black_box(&big)).unwrap())
     });
-    group.finish();
+    report(&m);
 }
-
-criterion_group!(benches, bench_pipeline);
-criterion_main!(benches);

@@ -2,12 +2,15 @@
 //! stays linear in DAG size while the LP's cost grows polynomially —
 //! the crossover the paper uses to justify DAGSolve as the run-time
 //! default.
+//!
+//! Uses the in-repo harness (`aqua_bench::harness`) instead of
+//! criterion, which is unavailable offline.
 
+use aqua_bench::harness::{report, time};
 use aqua_lang::compile_to_flat;
 use aqua_lp::solve;
 use aqua_volume::lpform::{self, LpOptions};
 use aqua_volume::{dagsolve, Machine};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 fn enzyme_dag(n: u32) -> aqua_dag::Dag {
@@ -15,26 +18,20 @@ fn enzyme_dag(n: u32) -> aqua_dag::Dag {
     aqua_compiler::lower_to_dag(&flat).expect("lowers").0
 }
 
-fn bench_scaling(c: &mut Criterion) {
+fn main() {
     let machine = Machine::paper_default();
-    let mut group = c.benchmark_group("enzyme_scaling");
-    group.sample_size(10);
     for n in [2u32, 4, 6, 8] {
         let dag = enzyme_dag(n);
-        group.bench_with_input(BenchmarkId::new("dagsolve", n), &dag, |b, dag| {
-            b.iter(|| black_box(dagsolve::solve(black_box(dag), &machine).unwrap()));
+        let m = time(&format!("enzyme_scaling/dagsolve/{n}"), 2, 10, || {
+            black_box(dagsolve::solve(black_box(&dag), &machine).unwrap())
         });
+        report(&m);
         if n <= 6 {
-            group.bench_with_input(BenchmarkId::new("lp", n), &dag, |b, dag| {
-                b.iter(|| {
-                    let form = lpform::build(black_box(dag), &machine, &LpOptions::rvol());
-                    black_box(solve(&form.model))
-                });
+            let m = time(&format!("enzyme_scaling/lp/{n}"), 1, 5, || {
+                let form = lpform::build(black_box(&dag), &machine, &LpOptions::rvol());
+                black_box(solve(&form.model))
             });
+            report(&m);
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_scaling);
-criterion_main!(benches);

@@ -1,47 +1,53 @@
 //! Micro-benchmarks of the LP substrate itself: the two-phase bounded
-//! simplex on random dense LPs of growing size (sanity check that the
-//! solver, not the formulation, dominates LP timings).
+//! simplex on random dense LPs of growing size, on both the sparse
+//! revised backend (default) and the dense tableau fallback.
+//!
+//! Uses the in-repo harness (`aqua_bench::harness`) instead of
+//! criterion, which is unavailable offline.
 
-use aqua_lp::{solve, Model, Sense};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use aqua_bench::harness::{report, time};
+use aqua_lp::{solve_with, Model, Sense, SimplexConfig, SolverBackend};
+use aqua_rational::rng::XorShift64Star;
 use std::hint::black_box;
 
 /// Feasible-by-construction random LP (witness at the origin + slack).
 fn random_lp(seed: u64, nvars: usize, nrows: usize) -> Model {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = XorShift64Star::new(seed);
     let mut m = Model::new(Sense::Maximize);
     let vars: Vec<_> = (0..nvars)
         .map(|i| m.add_var(format!("x{i}"), 0.0, 50.0))
         .collect();
-    m.set_objective(vars.iter().map(|&v| (v, rng.random_range(-1.0..2.0))));
+    let costs: Vec<_> = vars
+        .iter()
+        .map(|&v| (v, rng.range_f64(-1.0, 2.0)))
+        .collect();
+    m.set_objective(costs);
     for r in 0..nrows {
         let terms: Vec<_> = vars
             .iter()
-            .map(|&v| (v, rng.random_range(-1.0..2.0)))
+            .map(|&v| (v, rng.range_f64(-1.0, 2.0)))
             .collect();
-        let rhs = rng.random_range(5.0..50.0);
+        let rhs = rng.range_f64(5.0, 50.0);
         m.add_le(format!("r{r}"), terms, rhs);
     }
     m
 }
 
-fn bench_simplex(c: &mut Criterion) {
-    let mut group = c.benchmark_group("simplex");
-    group.sample_size(10);
+fn main() {
     for (nvars, nrows) in [(10, 10), (40, 40), (100, 100), (200, 150)] {
         let model = random_lp(7, nvars, nrows);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("{nvars}v_{nrows}r")),
-            &model,
-            |b, model| {
-                b.iter(|| black_box(solve(black_box(model))));
-            },
-        );
+        for backend in [SolverBackend::Sparse, SolverBackend::Dense] {
+            let config = SimplexConfig {
+                backend,
+                ..SimplexConfig::default()
+            };
+            let m = time(
+                &format!("simplex/{backend:?}/{nvars}v_{nrows}r"),
+                2,
+                10,
+                || black_box(solve_with(black_box(&model), &config)),
+            );
+            report(&m);
+        }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_simplex);
-criterion_main!(benches);

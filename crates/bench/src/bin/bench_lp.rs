@@ -1,0 +1,193 @@
+//! Times the LP solver's sparse (revised simplex) backend against the
+//! dense tableau backend on the paper's assays and writes the results
+//! to `BENCH_lp.json` at the repo root.
+//!
+//! Usage: `cargo run --release --bin bench_lp [--quick] [--out PATH]`
+//!
+//! Four cases are measured, each as formulated by `lpform` (glycomics
+//! is solved per partition, like the paper's four-partition runs):
+//! the Figure 2 running example, Glucose, Glycomics, and Enzyme10.
+//! Every case is solved once per backend outside the timed region to
+//! check agreement (identical status, |Δobjective| <= 1e-6), then
+//! timed with warmup + N iterations (median/p95, see `harness`).
+//!
+//! `--quick` drops iteration counts to a smoke-test level for CI; use
+//! the default mode to regenerate the committed `BENCH_lp.json`.
+
+use aqua_bench::harness::{self, Extra, Measurement};
+use aqua_bench::{benchmark_dag, Benchmark};
+use aqua_lp::{solve_with, Model, SimplexConfig, SolverBackend, Status};
+use aqua_volume::lpform::{self, LpOptions};
+use aqua_volume::{unknown, Machine};
+
+/// Objective agreement tolerance between the two backends.
+const OBJ_TOL: f64 = 1e-6;
+
+struct Case {
+    name: &'static str,
+    /// One model per partition (a single entry for unpartitioned assays).
+    models: Vec<Model>,
+}
+
+fn config(backend: SolverBackend) -> SimplexConfig {
+    SimplexConfig {
+        backend,
+        ..SimplexConfig::default()
+    }
+}
+
+/// Solves every model of a case with one backend; returns per-model
+/// (status kind, objective) where the objective is NaN unless optimal.
+fn solve_case(case: &Case, backend: SolverBackend) -> Vec<(&'static str, f64)> {
+    let config = config(backend);
+    case.models
+        .iter()
+        .map(|m| match solve_with(m, &config).status {
+            Status::Optimal(sol) => ("optimal", sol.objective),
+            Status::Infeasible => ("infeasible", f64::NAN),
+            Status::Unbounded => ("unbounded", f64::NAN),
+            Status::IterationLimit => ("iteration-limit", f64::NAN),
+        })
+        .collect()
+}
+
+/// Largest |Δobjective| across a case's models, or None if the two
+/// backends disagree on any model's status.
+fn agreement(sparse: &[(&'static str, f64)], dense: &[(&'static str, f64)]) -> Option<f64> {
+    let mut max_delta = 0.0f64;
+    for (s, d) in sparse.iter().zip(dense) {
+        if s.0 != d.0 {
+            return None;
+        }
+        if s.0 == "optimal" {
+            max_delta = max_delta.max((s.1 - d.1).abs());
+        }
+    }
+    Some(max_delta)
+}
+
+fn build_case(name: &'static str, dag: &aqua_dag::Dag, machine: &Machine) -> Case {
+    let opts = LpOptions::rvol();
+    let models = if unknown::has_unknown_volumes(dag) {
+        let plan = unknown::partition(dag, machine).expect("benchmark partitions");
+        plan.partitions
+            .iter()
+            .map(|part| lpform::build(&part.dag, machine, &opts).model)
+            .collect()
+    } else {
+        vec![lpform::build(dag, machine, &opts).model]
+    };
+    Case { name, models }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = match args.iter().position(|a| a == "--out") {
+        Some(pos) => args.get(pos + 1).cloned().unwrap_or_else(|| {
+            // Refuse to fall back silently: the default path is the
+            // committed BENCH_lp.json, which a typo'd --out would clobber.
+            eprintln!("error: --out requires a path");
+            std::process::exit(2);
+        }),
+        None => concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_lp.json").to_owned(),
+    };
+
+    let machine = Machine::paper_default();
+    let cases = vec![
+        build_case("fig2", &aqua_assays::figure2::dag().0, &machine),
+        build_case("glucose", &benchmark_dag(Benchmark::Glucose), &machine),
+        build_case("glycomics", &benchmark_dag(Benchmark::Glycomics), &machine),
+        build_case("enzyme10", &benchmark_dag(Benchmark::EnzymeN(10)), &machine),
+    ];
+
+    println!(
+        "bench_lp: sparse vs dense simplex ({} mode)\n",
+        if quick { "quick" } else { "full" }
+    );
+
+    let mut measurements: Vec<Measurement> = Vec::new();
+    let mut extras: Vec<(String, Extra)> = vec![("quick".into(), Extra::Bool(quick))];
+    let mut agree_all = true;
+
+    for case in &cases {
+        // Reference solves (untimed) for the agreement check.
+        let ref_sparse = solve_case(case, SolverBackend::Sparse);
+        let ref_dense = solve_case(case, SolverBackend::Dense);
+        let delta = agreement(&ref_sparse, &ref_dense);
+        let agree = delta.is_some_and(|d| d <= OBJ_TOL);
+        agree_all &= agree;
+        match delta {
+            Some(d) => println!(
+                "{:<12} status {} x{}, max |dObj| = {:.2e} ({})",
+                case.name,
+                ref_sparse[0].0,
+                case.models.len(),
+                d,
+                if agree { "agree" } else { "DISAGREE" }
+            ),
+            None => println!("{:<12} backends DISAGREE on status", case.name),
+        }
+        extras.push((format!("{}_agree", case.name), Extra::Bool(agree)));
+        if let Some(d) = delta {
+            extras.push((
+                format!("{}_max_dobj", case.name),
+                Extra::Num(format!("{d:e}")),
+            ));
+        }
+        extras.push((
+            format!("{}_status", case.name),
+            Extra::Str(ref_sparse.iter().map(|s| s.0).collect::<Vec<_>>().join(",")),
+        ));
+
+        let mut case_medians = [0u128; 2];
+        for (slot, backend) in [(0, SolverBackend::Sparse), (1, SolverBackend::Dense)] {
+            let (warmup, iters) = iteration_plan(case.name, backend, quick);
+            let label = format!(
+                "{}/{}",
+                case.name,
+                if backend == SolverBackend::Sparse {
+                    "sparse"
+                } else {
+                    "dense"
+                }
+            );
+            let m = harness::time(&label, warmup, iters, || solve_case(case, backend));
+            harness::report(&m);
+            case_medians[slot] = m.median_ns;
+            measurements.push(m);
+        }
+        let speedup = case_medians[1] as f64 / case_medians[0].max(1) as f64;
+        println!("{:<12} sparse speedup: {speedup:.2}x\n", case.name);
+        extras.push((
+            format!("{}_speedup", case.name),
+            Extra::Num(format!("{speedup:.3}")),
+        ));
+    }
+
+    extras.push(("agree_all".into(), Extra::Bool(agree_all)));
+    let json = harness::to_json("bench_lp/v1", &measurements, &extras);
+    std::fs::write(&out_path, &json).expect("write BENCH_lp.json");
+    println!("wrote {out_path}");
+    if !agree_all {
+        eprintln!("error: backend disagreement (see above)");
+        std::process::exit(1);
+    }
+}
+
+/// (warmup, timed iterations) per case and backend.
+///
+/// Enzyme10 is the expensive case (~1 s per dense solve; the paper's
+/// Enzyme10 LP took >20 minutes on its hardware), so it gets fewer
+/// iterations; everything else is microseconds and gets a proper
+/// median over several runs.
+fn iteration_plan(case: &str, backend: SolverBackend, quick: bool) -> (usize, usize) {
+    let slow = case == "enzyme10";
+    match (slow, backend, quick) {
+        (true, _, true) => (0, 1),
+        (true, SolverBackend::Dense, false) => (1, 3),
+        (true, SolverBackend::Sparse, false) => (1, 5),
+        (false, _, true) => (0, 2),
+        (false, _, false) => (1, 9),
+    }
+}

@@ -14,11 +14,18 @@ fn main() {
         "{:<12} {:>14} {:>12} {:>16} {:>10} {:>12}",
         "Assay", "DAGSolve (s)", "LP (s)", "LP+constr (s)", "LP/DS", "LP+c/DS"
     );
-    for bench in [Benchmark::Glucose, Benchmark::Glycomics, Benchmark::Enzyme] {
+    let suite = [Benchmark::Glucose, Benchmark::Glycomics, Benchmark::Enzyme];
+    // Each assay's three measurements are independent of the others;
+    // fan assays out across cores (sequential on a single-core machine).
+    let rows = aqua_lp::batch::run_parallel(suite.len(), |i| {
+        let bench = suite[i];
         let dag = benchmark_dag(bench);
         let (ds, _) = time_dagsolve(&dag, &machine);
         let (lp, _, _) = time_lp(&dag, &machine, &LpOptions::rvol());
         let (lpc, _, _) = time_lp(&dag, &machine, &LpOptions::with_dagsolve_constraints());
+        (bench, ds, lp, lpc)
+    });
+    for (bench, ds, lp, lpc) in rows {
         let ratio = |a: std::time::Duration| a.as_secs_f64() / ds.as_secs_f64().max(1e-9);
         println!(
             "{:<12} {:>14} {:>12} {:>16} {:>9.0}x {:>11.0}x",

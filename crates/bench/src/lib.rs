@@ -18,6 +18,8 @@
 
 #![warn(missing_docs)]
 
+pub mod harness;
+
 use std::time::{Duration, Instant};
 
 use aqua_dag::Dag;

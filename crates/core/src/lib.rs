@@ -65,6 +65,8 @@ pub mod unknown;
 pub mod vnorm;
 
 pub use dagsolve::{DagSolveError, VolumeAssignment};
-pub use hierarchy::{manage_volumes, ManagedOutcome, Method, VolumeManagerOptions};
+pub use hierarchy::{
+    manage_volumes, solve_assays_parallel, ManagedOutcome, Method, VolumeManagerOptions,
+};
 pub use machine::Machine;
 pub use vnorm::VnormTable;

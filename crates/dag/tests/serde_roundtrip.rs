@@ -1,3 +1,7 @@
+// Compiled only with the `serde-tests` feature: the dependency it
+// needs is not vendored, so the default offline build skips it.
+#![cfg(feature = "serde-tests")]
+
 //! Serde round-trips for the data-structure crates (requires the
 //! `serde` feature: `cargo test -p aqua-dag --features serde`).
 

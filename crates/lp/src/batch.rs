@@ -1,0 +1,220 @@
+//! Parallel batch solving on a from-scratch work-stealing thread pool.
+//!
+//! The volume-management pipeline produces many *independent* LPs — one
+//! per assay in a suite, one per partition of a DAG with unknown
+//! volumes, one per branch-and-bound subtree. This module fans such
+//! batches out across OS threads with plain `std::thread::scope` (no
+//! external runtime):
+//!
+//! * each worker owns a deque of task indices, seeded round-robin;
+//! * a worker pops its own deque LIFO (cache-warm) and, when empty,
+//!   steals FIFO from the other workers (oldest task first, the classic
+//!   work-stealing discipline);
+//! * results land in per-task slots, so the output order always matches
+//!   the input order regardless of which thread ran what.
+//!
+//! Determinism: every task computes a pure function of its input model,
+//! so scheduling order affects wall time only, never results.
+//!
+//! # Examples
+//!
+//! ```
+//! use aqua_lp::{batch, Model, Sense};
+//!
+//! let models: Vec<Model> = (1..=4)
+//!     .map(|k| {
+//!         let mut m = Model::new(Sense::Maximize);
+//!         let x = m.add_var("x", 0.0, k as f64);
+//!         m.set_objective([(x, 1.0)]);
+//!         m
+//!     })
+//!     .collect();
+//! let outs = batch::solve_all(&models);
+//! let objs: Vec<f64> = outs
+//!     .iter()
+//!     .map(|o| o.status.solution().unwrap().objective)
+//!     .collect();
+//! assert_eq!(objs, vec![1.0, 2.0, 3.0, 4.0]);
+//! ```
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+use crate::ilp::{solve_ilp, IlpConfig, IlpOutcome};
+use crate::model::Model;
+use crate::simplex::{solve_with, SimplexConfig, SolveOutput};
+
+/// Runs `f(0..n)` across the available cores and returns the results in
+/// index order. The building block under [`solve_all`]; exposed so
+/// other crates can parallelize their own independent per-item work
+/// (e.g. per-partition volume normalization) on the same pool
+/// discipline.
+pub fn run_parallel<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n);
+    if threads <= 1 {
+        return (0..n).map(f).collect();
+    }
+
+    // Per-worker deques, seeded round-robin.
+    let queues: Vec<Mutex<VecDeque<usize>>> = (0..threads)
+        .map(|w| Mutex::new((0..n).filter(|i| i % threads == w).collect()))
+        .collect();
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for w in 0..threads {
+            let queues = &queues;
+            let slots = &slots;
+            let f = &f;
+            scope.spawn(move || loop {
+                // Own deque first (LIFO), then steal (FIFO) round-robin
+                // starting from the next worker.
+                let task = queues[w].lock().unwrap().pop_back().or_else(|| {
+                    (1..threads)
+                        .map(|k| (w + k) % threads)
+                        .find_map(|v| queues[v].lock().unwrap().pop_front())
+                });
+                match task {
+                    Some(i) => {
+                        let out = f(i);
+                        *slots[i].lock().unwrap() = Some(out);
+                    }
+                    // No new tasks are ever produced, so globally-empty
+                    // deques mean this worker is done.
+                    None => break,
+                }
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner()
+                .expect("no worker panicked")
+                .expect("every task index was queued exactly once")
+        })
+        .collect()
+}
+
+/// Solves every model with the default configuration, in parallel.
+/// Results are in input order, identical to a sequential
+/// [`crate::solve`] per model.
+pub fn solve_all(models: &[Model]) -> Vec<SolveOutput> {
+    solve_all_with(models, &SimplexConfig::default())
+}
+
+/// Solves every model with an explicit configuration, in parallel.
+pub fn solve_all_with(models: &[Model], config: &SimplexConfig) -> Vec<SolveOutput> {
+    run_parallel(models.len(), |i| solve_with(&models[i], config))
+}
+
+/// Solves every model as an ILP, in parallel. Each branch-and-bound
+/// search runs sequentially within its task (warm starts flow parent to
+/// child inside one search, which is inherently serial); parallelism is
+/// across models.
+pub fn solve_ilp_all(models: &[Model], config: &IlpConfig) -> Vec<IlpOutcome> {
+    run_parallel(models.len(), |i| solve_ilp(&models[i], config))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Sense;
+    use crate::simplex::Status;
+
+    #[test]
+    fn empty_batch() {
+        assert!(solve_all(&[]).is_empty());
+    }
+
+    #[test]
+    fn results_keep_input_order() {
+        // Many models with distinct optima; order must be preserved even
+        // when tasks outnumber threads.
+        let models: Vec<Model> = (0..64)
+            .map(|k| {
+                let mut m = Model::new(Sense::Maximize);
+                let x = m.add_var("x", 0.0, f64::INFINITY);
+                let y = m.add_var("y", 0.0, 1.0);
+                m.set_objective([(x, 1.0)]);
+                m.add_le("cap", [(x, 2.0), (y, 1.0)], k as f64);
+                m
+            })
+            .collect();
+        let outs = solve_all(&models);
+        assert_eq!(outs.len(), 64);
+        for (k, out) in outs.iter().enumerate() {
+            let s = out.status.solution().unwrap();
+            assert!(
+                (s.objective - k as f64 / 2.0).abs() < 1e-6,
+                "model {k}: {}",
+                s.objective
+            );
+        }
+    }
+
+    #[test]
+    fn batch_matches_sequential() {
+        let models: Vec<Model> = (0..8)
+            .map(|k| {
+                let mut m = Model::new(Sense::Minimize);
+                let x = m.add_var("x", 0.0, 10.0);
+                let y = m.add_var("y", 0.0, 10.0);
+                m.set_objective([(x, 1.0), (y, 2.0)]);
+                m.add_ge("floor", [(x, 1.0), (y, 1.0)], 3.0 + k as f64 / 2.0);
+                m
+            })
+            .collect();
+        let par = solve_all(&models);
+        for (m, out) in models.iter().zip(&par) {
+            let seq = crate::simplex::solve_with(m, &SimplexConfig::default());
+            let (a, b) = match (&out.status, &seq.status) {
+                (Status::Optimal(a), Status::Optimal(b)) => (a, b),
+                other => panic!("status mismatch: {other:?}"),
+            };
+            assert!((a.objective - b.objective).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn run_parallel_arbitrary_work() {
+        let squares = run_parallel(100, |i| i * i);
+        assert_eq!(squares.len(), 100);
+        assert_eq!(squares[7], 49);
+        assert_eq!(squares[99], 9801);
+    }
+
+    #[test]
+    fn ilp_batch() {
+        let models: Vec<Model> = (0..4)
+            .map(|k| {
+                let mut m = Model::new(Sense::Maximize);
+                let x = m.add_int_var("x", 0.0, f64::INFINITY);
+                m.set_objective([(x, 1.0)]);
+                m.add_le("c", [(x, 2.0)], 5.0 + k as f64);
+                m
+            })
+            .collect();
+        let outs = solve_ilp_all(&models, &IlpConfig::default());
+        let expect = [2.0, 3.0, 3.0, 4.0]; // floor((5+k)/2)
+        for (k, out) in outs.iter().enumerate() {
+            match &out.status {
+                crate::ilp::IlpStatus::Optimal(s) => {
+                    assert!((s.objective - expect[k]).abs() < 1e-6)
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+}

@@ -6,12 +6,20 @@
 //! literally re-running for hours), this solver takes explicit node and
 //! wall-clock budgets and reports a [`IlpStatus::BudgetExhausted`]
 //! outcome carrying the best incumbent found so far, if any.
+//!
+//! The search is deterministic: nodes are expanded best-first with ties
+//! broken by creation order, and branching picks the most fractional
+//! variable with ties broken by smallest variable index. On the sparse
+//! simplex backend, each child's relaxation is warm-started from its
+//! parent's optimal basis (see [`crate::solve_with_warm`]).
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crate::model::{Model, Sense};
-use crate::simplex::{solve_with, SimplexConfig, Status};
+use crate::simplex::{solve_with_warm, SimplexConfig, Status};
 use crate::solution::Solution;
+use crate::sparse::WarmStart;
 
 /// Budgets and tolerances for [`solve_ilp`].
 #[derive(Debug, Clone)]
@@ -103,10 +111,14 @@ pub fn solve_ilp(model: &Model, config: &IlpConfig) -> IlpOutcome {
     let int_vars = model.integer_vars();
 
     // Each open node is a set of tightened bounds plus the parent's
-    // relaxation bound used for best-first ordering.
+    // relaxation bound (best-first ordering), a creation sequence number
+    // (deterministic tie-breaking), and the parent's optimal basis
+    // (warm-starting the child's relaxation on the sparse backend).
     struct Node {
         bounds: Vec<(usize, f64, f64)>, // (var index, lb, ub)
         bound: f64,                     // relaxation objective (internal min)
+        seq: u64,                       // creation order, unique
+        warm: Option<Arc<WarmStart>>,
     }
     // Internally minimize: for Maximize, compare negated objectives.
     let to_internal = |obj: f64| match model.sense() {
@@ -117,16 +129,22 @@ pub fn solve_ilp(model: &Model, config: &IlpConfig) -> IlpOutcome {
     let mut open: Vec<Node> = vec![Node {
         bounds: Vec::new(),
         bound: f64::NEG_INFINITY,
+        seq: 0,
+        warm: None,
     }];
+    let mut next_seq: u64 = 1;
     let mut incumbent: Option<Solution> = None;
     let mut incumbent_internal = f64::INFINITY;
     let mut saw_budget_stop = false;
 
-    // Best-first: expand the open node with the lowest relaxation bound.
+    // Best-first: expand the open node with the lowest relaxation bound;
+    // equal bounds break by creation order, making the search order (and
+    // hence any tie among equally-good incumbents) deterministic
+    // regardless of how `open` is stored.
     let best_node = |open: &[Node]| -> Option<usize> {
         open.iter()
             .enumerate()
-            .min_by(|(_, a), (_, b)| a.bound.total_cmp(&b.bound))
+            .min_by(|(_, a), (_, b)| a.bound.total_cmp(&b.bound).then(a.seq.cmp(&b.seq)))
             .map(|(i, _)| i)
     };
 
@@ -143,7 +161,7 @@ pub fn solve_ilp(model: &Model, config: &IlpConfig) -> IlpOutcome {
         for &(vi, lb, ub) in &node.bounds {
             sub.tighten_bounds(crate::model::VarId(vi), lb, ub);
         }
-        let out = solve_with(&sub, &config.simplex);
+        let (out, warm_out) = solve_with_warm(&sub, &config.simplex, node.warm.as_deref());
         stats.nodes += 1;
         stats.simplex_iterations += out.stats.iterations;
         let sol = match out.status {
@@ -167,7 +185,8 @@ pub fn solve_ilp(model: &Model, config: &IlpConfig) -> IlpOutcome {
         if internal_obj >= incumbent_internal - 1e-9 {
             continue; // cannot beat incumbent
         }
-        // Find the most fractional integer variable.
+        // Branch on the most fractional integer variable; the strict `>`
+        // keeps the smallest variable index on exact fractionality ties.
         let mut branch: Option<(usize, f64)> = None;
         let mut best_frac = config.int_tol;
         for v in &int_vars {
@@ -185,14 +204,23 @@ pub fn solve_ilp(model: &Model, config: &IlpConfig) -> IlpOutcome {
                 incumbent = Some(sol);
             }
             Some((vi, val)) => {
+                // Children inherit this node's optimal basis: tightening
+                // a bound keeps it dual feasible, so the child re-solve
+                // is a short dual-simplex run instead of a cold start.
+                let warm = warm_out.map(Arc::new);
                 open.push(Node {
                     bounds: with_bound(&node.bounds, vi, f64::NEG_INFINITY, val.floor()),
                     bound: internal_obj,
+                    seq: next_seq,
+                    warm: warm.clone(),
                 });
                 open.push(Node {
                     bounds: with_bound(&node.bounds, vi, val.ceil(), f64::INFINITY),
                     bound: internal_obj,
+                    seq: next_seq + 1,
+                    warm,
                 });
+                next_seq += 2;
             }
         }
     }
@@ -295,6 +323,52 @@ mod tests {
             IlpStatus::Optimal(s) => {
                 assert!((s.value(x) - s.value(x).round()).abs() < 1e-6);
                 assert!((s.objective - 3.7).abs() < 1e-6);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn search_is_deterministic_and_backend_agnostic() {
+        use crate::simplex::{SimplexConfig, SolverBackend};
+        // A model with plenty of ties to exercise the tie-breaking rules.
+        let mut m = Model::new(Sense::Maximize);
+        let vars: Vec<_> = (0..6)
+            .map(|i| m.add_int_var(format!("x{i}"), 0.0, 4.0))
+            .collect();
+        m.set_objective(vars.iter().map(|&v| (v, 1.0)));
+        m.add_le("caps", vars.iter().map(|&v| (v, 2.0)), 13.0);
+        m.add_le(
+            "odd",
+            vars.iter()
+                .enumerate()
+                .map(|(i, &v)| (v, 1.0 + (i % 2) as f64)),
+            9.5,
+        );
+
+        let a = solve_ilp(&m, &IlpConfig::default());
+        let b = solve_ilp(&m, &IlpConfig::default());
+        // Same node count, iteration count, and solution on repeat runs.
+        assert_eq!(a.stats.nodes, b.stats.nodes);
+        assert_eq!(a.stats.simplex_iterations, b.stats.simplex_iterations);
+        let (sa, sb) = match (&a.status, &b.status) {
+            (IlpStatus::Optimal(sa), IlpStatus::Optimal(sb)) => (sa, sb),
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(sa.values, sb.values);
+
+        // Dense backend (no warm starts) reaches the same optimum.
+        let dense_cfg = IlpConfig {
+            simplex: SimplexConfig {
+                backend: SolverBackend::Dense,
+                ..SimplexConfig::default()
+            },
+            ..IlpConfig::default()
+        };
+        let d = solve_ilp(&m, &dense_cfg);
+        match &d.status {
+            IlpStatus::Optimal(sd) => {
+                assert!((sd.objective - sa.objective).abs() < 1e-6)
             }
             other => panic!("unexpected {other:?}"),
         }

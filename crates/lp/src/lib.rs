@@ -8,10 +8,18 @@
 //! * [`Model`] — an LP/ILP model builder (variables with bounds,
 //!   `<=`/`>=`/`=` constraints, maximize/minimize objective);
 //! * [`solve`] — a two-phase primal simplex with bounded variables,
-//!   Bland's anti-cycling rule, and single-variable-row presolve;
+//!   Bland's anti-cycling rule, and single-variable-row presolve. Two
+//!   backends share that pipeline: the default sparse *revised* simplex
+//!   (CSC storage + product-form eta basis, [`SolverBackend::Sparse`])
+//!   and the original dense tableau ([`SolverBackend::Dense`]), kept as
+//!   fallback and differential-testing oracle;
 //! * [`solve_ilp`] — branch-and-bound integer programming on top of the
 //!   relaxation, with node- and time-budgets (the paper's ILP "ran for
-//!   hours"; budgets turn that into a reportable outcome).
+//!   hours"; budgets turn that into a reportable outcome). On the sparse
+//!   backend every child node is warm-started from its parent's optimal
+//!   basis via a bounded-variable dual simplex;
+//! * [`batch`] — parallel batch solving of independent models on a
+//!   from-scratch work-stealing thread pool.
 //!
 //! # Examples
 //!
@@ -31,14 +39,21 @@
 
 #![warn(missing_docs)]
 
+mod basis;
+pub mod batch;
 mod expr;
 mod ilp;
 mod model;
 mod simplex;
 mod solution;
+mod sparse;
 
 pub use expr::LinExpr;
 pub use ilp::{solve_ilp, IlpConfig, IlpOutcome, IlpStats, IlpStatus};
 pub use model::{Constraint, ConstraintSense, Model, ModelError, Sense, VarId};
-pub use simplex::{solve, solve_with, SimplexConfig, SolveOutput, SolveStats, Status};
+pub use simplex::{
+    solve, solve_with, solve_with_warm, SimplexConfig, SolveOutput, SolveStats, SolverBackend,
+    Status,
+};
 pub use solution::Solution;
+pub use sparse::WarmStart;

@@ -239,6 +239,11 @@ impl Model {
         self.vars.len()
     }
 
+    /// All variable ids, in creation (= [`VarId::index`]) order.
+    pub fn var_ids(&self) -> impl Iterator<Item = VarId> + '_ {
+        (0..self.vars.len()).map(VarId)
+    }
+
     /// Number of constraints as formulated (before any solver presolve).
     ///
     /// This is the figure the paper reports in Table 2's "LP constraints"

@@ -1,11 +1,17 @@
 //! Two-phase primal simplex with bounded variables.
 //!
-//! The solver runs on a dense tableau (the assay LPs of the paper are
-//! dense enough and small enough — thousands of rows — that a dense
-//! tableau on a modern machine reproduces the paper's "LP is slow but
-//! feasible" regime faithfully).
+//! Two interchangeable backends share one standardization pipeline:
 //!
-//! Pipeline:
+//! * [`SolverBackend::Sparse`] (default) — the revised simplex of
+//!   [`crate::sparse`]: CSC column storage, a product-form eta basis
+//!   with periodic refactorization, and warm starts for branch-and-
+//!   bound. Work per iteration is proportional to the basis/eta sizes
+//!   rather than to `rows x cols`.
+//! * [`SolverBackend::Dense`] — the original dense-tableau
+//!   implementation, kept as a fallback and as the differential-testing
+//!   oracle for the sparse backend.
+//!
+//! Shared pipeline:
 //!
 //! 1. **Presolve** — constraints mentioning a single variable are folded
 //!    into that variable's bounds (the paper's per-edge minimum-volume
@@ -14,8 +20,10 @@
 //!    counts constraints in Table 2.
 //! 2. **Standardization** — every variable is shifted/mirrored/split to
 //!    an internal variable with bounds `[0, u]` (`u` possibly infinite);
-//!    every constraint becomes an equality via a slack; rows are sign
-//!    normalized so the right-hand side is nonnegative.
+//!    every constraint becomes an equality via a slack. (The dense
+//!    backend additionally sign-normalizes rows so the right-hand side
+//!    is nonnegative; the sparse backend keeps rows as formulated so the
+//!    matrix is bound-independent and can be reused across warm starts.)
 //! 3. **Phase 1** — artificial variables are added where a slack cannot
 //!    serve as the initial basis and `sum(artificials)` is minimized;
 //!    a positive optimum means the model is infeasible. Artificials are
@@ -28,6 +36,18 @@
 
 use crate::model::{ConstraintSense, Model, Sense};
 use crate::solution::Solution;
+use crate::sparse::WarmStart;
+
+/// Which simplex implementation [`solve_with`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SolverBackend {
+    /// Sparse revised simplex (CSC storage + product-form eta basis).
+    #[default]
+    Sparse,
+    /// Dense tableau; the original implementation, kept as a fallback
+    /// and differential-testing oracle.
+    Dense,
+}
 
 /// Tuning knobs for [`solve_with`].
 #[derive(Debug, Clone)]
@@ -40,6 +60,8 @@ pub struct SimplexConfig {
     /// Iterations without objective progress before switching to Bland's
     /// rule.
     pub stall_limit: u64,
+    /// Which simplex implementation to run.
+    pub backend: SolverBackend,
 }
 
 impl Default for SimplexConfig {
@@ -48,6 +70,7 @@ impl Default for SimplexConfig {
             tol: 1e-7,
             max_iters: None,
             stall_limit: 256,
+            backend: SolverBackend::default(),
         }
     }
 }
@@ -128,12 +151,40 @@ pub fn solve(model: &Model) -> SolveOutput {
 
 /// Solves a model with an explicit configuration. See [`solve`].
 pub fn solve_with(model: &Model, config: &SimplexConfig) -> SolveOutput {
+    solve_with_warm(model, config, None).0
+}
+
+/// Solves a model, optionally warm-starting from the basis of a
+/// previous solve of a *bound-tightened variant* of the same model (the
+/// branch-and-bound case: costs and coefficients unchanged, variable
+/// bounds only tightened).
+///
+/// Returns the outcome plus, when the solve ended [`Status::Optimal`] on
+/// the sparse backend, an opaque [`WarmStart`] capturing the optimal
+/// basis for reuse. The dense backend ignores `warm` and returns `None`.
+///
+/// An incompatible warm start (different model shape) is detected and
+/// ignored — the solve falls back to a cold start, never to a wrong
+/// answer.
+pub fn solve_with_warm(
+    model: &Model,
+    config: &SimplexConfig,
+    warm: Option<&WarmStart>,
+) -> (SolveOutput, Option<WarmStart>) {
     if model.validate().is_err() {
-        return SolveOutput {
+        let out = SolveOutput {
             status: Status::Infeasible,
             stats: SolveStats::default(),
         };
+        return (out, None);
     }
+    match config.backend {
+        SolverBackend::Sparse => crate::sparse::solve_sparse(model, config, warm),
+        SolverBackend::Dense => (solve_dense(model, config), None),
+    }
+}
+
+fn solve_dense(model: &Model, config: &SimplexConfig) -> SolveOutput {
     match Tableau::build(model, config) {
         Ok(mut t) => t.run(model),
         Err(BuildVerdict::Infeasible) => SolveOutput {
@@ -147,27 +198,163 @@ pub fn solve_with(model: &Model, config: &SimplexConfig) -> SolveOutput {
 // Standardization
 // ---------------------------------------------------------------------
 
-enum BuildVerdict {
+pub(crate) enum BuildVerdict {
     Infeasible,
 }
 
 /// How a model variable maps onto internal column(s):
 /// `x_model = offset + sign * x_col` (plus a second negated column for
 /// free variables).
-#[derive(Debug, Clone, Copy)]
-struct VarMap {
-    col: usize,
-    offset: f64,
-    sign: f64,
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct VarMap {
+    pub(crate) col: usize,
+    pub(crate) offset: f64,
+    pub(crate) sign: f64,
     /// Second column for split (free) variables: `x = offset + x_col - x_neg`.
-    neg_col: Option<usize>,
+    pub(crate) neg_col: Option<usize>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum ColStatus {
+pub(crate) enum ColStatus {
     Basic,
     AtLower,
     AtUpper,
+}
+
+/// Presolve result: surviving constraint indices plus tightened bounds.
+pub(crate) struct Presolved {
+    /// Indices into `model.constraints()` of rows the solver keeps.
+    pub(crate) kept: Vec<usize>,
+    pub(crate) lb: Vec<f64>,
+    pub(crate) ub: Vec<f64>,
+    pub(crate) folded: usize,
+}
+
+/// Folds single-variable constraints into variable bounds (shared by
+/// both backends so they standardize identically).
+pub(crate) fn presolve(model: &Model, tol: f64) -> Result<Presolved, BuildVerdict> {
+    let n = model.num_vars();
+    let mut lb: Vec<f64> = (0..n).map(|i| model.vars[i].lb).collect();
+    let mut ub: Vec<f64> = (0..n).map(|i| model.vars[i].ub).collect();
+    let mut kept = Vec::new();
+    let mut folded = 0usize;
+    for (ci, c) in model.constraints().iter().enumerate() {
+        let terms = c.expr.terms();
+        match terms.len() {
+            0 => {
+                let ok = match c.sense {
+                    ConstraintSense::Le => 0.0 <= c.rhs + tol,
+                    ConstraintSense::Ge => 0.0 >= c.rhs - tol,
+                    ConstraintSense::Eq => c.rhs.abs() <= tol,
+                };
+                if !ok {
+                    return Err(BuildVerdict::Infeasible);
+                }
+                folded += 1;
+            }
+            1 => {
+                let (v, a) = terms[0];
+                let i = v.index();
+                let bound = c.rhs / a;
+                // a*x <= rhs  =>  x <= bound (a>0) or x >= bound (a<0)
+                let tighten_le = |ub: &mut f64| *ub = ub.min(bound);
+                let tighten_ge = |lb: &mut f64| *lb = lb.max(bound);
+                match (c.sense, a > 0.0) {
+                    (ConstraintSense::Le, true) | (ConstraintSense::Ge, false) => {
+                        tighten_le(&mut ub[i])
+                    }
+                    (ConstraintSense::Le, false) | (ConstraintSense::Ge, true) => {
+                        tighten_ge(&mut lb[i])
+                    }
+                    (ConstraintSense::Eq, _) => {
+                        tighten_le(&mut ub[i]);
+                        tighten_ge(&mut lb[i]);
+                    }
+                }
+                folded += 1;
+            }
+            _ => kept.push(ci),
+        }
+    }
+    for i in 0..n {
+        if lb[i] > ub[i] + tol {
+            return Err(BuildVerdict::Infeasible);
+        }
+        // Numerical cross-over from folding: clamp.
+        if lb[i] > ub[i] {
+            ub[i] = lb[i];
+        }
+    }
+    Ok(Presolved {
+        kept,
+        lb,
+        ub,
+        folded,
+    })
+}
+
+/// Maps model variables to internal columns with bounds `[0, u]`.
+/// Returns `(maps, upper-per-structural-column, structural columns)`.
+pub(crate) fn build_var_maps(lb: &[f64], ub: &[f64]) -> (Vec<VarMap>, Vec<f64>, usize) {
+    let mut var_maps = Vec::with_capacity(lb.len());
+    let mut upper = Vec::new();
+    let mut next_col = 0usize;
+    for (&l, &u) in lb.iter().zip(ub) {
+        let map = if l.is_finite() {
+            upper.push(u - l); // may be INFINITY
+            let m = VarMap {
+                col: next_col,
+                offset: l,
+                sign: 1.0,
+                neg_col: None,
+            };
+            next_col += 1;
+            m
+        } else if u.is_finite() {
+            // Mirror: x = u - x'
+            upper.push(f64::INFINITY);
+            let m = VarMap {
+                col: next_col,
+                offset: u,
+                sign: -1.0,
+                neg_col: None,
+            };
+            next_col += 1;
+            m
+        } else {
+            // Free: x = x+ - x-
+            upper.push(f64::INFINITY);
+            upper.push(f64::INFINITY);
+            let m = VarMap {
+                col: next_col,
+                offset: 0.0,
+                sign: 1.0,
+                neg_col: Some(next_col + 1),
+            };
+            next_col += 2;
+            m
+        };
+        var_maps.push(map);
+    }
+    (var_maps, upper, next_col)
+}
+
+/// Internal minimization costs per structural column (sign-adjusted for
+/// the model's optimization direction and each column's mapping).
+pub(crate) fn internal_costs(model: &Model, var_maps: &[VarMap], ncols: usize) -> Vec<f64> {
+    let mut cost = vec![0.0; ncols];
+    let obj_sign = match model.sense() {
+        Sense::Minimize => 1.0,
+        Sense::Maximize => -1.0,
+    };
+    for &(v, c) in model.objective().terms() {
+        let map = var_maps[v.index()];
+        cost[map.col] += obj_sign * c * map.sign;
+        if let Some(ncol) = map.neg_col {
+            cost[ncol] -= obj_sign * c;
+        }
+    }
+    cost
 }
 
 struct Tableau {
@@ -195,106 +382,15 @@ struct Tableau {
 
 impl Tableau {
     fn build(model: &Model, config: &SimplexConfig) -> Result<Tableau, BuildVerdict> {
-        let tol = config.tol;
-        let n = model.num_vars();
-        // Working copies of variable bounds, tightened by presolve.
-        let mut lb: Vec<f64> = (0..n).map(|i| model.vars[i].lb).collect();
-        let mut ub: Vec<f64> = (0..n).map(|i| model.vars[i].ub).collect();
-
-        // --- Presolve: fold single-variable constraints into bounds. ---
-        let mut kept_rows = Vec::new();
-        let mut folded = 0usize;
-        for c in model.constraints() {
-            let terms = c.expr.terms();
-            match terms.len() {
-                0 => {
-                    let ok = match c.sense {
-                        ConstraintSense::Le => 0.0 <= c.rhs + tol,
-                        ConstraintSense::Ge => 0.0 >= c.rhs - tol,
-                        ConstraintSense::Eq => c.rhs.abs() <= tol,
-                    };
-                    if !ok {
-                        return Err(BuildVerdict::Infeasible);
-                    }
-                    folded += 1;
-                }
-                1 => {
-                    let (v, a) = terms[0];
-                    let i = v.index();
-                    let bound = c.rhs / a;
-                    // a*x <= rhs  =>  x <= bound (a>0) or x >= bound (a<0)
-                    let tighten_le = |ub: &mut f64| *ub = ub.min(bound);
-                    let tighten_ge = |lb: &mut f64| *lb = lb.max(bound);
-                    match (c.sense, a > 0.0) {
-                        (ConstraintSense::Le, true) | (ConstraintSense::Ge, false) => {
-                            tighten_le(&mut ub[i])
-                        }
-                        (ConstraintSense::Le, false) | (ConstraintSense::Ge, true) => {
-                            tighten_ge(&mut lb[i])
-                        }
-                        (ConstraintSense::Eq, _) => {
-                            tighten_le(&mut ub[i]);
-                            tighten_ge(&mut lb[i]);
-                        }
-                    }
-                    folded += 1;
-                }
-                _ => kept_rows.push(c),
-            }
-        }
-        for i in 0..n {
-            if lb[i] > ub[i] + tol {
-                return Err(BuildVerdict::Infeasible);
-            }
-            // Numerical cross-over from folding: clamp.
-            if lb[i] > ub[i] {
-                ub[i] = lb[i];
-            }
-        }
-
-        // --- Map model variables to internal columns with bounds [0, u]. ---
-        let mut var_maps = Vec::with_capacity(n);
-        let mut upper = Vec::new();
-        let mut next_col = 0usize;
-        for i in 0..n {
-            let (l, u) = (lb[i], ub[i]);
-            let map = if l.is_finite() {
-                upper.push(u - l); // may be INFINITY
-                let m = VarMap {
-                    col: next_col,
-                    offset: l,
-                    sign: 1.0,
-                    neg_col: None,
-                };
-                next_col += 1;
-                m
-            } else if u.is_finite() {
-                // Mirror: x = u - x'
-                upper.push(f64::INFINITY);
-                let m = VarMap {
-                    col: next_col,
-                    offset: u,
-                    sign: -1.0,
-                    neg_col: None,
-                };
-                next_col += 1;
-                m
-            } else {
-                // Free: x = x+ - x-
-                upper.push(f64::INFINITY);
-                upper.push(f64::INFINITY);
-                let m = VarMap {
-                    col: next_col,
-                    offset: 0.0,
-                    sign: 1.0,
-                    neg_col: Some(next_col + 1),
-                };
-                next_col += 2;
-                m
-            };
-            var_maps.push(map);
-        }
-        let nstruct = next_col;
+        // --- Presolve + variable mapping (shared with the sparse backend). ---
+        let pre = presolve(model, config.tol)?;
+        let (var_maps, mut upper, nstruct) = build_var_maps(&pre.lb, &pre.ub);
+        let folded = pre.folded;
+        let kept_rows: Vec<&crate::model::Constraint> = pre
+            .kept
+            .iter()
+            .map(|&ci| &model.constraints()[ci])
+            .collect();
         let m_rows = kept_rows.len();
 
         // --- Assemble rows (structural part + slack), rhs-normalized. ---
@@ -364,18 +460,7 @@ impl Tableau {
         upper.extend(std::iter::repeat_n(f64::INFINITY, n_art));
 
         // Phase-2 costs (internal minimization).
-        let mut cost = vec![0.0; cols];
-        let obj_sign = match model.sense() {
-            Sense::Minimize => 1.0,
-            Sense::Maximize => -1.0,
-        };
-        for &(v, c) in model.objective().terms() {
-            let map = var_maps[v.index()];
-            cost[map.col] += obj_sign * c * map.sign;
-            if let Some(ncol) = map.neg_col {
-                cost[ncol] -= obj_sign * c;
-            }
-        }
+        let cost = internal_costs(model, &var_maps, cols);
 
         let mut status = vec![ColStatus::AtLower; cols];
         for &b in &basic {
@@ -701,7 +786,7 @@ impl Tableau {
 /// Tie-break for the leaving row: prefer larger pivot magnitude for
 /// stability; under Bland's rule any deterministic choice terminates, and
 /// keeping the first-seen minimum-ratio row is deterministic.
-fn better_leaving(candidate_pivot: f64, current_pivot: f64, bland: bool) -> bool {
+pub(crate) fn better_leaving(candidate_pivot: f64, current_pivot: f64, bland: bool) -> bool {
     if bland {
         false
     } else {
@@ -709,7 +794,7 @@ fn better_leaving(candidate_pivot: f64, current_pivot: f64, bland: bool) -> bool
     }
 }
 
-enum IterEnd {
+pub(crate) enum IterEnd {
     Optimal,
     Unbounded,
     IterationLimit,

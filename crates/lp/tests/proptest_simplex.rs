@@ -1,3 +1,7 @@
+// Compiled only with the `proptest-tests` feature: the dependency it
+// needs is not vendored, so the default offline build skips it.
+#![cfg(feature = "proptest-tests")]
+
 //! Property-based tests for the simplex solver.
 //!
 //! Strategy: generate random LPs that are feasible *by construction* (the

@@ -31,6 +31,7 @@ mod error;
 mod ops;
 mod parse;
 mod ratio;
+pub mod rng;
 
 pub use error::RatioError;
 pub use parse::ParseRatioError;

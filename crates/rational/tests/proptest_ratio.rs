@@ -1,3 +1,7 @@
+// Compiled only with the `proptest-tests` feature: the dependency it
+// needs is not vendored, so the default offline build skips it.
+#![cfg(feature = "proptest-tests")]
+
 //! Property-based tests: field axioms and rounding laws for `Ratio`.
 
 use aqua_rational::Ratio;

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Pre-merge gate. Run from the repo root: scripts/ci.sh
+#
+# Mirrors what reviewers expect to be green before a PR lands:
+#   1. formatting            (cargo fmt --check)
+#   2. lints, deny warnings  (cargo clippy --workspace --all-targets)
+#   3. tier-1 build + tests  (cargo build --release && cargo test -q)
+#   4. LP backend smoke test (bench_lp --quick: sparse/dense agreement)
+#
+# The bench_lp smoke run writes its JSON to target/ so it never
+# clobbers the committed BENCH_lp.json (regenerate that with a full
+# `cargo run --release -p aqua-bench --bin bench_lp`).
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> tier-1: cargo build --release"
+cargo build --release
+
+echo "==> tier-1: cargo test -q"
+cargo test -q
+
+echo "==> bench_lp --quick (backend agreement smoke test)"
+cargo run --release -p aqua-bench --bin bench_lp -- --quick --out target/BENCH_lp.quick.json
+
+echo "==> ci.sh: all green"
