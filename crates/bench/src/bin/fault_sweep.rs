@@ -1,0 +1,214 @@
+//! Sweeps injected hardware-fault rates over the paper's assays and
+//! measures how often the run-time recovery ladder (re-dispense →
+//! regenerate → re-solve, the Fig. 6 hierarchy applied at run time)
+//! completes the assay anyway. Writes `BENCH_fault.json` at the repo
+//! root.
+//!
+//! Usage: `cargo run --release --bin fault_sweep [--quick] [--out PATH]`
+//!
+//! Four cases: the Figure 2 running example, Glucose, Glycomics and
+//! Enzyme10 (on a 128-reservoir machine — the assay stores 113 fluids
+//! concurrently). Each is executed fault-free once to establish the
+//! expected sensor-reading set, then re-executed under a grid of fault
+//! rates x seeds with recovery enabled. A run *recovers* when it
+//! completes without deficit/overflow violations and reproduces the
+//! fault-free sense-result count; the per-tier recovery action counts
+//! are accumulated alongside.
+//!
+//! `--quick` shrinks the grid to a CI smoke test and exits nonzero if
+//! the zero-fault-rate column recovers less than 100%.
+
+use std::collections::HashMap;
+
+use aqua_bench::harness::{self, Extra, Measurement};
+use aqua_bench::Benchmark;
+use aqua_sim::{ExecConfig, Executor, FaultPlan, Violation};
+use aqua_volume::Machine;
+
+struct Case {
+    name: &'static str,
+    out: aqua_compiler::CompileOutput,
+    machine: Machine,
+    /// Fault-free reference: sense-result count and per-port totals.
+    ref_senses: usize,
+    ref_collected: HashMap<u32, u64>,
+}
+
+fn build_case(name: &'static str, source: &str, machine: Machine) -> Case {
+    let out = aqua_compiler::compile(source, &machine, &Default::default())
+        .unwrap_or_else(|e| panic!("{name} failed to compile: {e}"));
+    let clean = Executor::new(&machine, ExecConfig::default())
+        .run(&out)
+        .unwrap_or_else(|e| panic!("{name} failed fault-free: {e}"));
+    // Meter underflows are tolerated in the baseline: Enzyme10's sheer
+    // fan-out drives some planned volumes below the least count even
+    // fault-free. Only deficits/overflows disqualify.
+    assert!(
+        !clean
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::Deficit { .. } | Violation::Overflow { .. })),
+        "{name} starves/overflows even fault-free: {:?}",
+        clean.violations
+    );
+    Case {
+        name,
+        ref_senses: clean.sense_results.len(),
+        ref_collected: clean.collected_pl.clone(),
+        out,
+        machine,
+    }
+}
+
+/// Whether a faulty run counts as recovered: it completed, hit no
+/// deficit/overflow, and produced the fault-free number of readings
+/// and the same set of output ports.
+fn recovered(case: &Case, report: &aqua_sim::ExecReport) -> bool {
+    let hard_violation = report
+        .violations
+        .iter()
+        .any(|v| matches!(v, Violation::Deficit { .. } | Violation::Overflow { .. }));
+    if hard_violation || report.sense_results.len() != case.ref_senses {
+        return false;
+    }
+    // Every planned output port still received fluid (port 1 doubles
+    // as the overflow-trim waste, so extras there are fine).
+    case.ref_collected
+        .keys()
+        .all(|p| report.collected_pl.get(p).is_some_and(|&v| v > 0))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = match args.iter().position(|a| a == "--out") {
+        Some(pos) => args.get(pos + 1).cloned().unwrap_or_else(|| {
+            eprintln!("error: --out requires a path");
+            std::process::exit(2);
+        }),
+        None => concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fault.json").to_owned(),
+    };
+
+    let default = Machine::paper_default();
+    let big = Machine::paper_default()
+        .with_reservoirs(128)
+        .with_input_ports(64);
+    let cases = vec![
+        build_case("fig2", aqua_assays::figure2::SOURCE, default.clone()),
+        build_case("glucose", &Benchmark::Glucose.source(), default.clone()),
+        build_case("glycomics", &Benchmark::Glycomics.source(), default.clone()),
+        build_case("enzyme10", &Benchmark::EnzymeN(10).source(), big),
+    ];
+
+    let rates: &[f64] = if quick {
+        &[0.0, 0.10]
+    } else {
+        &[0.0, 0.02, 0.05, 0.10, 0.20]
+    };
+    let seeds: u64 = if quick { 3 } else { 20 };
+
+    println!(
+        "fault_sweep: recovery under injected faults ({} mode, {} seeds/rate)\n",
+        if quick { "quick" } else { "full" },
+        seeds
+    );
+
+    let mut measurements: Vec<Measurement> = Vec::new();
+    let mut extras: Vec<(String, Extra)> = vec![
+        ("quick".into(), Extra::Bool(quick)),
+        ("seeds_per_rate".into(), Extra::Num(seeds.to_string())),
+    ];
+    let mut zero_rate_ok = true;
+    let mut ten_pct_total = 0u64;
+    let mut ten_pct_recovered = 0u64;
+
+    for case in &cases {
+        for &rate in rates {
+            let mut wins = 0u64;
+            let mut faults = 0u64;
+            let mut redispense = 0u64;
+            let mut regenerate = 0u64;
+            let mut replan = 0u64;
+            let mut trims = 0u64;
+            let mut extra_pl = 0u64;
+            let label = format!("{}/rate{:.2}", case.name, rate);
+            let m = harness::time(&label, 0, 1, || {
+                for seed in 0..seeds {
+                    let config = ExecConfig {
+                        faults: FaultPlan::uniform(seed + 1, rate),
+                        recover: true,
+                        ..ExecConfig::default()
+                    };
+                    let report = Executor::new(&case.machine, config)
+                        .run(&case.out)
+                        .unwrap_or_else(|e| panic!("{}: {e}", case.name));
+                    assert_eq!(
+                        report.conservation_delta_pl(),
+                        0,
+                        "{} seed {seed}: volume not conserved",
+                        case.name
+                    );
+                    if recovered(case, &report) {
+                        wins += 1;
+                    }
+                    faults += report.faults.total();
+                    redispense += report.recovery.redispense;
+                    regenerate += report.recovery.regenerate;
+                    replan += report.recovery.replan;
+                    trims += report.recovery.overflow_trims;
+                    extra_pl += report.recovery.extra_volume_pl;
+                }
+            });
+            let pct = 100.0 * wins as f64 / seeds as f64;
+            println!(
+                "{label:<20} recovered {wins}/{seeds} ({pct:>5.1}%)  faults {faults:>4}  \
+                 tiers: redisp {redispense}, regen {regenerate}, replan {replan}, trim {trims}, \
+                 extra {:.1} nl",
+                extra_pl as f64 / 1000.0
+            );
+            let key = format!("{}_rate{}", case.name, (rate * 100.0).round() as u32);
+            extras.push((format!("{key}_recovered"), Extra::Num(wins.to_string())));
+            extras.push((format!("{key}_runs"), Extra::Num(seeds.to_string())));
+            extras.push((format!("{key}_faults"), Extra::Num(faults.to_string())));
+            extras.push((
+                format!("{key}_redispense"),
+                Extra::Num(redispense.to_string()),
+            ));
+            extras.push((
+                format!("{key}_regenerate"),
+                Extra::Num(regenerate.to_string()),
+            ));
+            extras.push((format!("{key}_replan"), Extra::Num(replan.to_string())));
+            extras.push((format!("{key}_trims"), Extra::Num(trims.to_string())));
+            extras.push((
+                format!("{key}_extra_volume_pl"),
+                Extra::Num(extra_pl.to_string()),
+            ));
+            measurements.push(m);
+            if rate == 0.0 && wins != seeds {
+                zero_rate_ok = false;
+            }
+            if rate <= 0.10 + 1e-9 {
+                ten_pct_total += seeds;
+                ten_pct_recovered += wins;
+            }
+        }
+        println!();
+    }
+
+    let upto10 = 100.0 * ten_pct_recovered as f64 / ten_pct_total.max(1) as f64;
+    println!("recovery at fault rates <= 10%: {upto10:.1}%");
+    extras.push(("zero_rate_all_recover".into(), Extra::Bool(zero_rate_ok)));
+    extras.push((
+        "recovery_pct_upto_10".into(),
+        Extra::Num(format!("{upto10:.2}")),
+    ));
+
+    let json = harness::to_json("bench_fault/v1", &measurements, &extras);
+    std::fs::write(&out_path, &json).expect("write BENCH_fault.json");
+    println!("wrote {out_path}");
+    if !zero_rate_ok {
+        eprintln!("error: a zero-fault-rate run failed to complete cleanly");
+        std::process::exit(1);
+    }
+}

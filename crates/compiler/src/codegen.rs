@@ -60,6 +60,21 @@ pub struct VolumePlan {
     /// resolution: the `(partition, local node)` key whose measurement
     /// the run-time dispenser needs.
     pub unknown_separations: HashMap<usize, (usize, aqua_dag::NodeId)>,
+    /// For metered instructions: the original-DAG edge being executed.
+    /// Lets the run-time recovery engine map an instruction back to the
+    /// plan it is drawing from.
+    pub instr_edges: HashMap<usize, EdgeId>,
+    /// For metered instructions: the original-DAG node whose fluid is
+    /// drawn (the input node itself for `Input` loads). The recovery
+    /// engine regenerates this node's backward slice on a shortfall.
+    pub instr_sources: HashMap<usize, NodeId>,
+    /// For run-time-resolved instructions: which partition they draw
+    /// from (derived from the `Runtime` entries).
+    pub instr_partitions: HashMap<usize, usize>,
+    /// Per-node slack in pl under a static resolution: planned
+    /// production minus planned draws — the "re-dispense with slack"
+    /// budget of recovery tier 1. Empty without a static volume table.
+    pub node_slack_pl: Vec<Picoliters>,
 }
 
 impl VolumePlan {
@@ -105,6 +120,8 @@ struct Emitter<'a> {
     node_pl: Option<Vec<Picoliters>>,
     /// For unknown separations: original node -> (partition, local id).
     unknown_keys: HashMap<NodeId, (usize, NodeId)>,
+    instr_edges: HashMap<usize, EdgeId>,
+    instr_sources: HashMap<usize, NodeId>,
     port_fluids: HashMap<u32, String>,
     separation_fractions: HashMap<usize, f64>,
     unknown_separations: HashMap<usize, (usize, NodeId)>,
@@ -246,6 +263,8 @@ pub fn emit(
         runtime_edges,
         node_pl,
         unknown_keys,
+        instr_edges: HashMap::new(),
+        instr_sources: HashMap::new(),
         port_fluids: HashMap::new(),
         separation_fractions: HashMap::new(),
         unknown_separations: HashMap::new(),
@@ -258,11 +277,36 @@ pub fn emit(
     for node in order {
         e.emit_node(node)?;
     }
+    let instr_partitions = e
+        .plan
+        .iter()
+        .enumerate()
+        .filter_map(|(i, p)| match p {
+            Some(PlannedVolume::Runtime { partition, .. }) => Some((i, *partition)),
+            _ => None,
+        })
+        .collect();
+    // Tier-1 recovery budget: slack a node's reservoir holds beyond its
+    // planned draws (after reconciliation, so never negative in effect).
+    let node_slack_pl = match (&e.node_pl, &e.edge_pl) {
+        (Some(nodes), Some(edges)) => dag
+            .node_ids()
+            .map(|n| {
+                let drawn: Picoliters = dag.out_edges(n).iter().map(|&ed| edges[ed.index()]).sum();
+                nodes[n.index()].saturating_sub(drawn)
+            })
+            .collect(),
+        _ => Vec::new(),
+    };
     let plan = VolumePlan {
         entries: e.plan.clone(),
         port_fluids: e.port_fluids.clone(),
         separation_fractions: e.separation_fractions.clone(),
         unknown_separations: e.unknown_separations.clone(),
+        instr_edges: e.instr_edges.clone(),
+        instr_sources: e.instr_sources.clone(),
+        instr_partitions,
+        node_slack_pl,
     };
     Ok((e.program, plan))
 }
@@ -271,6 +315,19 @@ impl<'a> Emitter<'a> {
     fn push(&mut self, instr: Instr, vol: Option<PlannedVolume>) {
         self.program.push(instr);
         self.plan.push(vol);
+    }
+
+    /// Records which DAG edge/source the *next* pushed instruction
+    /// executes, so the run-time recovery engine can map a shortfall
+    /// back to its plan volume and starved fluid.
+    fn note_meta(&mut self, edge: Option<EdgeId>, src: Option<NodeId>) {
+        let idx = self.program.instrs().len();
+        if let Some(e) = edge {
+            self.instr_edges.insert(idx, e);
+        }
+        if let Some(s) = src {
+            self.instr_sources.insert(idx, s);
+        }
     }
 
     fn alloc_reservoir(&mut self) -> Result<u32, CompileError> {
@@ -457,6 +514,7 @@ impl<'a> Emitter<'a> {
                     Some(tbl) => PlannedVolume::Static(tbl[node.index()]),
                     None => PlannedVolume::All, // load to capacity
                 };
+                self.note_meta(None, Some(node));
                 self.push(
                     Instr::Input {
                         dst: WetLoc::Reservoir(r),
@@ -489,6 +547,7 @@ impl<'a> Emitter<'a> {
                     }
                     let src_loc = self.location(src)?;
                     let vol = self.edge_volume(e);
+                    self.note_meta(Some(e), Some(src));
                     self.push(
                         Instr::Move {
                             dst: mixer,
@@ -520,6 +579,7 @@ impl<'a> Emitter<'a> {
                     let src_loc = self.location(src)?;
                     let vol = self.edge_volume(e);
                     let metered = self.dag.num_uses(src) > 1;
+                    self.note_meta(Some(e), Some(src));
                     self.push(
                         Instr::Move {
                             dst: heater,
@@ -588,6 +648,7 @@ impl<'a> Emitter<'a> {
                 let src_loc = self.location(src)?;
                 let vol = self.edge_volume(e);
                 let metered = self.dag.num_uses(src) > 1;
+                self.note_meta(Some(e), Some(src));
                 self.push(
                     Instr::Move {
                         dst: sep,
@@ -640,6 +701,7 @@ impl<'a> Emitter<'a> {
                 let src_loc = self.location(src)?;
                 let vol = self.edge_volume(e);
                 let metered = self.dag.num_uses(src) > 1;
+                self.note_meta(Some(e), Some(src));
                 self.push(
                     Instr::Output {
                         port: WetLoc::OutputPort(port),
@@ -663,6 +725,7 @@ impl<'a> Emitter<'a> {
             let src_loc = self.location(src)?;
             let vol = self.edge_volume(e);
             let metered = self.dag.num_uses(src) > 1;
+            self.note_meta(Some(e), Some(src));
             self.push(
                 Instr::Move {
                     dst: sensor,
@@ -836,6 +899,27 @@ END";
             .flatten()
             .any(|p| matches!(p, PlannedVolume::Runtime { .. }));
         assert!(has_runtime, "expected run-time volume entries");
+    }
+
+    #[test]
+    fn metered_instructions_carry_recovery_metadata() {
+        let machine = Machine::paper_default();
+        let out = compile(GLUCOSE, &machine, &CompileOptions::default()).unwrap();
+        let plan = &out.volume_plan;
+        // Every static-metered instruction maps back to a DAG source.
+        for (i, entry) in plan.entries.iter().enumerate() {
+            if matches!(entry, Some(PlannedVolume::Static(_))) {
+                assert!(
+                    plan.instr_sources.contains_key(&i),
+                    "instr {i} has a static volume but no source node"
+                );
+            }
+        }
+        // Slack table covers the whole DAG and sources have headroom
+        // only where production exceeds draws (reconciled: no negatives).
+        assert_eq!(plan.node_slack_pl.len(), out.dag.num_nodes());
+        // Runtime entries (none for glucose) would populate partitions.
+        assert!(plan.instr_partitions.is_empty());
     }
 
     #[test]

@@ -161,6 +161,38 @@ pub fn solve_min_outputs(
     Ok(dispense(dag, machine, vnorms, scale))
 }
 
+/// Runs DAGSolve with per-node production caps (in nl): the scale is
+/// the capacity scale further reduced so no listed node produces more
+/// than its cap. This is the run-time re-entry of Fig. 6 — after a
+/// fault, the *observed* availability of already-produced fluids
+/// becomes a hard cap and the rest of the assay is re-dispensed
+/// proportionally (§3.5's philosophy of solving with measured volumes
+/// as constraints).
+///
+/// # Errors
+///
+/// See [`solve`].
+pub fn solve_capped(
+    dag: &Dag,
+    machine: &Machine,
+    weights: &HashMap<NodeId, Ratio>,
+    caps_nl: &HashMap<NodeId, Ratio>,
+) -> Result<VolumeAssignment, DagSolveError> {
+    let vnorms = vnorm::compute_weighted(dag, weights)?;
+    let max_load = vnorms.max_load();
+    if !max_load.is_positive() {
+        return Err(DagSolveError::ZeroDemand);
+    }
+    let mut scale = machine.max_capacity_nl() / max_load;
+    for (&node, &cap_nl) in caps_nl {
+        let v = vnorms.node[node.index()];
+        if v.is_positive() {
+            scale = scale.min(cap_nl.max(Ratio::ZERO) / v);
+        }
+    }
+    Ok(dispense(dag, machine, vnorms, scale))
+}
+
 /// The forward dispensing pass: multiply every Vnorm by `scale_nl` and
 /// check the least count.
 pub(crate) fn dispense(
@@ -205,6 +237,14 @@ pub(crate) fn dispense(
 }
 
 impl VolumeAssignment {
+    /// Re-runs the forward dispensing pass at `factor` times this
+    /// assignment's scale, keeping the Vnorms. Used by the run-time
+    /// recovery engine to shrink a partition's plan to what a faulty
+    /// dispenser actually delivered (all ratios preserved exactly).
+    pub fn rescaled(&self, dag: &Dag, machine: &Machine, factor: Ratio) -> VolumeAssignment {
+        dispense(dag, machine, self.vnorms.clone(), self.scale_nl * factor)
+    }
+
     /// Absolute volume of one node's output, in nl.
     ///
     /// # Panics
@@ -379,6 +419,38 @@ mod tests {
         // Capped at the capacity scale: B gets exactly 100 nl.
         assert!(sol.node_nl(m_out) < Ratio::from_int(1_000_000));
         assert!(sol.audit(&d, &machine).is_empty());
+    }
+
+    #[test]
+    fn capped_solve_respects_observed_availability() {
+        let (d, [a, b, ..]) = figure2();
+        let machine = Machine::paper_default();
+        let free = solve(&d, &machine).unwrap();
+        // Cap B (the most loaded node) at half what the free solve gave
+        // it: the whole assignment shrinks by exactly that factor.
+        let mut caps = HashMap::new();
+        caps.insert(b, free.node_nl(b) / Ratio::from_int(2));
+        let capped = solve_capped(&d, &machine, &HashMap::new(), &caps).unwrap();
+        assert_eq!(capped.scale_nl, free.scale_nl / Ratio::from_int(2));
+        assert_eq!(capped.node_nl(a), free.node_nl(a) / Ratio::from_int(2));
+        // Caps above the free solution change nothing.
+        let mut loose = HashMap::new();
+        loose.insert(b, Ratio::from_int(1_000_000));
+        let same = solve_capped(&d, &machine, &HashMap::new(), &loose).unwrap();
+        assert_eq!(same.scale_nl, free.scale_nl);
+    }
+
+    #[test]
+    fn rescaled_preserves_ratios() {
+        let (d, [a, b, ..]) = figure2();
+        let machine = Machine::paper_default();
+        let sol = solve(&d, &machine).unwrap();
+        let half = sol.rescaled(&d, &machine, r(1, 2));
+        assert_eq!(half.scale_nl, sol.scale_nl / Ratio::from_int(2));
+        assert_eq!(
+            half.node_nl(a) / half.node_nl(b),
+            sol.node_nl(a) / sol.node_nl(b)
+        );
     }
 
     #[test]

@@ -323,6 +323,62 @@ pub fn manage_volumes(dag: &Dag, machine: &Machine, opts: &VolumeManagerOptions)
     }
 }
 
+/// Run-time re-entry of the hierarchy (§3.5 + Fig. 6's regeneration
+/// tier): re-solves an assay's volumes with *observed* node
+/// availability (in nl) as hard production caps.
+///
+/// This is the DAGSolve-only fast path — no LP and no rewrites, since
+/// it runs mid-execution where a rewritten DAG could no longer be
+/// mapped back onto the already-emitted instruction stream. If the
+/// capped assignment underflows (the observed volumes are too small to
+/// meter), the caller must fall back to regeneration; that is reported
+/// as [`ManagedOutcome::NeedsRegeneration`] with the best-effort
+/// assignment attached.
+pub fn replan_with_observations(
+    dag: &Dag,
+    machine: &Machine,
+    opts: &VolumeManagerOptions,
+    observed_nl: &std::collections::HashMap<aqua_dag::NodeId, Ratio>,
+) -> ManagedOutcome {
+    let mut log = vec![format!(
+        "run-time replan with {} observed volumes",
+        observed_nl.len()
+    )];
+    match dagsolve::solve_capped(dag, machine, &opts.output_weights, observed_nl) {
+        Ok(sol) if sol.underflow.is_none() => {
+            log.push("replan: DAGSolve (capped) succeeded".into());
+            ManagedOutcome::Solved {
+                volumes: ManagedVolumes {
+                    edge_volumes_nl: sol.edge_volumes_nl.clone(),
+                    node_volumes_nl: sol.node_volumes_nl.clone(),
+                    method: Method::DagSolve,
+                },
+                dag: dag.clone(),
+                log,
+            }
+        }
+        Ok(sol) => {
+            log.push(format!(
+                "replan: capped DAGSolve underflowed ({})",
+                sol.underflow.as_ref().expect("checked").volume_nl
+            ));
+            ManagedOutcome::NeedsRegeneration {
+                dag: dag.clone(),
+                best_effort: Some(sol),
+                log,
+            }
+        }
+        Err(e) => {
+            log.push(format!("replan: DAGSolve error: {e}"));
+            ManagedOutcome::NeedsRegeneration {
+                dag: dag.clone(),
+                best_effort: None,
+                log,
+            }
+        }
+    }
+}
+
 /// Runs the Figure 6 hierarchy on many independent assays in parallel
 /// (one task per DAG on [`aqua_lp::batch`]'s work-stealing pool).
 ///
@@ -480,6 +536,49 @@ mod tests {
             }
             other => panic!("expected regeneration fallback, got {other:?}"),
         }
+    }
+}
+
+#[cfg(test)]
+mod replan_tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn simple() -> (Dag, aqua_dag::NodeId) {
+        let mut d = Dag::new();
+        let a = d.add_input("A");
+        let b = d.add_input("B");
+        let m = d.add_mix("mx", &[(a, 1), (b, 4)], 0).unwrap();
+        d.add_process("s", "sense.OD", m);
+        (d, b)
+    }
+
+    #[test]
+    fn observations_cap_the_replan() {
+        let (d, b) = simple();
+        let machine = Machine::paper_default();
+        let mut obs = HashMap::new();
+        obs.insert(b, Ratio::from_int(40));
+        let out = replan_with_observations(&d, &machine, &Default::default(), &obs);
+        match out {
+            ManagedOutcome::Solved { volumes, .. } => {
+                assert_eq!(volumes.method, Method::DagSolve);
+                assert!(volumes.node_volumes_nl[b.index()] <= Ratio::from_int(40));
+            }
+            other => panic!("expected solved, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn starved_observation_forces_regeneration() {
+        // Observed availability below the least count: capped DAGSolve
+        // underflows, so the replan reports the regeneration fallback.
+        let (d, b) = simple();
+        let machine = Machine::paper_default();
+        let mut obs = HashMap::new();
+        obs.insert(b, Ratio::new(1, 100).unwrap());
+        let out = replan_with_observations(&d, &machine, &Default::default(), &obs);
+        assert!(matches!(out, ManagedOutcome::NeedsRegeneration { .. }));
     }
 }
 

@@ -66,7 +66,8 @@ pub mod vnorm;
 
 pub use dagsolve::{DagSolveError, VolumeAssignment};
 pub use hierarchy::{
-    manage_volumes, solve_assays_parallel, ManagedOutcome, Method, VolumeManagerOptions,
+    manage_volumes, replan_with_observations, solve_assays_parallel, ManagedOutcome, Method,
+    VolumeManagerOptions,
 };
 pub use machine::Machine;
 pub use vnorm::VnormTable;

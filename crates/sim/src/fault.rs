@@ -1,0 +1,484 @@
+//! Deterministic fault injection for the executor.
+//!
+//! Real dispensers have metering error, valves stick, and the §3.5
+//! sensors that measure unknown separation yields are noisy. A
+//! [`FaultPlan`] describes those imperfections as seeded rates; the
+//! executor draws from the plan's in-repo xorshift64* stream at every
+//! dispense and measurement, so the same seed always reproduces the
+//! same fault sequence (and, with tracing on, the same trace).
+//!
+//! Faults trigger the executor's closed-loop recovery ladder (the
+//! Fig. 6 hierarchy replayed at run time) when
+//! [`crate::exec::ExecConfig::recover`] is on; injected faults and the
+//! recoveries they forced are counted in [`FaultCounters`] and
+//! [`RecoveryCounters`] on the [`crate::exec::ExecReport`].
+
+use std::fmt;
+
+use aqua_ais::Picoliters;
+use aqua_dag::Ratio;
+use aqua_rational::rng::XorShift64Star;
+
+/// A seeded description of hardware imperfections for one run.
+///
+/// All rates are probabilities in `[0, 1]` applied independently per
+/// dispense (or per measurement for `sensor_rate`). [`FaultPlan::none`]
+/// (also the `Default`) injects nothing and draws nothing, so a
+/// fault-free run is bit-identical to one executed before this module
+/// existed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed of the xorshift64* stream all faults are drawn from.
+    pub seed: u64,
+    /// Probability a metered dispense is off by up to
+    /// [`FaultPlan::metering_max_lc`] least counts (either direction).
+    pub metering_rate: f64,
+    /// Maximum metering error magnitude, in least counts (>= 1).
+    pub metering_max_lc: u64,
+    /// Probability a dispense delivers nothing (transient failure).
+    pub transient_rate: f64,
+    /// Probability a valve sticks and short-measures the dispense.
+    pub stuck_rate: f64,
+    /// Fraction of the request a stuck valve still delivers.
+    pub stuck_fraction: f64,
+    /// Probability an unknown-volume measurement (§3.5) is perturbed.
+    pub sensor_rate: f64,
+    /// Relative error bound of a perturbed measurement (e.g. `0.1` =
+    /// up to ±10%).
+    pub sensor_rel: f64,
+    /// Deterministic single faults by event index, for differential
+    /// tests; checked before the random rates.
+    pub scripted: Vec<ScriptedFault>,
+}
+
+impl Default for FaultPlan {
+    fn default() -> FaultPlan {
+        FaultPlan::none()
+    }
+}
+
+impl FaultPlan {
+    /// No faults at all (the default).
+    pub fn none() -> FaultPlan {
+        FaultPlan {
+            seed: 0,
+            metering_rate: 0.0,
+            metering_max_lc: 2,
+            transient_rate: 0.0,
+            stuck_rate: 0.0,
+            stuck_fraction: 0.5,
+            sensor_rate: 0.0,
+            sensor_rel: 0.1,
+            scripted: Vec::new(),
+        }
+    }
+
+    /// Every fault class at the same `rate`: the knob the fault sweep
+    /// turns. Metering errors span ±2 least counts, stuck valves
+    /// deliver half the request, sensor noise is ±10%.
+    pub fn uniform(seed: u64, rate: f64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            metering_rate: rate,
+            transient_rate: rate,
+            stuck_rate: rate,
+            sensor_rate: rate,
+            ..FaultPlan::none()
+        }
+    }
+
+    /// A plan that injects exactly one scripted fault and nothing else.
+    pub fn script(fault: ScriptedFault) -> FaultPlan {
+        FaultPlan {
+            scripted: vec![fault],
+            ..FaultPlan::none()
+        }
+    }
+
+    /// Whether this plan can ever inject anything.
+    pub fn is_active(&self) -> bool {
+        self.metering_rate > 0.0
+            || self.transient_rate > 0.0
+            || self.stuck_rate > 0.0
+            || self.sensor_rate > 0.0
+            || !self.scripted.is_empty()
+    }
+}
+
+/// One deterministic fault at a specific event index.
+///
+/// Dispense faults index the run's metered-dispense stream (input
+/// loads, metered moves, and recovery top-ups, in execution order);
+/// [`ScriptedKind::Sensor`] indexes the measurement stream instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScriptedFault {
+    /// 0-based event index the fault fires at.
+    pub at: u64,
+    /// What goes wrong.
+    pub kind: ScriptedKind,
+}
+
+/// The scripted failure mode (integer parameters so scripts stay `Eq`
+/// and reproducible).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScriptedKind {
+    /// The dispense delivers nothing.
+    Transient,
+    /// The valve sticks: deliver only `per_mille`/1000 of the request.
+    Stuck {
+        /// Delivered fraction in thousandths.
+        per_mille: u32,
+    },
+    /// Mis-meter by `delta_lc` least counts (negative = under).
+    Meter {
+        /// Signed error in least counts.
+        delta_lc: i64,
+    },
+    /// Scale the recorded measurement to `per_mille`/1000 of its value.
+    Sensor {
+        /// Recorded fraction in thousandths.
+        per_mille: u32,
+    },
+}
+
+/// What kind of fault was injected (as recorded in traces).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Metering error of `delta_lc` least counts.
+    Metering {
+        /// Signed error in least counts.
+        delta_lc: i64,
+    },
+    /// A dispense that delivered nothing.
+    Transient,
+    /// A stuck valve that short-measured.
+    Stuck,
+    /// A perturbed §3.5 volume measurement.
+    Sensor,
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultKind::Metering { delta_lc } => write!(f, "metering {delta_lc:+} lc"),
+            FaultKind::Transient => write!(f, "transient failure"),
+            FaultKind::Stuck => write!(f, "stuck valve"),
+            FaultKind::Sensor => write!(f, "sensor noise"),
+        }
+    }
+}
+
+/// The recovery ladder tier that handled a fault — the Fig. 6
+/// hierarchy replayed at run time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryTier {
+    /// Tier 1: re-dispense from the slack left at the source.
+    Redispense,
+    /// Tier 2: regenerate the backward slice of the starved fluid.
+    Regenerate,
+    /// Tier 3: re-solve volumes with observed availability as a
+    /// constraint (partition rescale or whole-DAG DAGSolve re-entry).
+    Replan,
+    /// Overflow handling: trim the excess to the waste port.
+    OverflowTrim,
+}
+
+impl fmt::Display for RecoveryTier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecoveryTier::Redispense => write!(f, "re-dispense"),
+            RecoveryTier::Regenerate => write!(f, "regenerate"),
+            RecoveryTier::Replan => write!(f, "re-solve"),
+            RecoveryTier::OverflowTrim => write!(f, "trim-overflow"),
+        }
+    }
+}
+
+/// Count of injected faults by kind.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCounters {
+    /// Metering errors injected.
+    pub metering: u64,
+    /// Transient dispense failures injected.
+    pub transient: u64,
+    /// Stuck-valve short measures injected.
+    pub stuck: u64,
+    /// Perturbed measurements injected.
+    pub sensor: u64,
+}
+
+impl FaultCounters {
+    /// Total faults injected.
+    pub fn total(&self) -> u64 {
+        self.metering + self.transient + self.stuck + self.sensor
+    }
+
+    fn bump(&mut self, kind: FaultKind) {
+        match kind {
+            FaultKind::Metering { .. } => self.metering += 1,
+            FaultKind::Transient => self.transient += 1,
+            FaultKind::Stuck => self.stuck += 1,
+            FaultKind::Sensor => self.sensor += 1,
+        }
+    }
+}
+
+/// Count of recovery actions by ladder tier, plus the extra fluid they
+/// consumed over the fault-free plan.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryCounters {
+    /// Tier-1 re-dispense recoveries.
+    pub redispense: u64,
+    /// Tier-2 regeneration events.
+    pub regenerate: u64,
+    /// Production steps re-executed across all regenerations (each
+    /// node of a regenerated backward slice counts once).
+    pub regen_steps: u64,
+    /// Tier-3 re-solves (partition rescale or DAGSolve re-entry).
+    pub replan: u64,
+    /// Overflows trimmed to the waste port.
+    pub overflow_trims: u64,
+    /// Shortfalls the whole ladder could not close (reported as
+    /// [`crate::exec::Violation::Deficit`]).
+    pub failures: u64,
+    /// Extra volume synthesized/consumed by recovery, in pl.
+    pub extra_volume_pl: Picoliters,
+}
+
+impl RecoveryCounters {
+    /// Total successful recoveries across the tiers.
+    pub fn total_recovered(&self) -> u64 {
+        self.redispense + self.regenerate + self.replan + self.overflow_trims
+    }
+}
+
+/// Run-time fault state: the plan plus its PRNG stream and event
+/// counters. Created once per [`crate::exec::Executor::run`].
+#[derive(Debug, Clone)]
+pub struct FaultState {
+    plan: FaultPlan,
+    rng: XorShift64Star,
+    dispenses: u64,
+    measurements: u64,
+    /// Faults injected so far.
+    pub counters: FaultCounters,
+}
+
+impl FaultState {
+    /// Initializes the stream from a plan.
+    pub fn new(plan: &FaultPlan) -> FaultState {
+        FaultState {
+            plan: plan.clone(),
+            rng: XorShift64Star::new(plan.seed),
+            dispenses: 0,
+            measurements: 0,
+            counters: FaultCounters::default(),
+        }
+    }
+
+    /// Whether any fault can ever fire (inactive plans skip the PRNG
+    /// entirely, keeping fault-free runs bit-identical to the
+    /// pre-fault executor).
+    pub fn active(&self) -> bool {
+        self.plan.is_active()
+    }
+
+    /// Applies the plan to one metered dispense of `requested_pl`.
+    /// Returns the volume the hardware nominally delivers (before
+    /// availability clamping) and the fault injected, if any.
+    pub fn on_dispense(
+        &mut self,
+        requested_pl: Picoliters,
+        lc_pl: Picoliters,
+    ) -> (Picoliters, Option<FaultKind>) {
+        let event = self.dispenses;
+        self.dispenses += 1;
+        if !self.plan.is_active() {
+            return (requested_pl, None);
+        }
+        if let Some(s) = self
+            .plan
+            .scripted
+            .iter()
+            .find(|s| s.at == event && !matches!(s.kind, ScriptedKind::Sensor { .. }))
+        {
+            let (delivered, kind) = match s.kind {
+                ScriptedKind::Transient => (0, FaultKind::Transient),
+                ScriptedKind::Stuck { per_mille } => (
+                    requested_pl.saturating_mul(u64::from(per_mille)) / 1000,
+                    FaultKind::Stuck,
+                ),
+                ScriptedKind::Meter { delta_lc } => (
+                    shift_lc(requested_pl, delta_lc, lc_pl),
+                    FaultKind::Metering { delta_lc },
+                ),
+                ScriptedKind::Sensor { .. } => unreachable!("filtered above"),
+            };
+            self.counters.bump(kind);
+            return (delivered, Some(kind));
+        }
+        // One uniform draw decides the fault class via cumulative
+        // thresholds, so the stream stays deterministic per event.
+        let u = self.rng.next_f64();
+        let t1 = self.plan.transient_rate;
+        let t2 = t1 + self.plan.stuck_rate;
+        let t3 = t2 + self.plan.metering_rate;
+        let (delivered, kind) = if u < t1 {
+            (0, FaultKind::Transient)
+        } else if u < t2 {
+            let f = self.plan.stuck_fraction.clamp(0.0, 1.0);
+            (
+                ((requested_pl as f64) * f).round() as Picoliters,
+                FaultKind::Stuck,
+            )
+        } else if u < t3 {
+            let mag = self.rng.range_u64(1, self.plan.metering_max_lc.max(1)) as i64;
+            let delta_lc = if self.rng.next_f64() < 0.5 { -mag } else { mag };
+            (
+                shift_lc(requested_pl, delta_lc, lc_pl),
+                FaultKind::Metering { delta_lc },
+            )
+        } else {
+            return (requested_pl, None);
+        };
+        self.counters.bump(kind);
+        (delivered, Some(kind))
+    }
+
+    /// Applies the plan to one §3.5 volume measurement (in nl).
+    /// Returns the possibly-perturbed reading and the fault, if any.
+    pub fn on_measurement(&mut self, nl: Ratio) -> (Ratio, Option<FaultKind>) {
+        let event = self.measurements;
+        self.measurements += 1;
+        if !self.plan.is_active() {
+            return (nl, None);
+        }
+        if let Some(s) = self.plan.scripted.iter().find(|s| s.at == event) {
+            if let ScriptedKind::Sensor { per_mille } = s.kind {
+                self.counters.bump(FaultKind::Sensor);
+                let scaled = scale_ratio(nl, f64::from(per_mille) / 1000.0);
+                return (scaled, Some(FaultKind::Sensor));
+            }
+        }
+        if self.plan.sensor_rate > 0.0 && self.rng.next_f64() < self.plan.sensor_rate {
+            let rel = self.plan.sensor_rel.abs();
+            let eps = if rel > 0.0 {
+                self.rng.range_f64(-rel, rel)
+            } else {
+                0.0
+            };
+            self.counters.bump(FaultKind::Sensor);
+            return (scale_ratio(nl, 1.0 + eps), Some(FaultKind::Sensor));
+        }
+        (nl, None)
+    }
+}
+
+/// Shifts a volume by `delta_lc` least counts, saturating at zero.
+fn shift_lc(requested_pl: Picoliters, delta_lc: i64, lc_pl: Picoliters) -> Picoliters {
+    let delta = delta_lc.unsigned_abs().saturating_mul(lc_pl);
+    if delta_lc >= 0 {
+        requested_pl.saturating_add(delta)
+    } else {
+        requested_pl.saturating_sub(delta)
+    }
+}
+
+/// Scales a non-negative nl reading by `factor`, quantized to thousandths
+/// of a nl so the result stays an exact `Ratio`.
+fn scale_ratio(nl: Ratio, factor: f64) -> Ratio {
+    let scaled = (nl.to_f64() * factor * 1000.0).round().max(0.0) as i128;
+    Ratio::new(scaled, 1000).unwrap_or(Ratio::ZERO)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inactive_plan_is_exactly_identity() {
+        let mut f = FaultState::new(&FaultPlan::none());
+        for req in [0u64, 100, 3300, 100_000] {
+            assert_eq!(f.on_dispense(req, 100), (req, None));
+        }
+        let r = Ratio::new(25, 1).unwrap();
+        assert_eq!(f.on_measurement(r), (r, None));
+        assert_eq!(f.counters.total(), 0);
+    }
+
+    #[test]
+    fn same_seed_same_fault_sequence() {
+        let plan = FaultPlan::uniform(42, 0.3);
+        let mut a = FaultState::new(&plan);
+        let mut b = FaultState::new(&plan);
+        for i in 0..500u64 {
+            assert_eq!(a.on_dispense(1000 + i, 100), b.on_dispense(1000 + i, 100));
+        }
+        assert_eq!(a.counters, b.counters);
+        assert!(a.counters.total() > 0, "0.3 rate never fired in 500 draws");
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = FaultState::new(&FaultPlan::uniform(1, 0.5));
+        let mut b = FaultState::new(&FaultPlan::uniform(2, 0.5));
+        let sa: Vec<_> = (0..100).map(|_| a.on_dispense(1000, 100)).collect();
+        let sb: Vec<_> = (0..100).map(|_| b.on_dispense(1000, 100)).collect();
+        assert_ne!(sa, sb);
+    }
+
+    #[test]
+    fn scripted_faults_fire_at_their_index() {
+        let plan = FaultPlan::script(ScriptedFault {
+            at: 2,
+            kind: ScriptedKind::Transient,
+        });
+        let mut f = FaultState::new(&plan);
+        assert_eq!(f.on_dispense(500, 100), (500, None));
+        assert_eq!(f.on_dispense(500, 100), (500, None));
+        assert_eq!(f.on_dispense(500, 100), (0, Some(FaultKind::Transient)));
+        assert_eq!(f.on_dispense(500, 100), (500, None));
+        assert_eq!(f.counters.transient, 1);
+    }
+
+    #[test]
+    fn scripted_meter_shifts_by_least_counts() {
+        let mut f = FaultState::new(&FaultPlan::script(ScriptedFault {
+            at: 0,
+            kind: ScriptedKind::Meter { delta_lc: -3 },
+        }));
+        let (v, k) = f.on_dispense(1000, 100);
+        assert_eq!(v, 700);
+        assert_eq!(k, Some(FaultKind::Metering { delta_lc: -3 }));
+        // Saturates at zero rather than wrapping.
+        let mut g = FaultState::new(&FaultPlan::script(ScriptedFault {
+            at: 0,
+            kind: ScriptedKind::Meter { delta_lc: -99 },
+        }));
+        assert_eq!(g.on_dispense(1000, 100).0, 0);
+    }
+
+    #[test]
+    fn sensor_scripts_target_the_measurement_stream() {
+        let mut f = FaultState::new(&FaultPlan::script(ScriptedFault {
+            at: 0,
+            kind: ScriptedKind::Sensor { per_mille: 500 },
+        }));
+        // Dispenses are untouched by a sensor script.
+        assert_eq!(f.on_dispense(1000, 100), (1000, None));
+        let (m, k) = f.on_measurement(Ratio::new(10, 1).unwrap());
+        assert_eq!(m, Ratio::new(5, 1).unwrap());
+        assert_eq!(k, Some(FaultKind::Sensor));
+    }
+
+    #[test]
+    fn rates_fire_at_about_their_frequency() {
+        let mut f = FaultState::new(&FaultPlan::uniform(7, 0.1));
+        for _ in 0..10_000 {
+            let _ = f.on_dispense(1000, 100);
+        }
+        // Three dispense fault classes at 0.1 each: ~3000 expected.
+        let total = f.counters.total();
+        assert!((2400..=3600).contains(&total), "total {total}");
+    }
+}

@@ -18,7 +18,14 @@
 //! * [`regen`] — the Biostream-style *reactive regeneration* baseline:
 //!   a DAG-level executor with no volume management that re-executes
 //!   backward slices whenever a fluid runs out, counting regenerations
-//!   (the right-most column of Table 2).
+//!   (the right-most column of Table 2);
+//! * [`fault`] — deterministic, seeded hardware-fault injection
+//!   ([`fault::FaultPlan`]): metering error, transient dispense
+//!   failures, stuck valves, and noisy volume sensors. With
+//!   [`exec::ExecConfig::recover`] on, the executor walks the paper's
+//!   Fig. 6 hierarchy *at run time* — re-dispense, regenerate the
+//!   starved backward slice, re-solve with observed volumes — and
+//!   reports what it did in [`exec::ExecReport::recovery`].
 //!
 //! # Examples
 //!
@@ -49,9 +56,14 @@
 #![warn(missing_docs)]
 
 pub mod exec;
+pub mod fault;
 pub mod regen;
 pub mod state;
 pub mod trace;
 
-pub use exec::{ExecConfig, ExecReport, Executor, SenseResult, Violation};
+pub use exec::{ExecConfig, ExecError, ExecReport, Executor, SenseResult, Violation};
+pub use fault::{
+    FaultCounters, FaultKind, FaultPlan, RecoveryCounters, RecoveryTier, ScriptedFault,
+    ScriptedKind,
+};
 pub use regen::{count_regenerations, ProductionPolicy, RegenConfig, RegenReport};

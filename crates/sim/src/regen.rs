@@ -169,6 +169,49 @@ fn produce(
     }
 }
 
+/// Composition of every node's product by original input fluid
+/// (fractions summing to 1 per reachable node), by topological
+/// propagation of edge fractions. The run-time recovery engine uses
+/// this to synthesize a regenerated fluid with the right make-up
+/// instead of re-running the whole backward slice wet.
+pub fn node_compositions(dag: &Dag) -> Vec<std::collections::HashMap<String, f64>> {
+    let mut out = vec![std::collections::HashMap::new(); dag.num_nodes()];
+    let Ok(order) = dag.topological_order() else {
+        return out;
+    };
+    for n in order {
+        let node = dag.node(n);
+        if node.kind.is_source() {
+            out[n.index()].insert(node.name.clone(), 1.0);
+            continue;
+        }
+        let total: f64 = dag
+            .in_edges(n)
+            .iter()
+            .map(|&e| dag.edge(e).fraction.to_f64())
+            .sum();
+        if total <= 0.0 {
+            continue;
+        }
+        let mut comp = std::collections::HashMap::new();
+        for &e in dag.in_edges(n) {
+            let share = dag.edge(e).fraction.to_f64() / total;
+            for (fluid, frac) in &out[dag.edge(e).src.index()] {
+                *comp.entry(fluid.clone()).or_insert(0.0) += frac * share;
+            }
+        }
+        out[n.index()] = comp;
+    }
+    out
+}
+
+/// Number of production steps a regeneration of `target` re-executes:
+/// the size of its backward slice (every producing ancestor runs once,
+/// mirroring [`count_regenerations`]'s recursive policy).
+pub fn backward_slice_steps(dag: &Dag, target: NodeId) -> u64 {
+    dag.backward_slice(target).len() as u64
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -291,6 +334,34 @@ mod tests {
         // hold is monotonicity in the safety cap and non-zero work.
         assert!(timid.productions > 0);
         assert!(greedy.productions > 0);
+    }
+
+    #[test]
+    fn node_compositions_track_mix_ratios() {
+        let mut d = Dag::new();
+        let a = d.add_input("A");
+        let b = d.add_input("B");
+        let m = d.add_mix("m", &[(a, 1), (b, 4)], 0).unwrap();
+        let mm = d.add_mix("mm", &[(m, 1), (a, 1)], 0).unwrap();
+        let comp = node_compositions(&d);
+        assert!((comp[a.index()]["A"] - 1.0).abs() < 1e-12);
+        assert!((comp[m.index()]["A"] - 0.2).abs() < 1e-12);
+        assert!((comp[m.index()]["B"] - 0.8).abs() < 1e-12);
+        // mm = half m (1/10 A + 4/10 B) + half pure A.
+        assert!((comp[mm.index()]["A"] - 0.6).abs() < 1e-12);
+        assert!((comp[mm.index()]["B"] - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn backward_slice_steps_count_ancestors() {
+        let mut d = Dag::new();
+        let a = d.add_input("A");
+        let b = d.add_input("B");
+        let m = d.add_mix("m", &[(a, 1), (b, 1)], 0).unwrap();
+        let mm = d.add_mix("mm", &[(m, 1), (b, 1)], 0).unwrap();
+        assert_eq!(backward_slice_steps(&d, a), 1);
+        assert_eq!(backward_slice_steps(&d, m), 3);
+        assert_eq!(backward_slice_steps(&d, mm), 4);
     }
 
     #[test]

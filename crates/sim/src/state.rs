@@ -71,6 +71,11 @@ pub struct ChipState {
     contents: HashMap<WetLoc, Contents>,
     /// Fluid collected at output ports (accumulated, never read back).
     pub collected: HashMap<u32, Contents>,
+    /// Sub-least-count residue lost in the channels (accumulated by
+    /// [`ChipState::clear_residue`]), so the conservation identity
+    /// `inputs = outputs + sensed + flushed + on-chip + residue` holds
+    /// exactly.
+    pub residue_pl: Picoliters,
 }
 
 impl ChipState {
@@ -121,13 +126,20 @@ impl ChipState {
     }
 
     /// Drops sub-least-count residue at a location (dead volume lost in
-    /// the channels); keeps the state clean for reuse.
+    /// the channels); keeps the state clean for reuse. The dropped
+    /// volume is accumulated in [`ChipState::residue_pl`].
     pub fn clear_residue(&mut self, loc: WetLoc, least_count_pl: Picoliters) {
         if let Some(c) = self.contents.get(&loc) {
             if c.volume_pl < least_count_pl {
+                self.residue_pl += c.volume_pl;
                 self.contents.remove(&loc);
             }
         }
+    }
+
+    /// Total fluid currently on the chip (all locations), in pl.
+    pub fn total_volume_pl(&self) -> Picoliters {
+        self.contents.values().map(|c| c.volume_pl).sum()
     }
 }
 
@@ -171,9 +183,20 @@ mod tests {
         chip.deposit(WetLoc::Reservoir(2), Contents::pure("X", 40));
         chip.clear_residue(WetLoc::Reservoir(2), 100);
         assert_eq!(chip.volume(WetLoc::Reservoir(2)), 0);
+        // Dead volume is accounted, not silently lost.
+        assert_eq!(chip.residue_pl, 40);
         chip.deposit(WetLoc::Reservoir(2), Contents::pure("X", 140));
         chip.clear_residue(WetLoc::Reservoir(2), 100);
         assert_eq!(chip.volume(WetLoc::Reservoir(2)), 140);
+        assert_eq!(chip.residue_pl, 40);
+    }
+
+    #[test]
+    fn total_volume_sums_all_locations() {
+        let mut chip = ChipState::new();
+        chip.deposit(WetLoc::Reservoir(1), Contents::pure("A", 300));
+        chip.deposit(WetLoc::Mixer(1), Contents::pure("B", 200));
+        assert_eq!(chip.total_volume_pl(), 500);
     }
 
     #[test]

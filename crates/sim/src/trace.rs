@@ -36,6 +36,27 @@ pub enum TraceKind {
         /// Contents at operation start, in picoliters.
         volume_pl: Picoliters,
     },
+    /// A fault injected by the configured [`crate::fault::FaultPlan`].
+    Fault {
+        /// What went wrong.
+        kind: crate::fault::FaultKind,
+        /// What the plan requested, in picoliters.
+        requested_pl: Picoliters,
+        /// What the faulty hardware delivered (or, for sensor faults,
+        /// the perturbed reading), in picoliters.
+        delivered_pl: Picoliters,
+    },
+    /// A recovery-ladder action (the Fig. 6 hierarchy at run time).
+    Recovery {
+        /// Which tier acted.
+        tier: crate::fault::RecoveryTier,
+        /// The location being refilled (or trimmed).
+        loc: WetLoc,
+        /// Volume the action supplied/removed, in picoliters.
+        volume_pl: Picoliters,
+        /// Whether the action closed the shortfall.
+        ok: bool,
+    },
 }
 
 impl fmt::Display for TraceEvent {
@@ -56,6 +77,29 @@ impl fmt::Display for TraceEvent {
                 "[{:>4}] {:>8.1} nl  run {unit}",
                 self.instr,
                 *volume_pl as f64 / 1000.0
+            ),
+            TraceKind::Fault {
+                kind,
+                requested_pl,
+                delivered_pl,
+            } => write!(
+                f,
+                "[{:>4}] FAULT {kind}: requested {:.1} nl, delivered {:.1} nl",
+                self.instr,
+                *requested_pl as f64 / 1000.0,
+                *delivered_pl as f64 / 1000.0
+            ),
+            TraceKind::Recovery {
+                tier,
+                loc,
+                volume_pl,
+                ok,
+            } => write!(
+                f,
+                "[{:>4}] RECOVER {tier} at {loc}: {:.1} nl ({})",
+                self.instr,
+                *volume_pl as f64 / 1000.0,
+                if *ok { "ok" } else { "failed" }
             ),
         }
     }

@@ -5,11 +5,13 @@
 #   1. formatting            (cargo fmt --check)
 #   2. lints, deny warnings  (cargo clippy --workspace --all-targets)
 #   3. tier-1 build + tests  (cargo build --release && cargo test -q)
-#   4. LP backend smoke test (bench_lp --quick: sparse/dense agreement)
+#   4. property suites       (cargo test --features proptests)
+#   5. LP backend smoke test (bench_lp --quick: sparse/dense agreement)
+#   6. fault-recovery smoke  (fault_sweep --quick: 100% recovery at rate 0)
 #
-# The bench_lp smoke run writes its JSON to target/ so it never
-# clobbers the committed BENCH_lp.json (regenerate that with a full
-# `cargo run --release -p aqua-bench --bin bench_lp`).
+# The smoke runs write their JSON to target/ so they never clobber the
+# committed BENCH_lp.json / BENCH_fault.json (regenerate those with a
+# full `cargo run --release -p aqua-bench --bin bench_lp` / `fault_sweep`).
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -26,7 +28,13 @@ cargo build --release
 echo "==> tier-1: cargo test -q"
 cargo test -q
 
+echo "==> property suites: cargo test -q --features proptests"
+cargo test -q --release --features proptests --test fault_properties
+
 echo "==> bench_lp --quick (backend agreement smoke test)"
 cargo run --release -p aqua-bench --bin bench_lp -- --quick --out target/BENCH_lp.quick.json
+
+echo "==> fault_sweep --quick (recovery ladder smoke test)"
+cargo run --release -p aqua-bench --bin fault_sweep -- --quick --out target/BENCH_fault.quick.json
 
 echo "==> ci.sh: all green"

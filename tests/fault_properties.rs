@@ -1,0 +1,218 @@
+// Compiled only with the `proptests` feature: the suites are slow-ish
+// (hundreds of compile+execute cycles), so the default `cargo test`
+// skips them; `scripts/ci.sh` runs them. Unlike `proptest-tests`, no
+// vendored dependency is needed — randomness comes from the in-repo
+// seeded PRNG, and every assertion message carries the seed, so a
+// failure shrinks by replaying that one seed.
+#![cfg(feature = "proptests")]
+
+//! Property/invariant tests of the executor under randomized assays
+//! and fault plans (DESIGN.md §8):
+//!
+//! * volume is conserved *exactly* (integer picoliters) on every run,
+//!   faulty or not, recovering or not;
+//! * a fault-free execution of a `Solved` plan never overflows a
+//!   location and never starves;
+//! * the same seed reproduces the same run bit-for-bit.
+
+use aqua_assays::synthetic::{self, LayeredConfig};
+use aqua_dag::NodeKind;
+use aqua_rational::rng::XorShift64Star;
+use aqua_sim::{ExecConfig, Executor, FaultPlan, Violation};
+use aqua_volume::Machine;
+
+/// Renders a synthetic layered DAG back into assay source (mixes +
+/// senses only), the same rendering as `proptest_volume.rs`.
+fn render(dag: &aqua_dag::Dag) -> String {
+    let mut src = String::from("ASSAY fuzz START\n");
+    let inputs: Vec<_> = dag
+        .node_ids()
+        .filter(|&n| dag.node(n).kind == NodeKind::Input)
+        .collect();
+    src.push_str("fluid ");
+    src.push_str(
+        &inputs
+            .iter()
+            .map(|&n| dag.node(n).name.clone())
+            .collect::<Vec<_>>()
+            .join(", "),
+    );
+    src.push_str(";\nfluid ");
+    let mixes: Vec<_> = dag
+        .node_ids()
+        .filter(|&n| matches!(dag.node(n).kind, NodeKind::Mix { .. }))
+        .collect();
+    src.push_str(
+        &mixes
+            .iter()
+            .map(|&n| dag.node(n).name.clone())
+            .collect::<Vec<_>>()
+            .join(", "),
+    );
+    src.push_str(";\n");
+    for (i, &m) in mixes.iter().enumerate() {
+        let parts: Vec<String> = dag
+            .in_edges(m)
+            .iter()
+            .map(|&e| dag.node(dag.edge(e).src).name.clone())
+            .collect();
+        let fracs: Vec<String> = dag
+            .in_edges(m)
+            .iter()
+            .map(|&e| dag.edge(e).fraction.numer().to_string())
+            .collect();
+        let denoms: std::collections::HashSet<i128> = dag
+            .in_edges(m)
+            .iter()
+            .map(|&e| dag.edge(e).fraction.denom())
+            .collect();
+        let ratio_clause = if denoms.len() == 1 {
+            format!(" IN RATIOS {}", fracs.join(" : "))
+        } else {
+            String::new()
+        };
+        src.push_str(&format!(
+            "{} = MIX {}{} FOR 5;\nSENSE OPTICAL {} INTO R{i};\n",
+            dag.node(m).name,
+            parts.join(" AND "),
+            ratio_clause,
+            dag.node(m).name,
+        ));
+    }
+    src.push_str("END\n");
+    src
+}
+
+/// Draws a random layered-DAG configuration from the seed stream.
+fn random_config(rng: &mut XorShift64Star) -> LayeredConfig {
+    LayeredConfig {
+        inputs: rng.range_u64(2, 5) as usize,
+        layers: rng.range_u64(1, 3) as usize,
+        width: rng.range_u64(2, 5) as usize,
+        fanin: rng.range_u64(2, 3) as usize,
+        max_part: rng.range_u64(1, 19),
+    }
+}
+
+/// Compiles one random assay, or None when the rendering is degenerate
+/// (the renderer cannot express every random DAG).
+fn random_case(seed: u64, machine: &Machine) -> Option<aqua_compiler::CompileOutput> {
+    let mut rng = XorShift64Star::new(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).max(1));
+    let cfg = random_config(&mut rng);
+    let dag = synthetic::layered_dag(rng.next_u64(), &cfg);
+    dag.validate().ok()?;
+    aqua_compiler::compile(&render(&dag), machine, &Default::default()).ok()
+}
+
+const CASES: u64 = 64;
+
+#[test]
+fn fault_free_runs_conserve_volume_and_respect_capacity() {
+    let machine = Machine::paper_default();
+    let mut ran = 0;
+    for seed in 0..CASES {
+        let Some(out) = random_case(seed, &machine) else {
+            continue;
+        };
+        ran += 1;
+        let report = Executor::new(&machine, ExecConfig::default())
+            .run(&out)
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        assert_eq!(
+            report.conservation_delta_pl(),
+            0,
+            "seed {seed}: volume leaked (replay with random_case({seed}, ..))"
+        );
+        // Capacity: rounding every in-edge of a mix up to a least
+        // count independently can legally land a few least counts over
+        // the cap (RVol→IVol, §4.2); anything beyond that slack is a
+        // real overflow bug.
+        let lc_pl = 100;
+        let cap_pl = 100_000;
+        for v in &report.violations {
+            if let Violation::Overflow { volume_pl, loc, .. } = v {
+                assert!(
+                    *volume_pl <= cap_pl + 4 * lc_pl,
+                    "seed {seed}: {loc} at {volume_pl} pl is beyond rounding slack"
+                );
+            }
+        }
+        // A Solved compile-time plan must execute without starving.
+        if matches!(
+            out.resolution,
+            aqua_compiler::VolumeResolution::Static(aqua_volume::ManagedOutcome::Solved { .. })
+        ) {
+            assert!(
+                !report
+                    .violations
+                    .iter()
+                    .any(|v| matches!(v, Violation::Deficit { .. })),
+                "seed {seed}: solved plan starved: {:?}",
+                report.violations
+            );
+        }
+    }
+    assert!(ran >= CASES / 4, "renderer rejected too many cases: {ran}");
+}
+
+#[test]
+fn faulty_runs_conserve_volume_and_stay_total() {
+    let machine = Machine::paper_default();
+    let mut faulted = 0u64;
+    for seed in 0..CASES {
+        let Some(out) = random_case(seed, &machine) else {
+            continue;
+        };
+        for (rate, recover) in [(0.1, false), (0.1, true), (0.3, true)] {
+            let config = ExecConfig {
+                faults: FaultPlan::uniform(seed + 1, rate),
+                recover,
+                ..ExecConfig::default()
+            };
+            let report = Executor::new(&machine, config)
+                .run(&out)
+                .unwrap_or_else(|e| panic!("seed {seed} rate {rate}: {e}"));
+            assert_eq!(
+                report.conservation_delta_pl(),
+                0,
+                "seed {seed} rate {rate} recover {recover}: volume leaked"
+            );
+            faulted += report.faults.total();
+            if !recover {
+                assert_eq!(
+                    report.recovery.total_recovered(),
+                    0,
+                    "seed {seed}: recovery acted while disabled"
+                );
+            }
+        }
+    }
+    assert!(faulted > 0, "the fault plans never fired");
+}
+
+#[test]
+fn same_seed_is_bit_identical() {
+    let machine = Machine::paper_default();
+    for seed in 0..CASES / 4 {
+        let Some(out) = random_case(seed, &machine) else {
+            continue;
+        };
+        let mk = || {
+            let config = ExecConfig {
+                faults: FaultPlan::uniform(seed * 31 + 7, 0.2),
+                recover: true,
+                record_trace: true,
+                ..ExecConfig::default()
+            };
+            Executor::new(&machine, config).run(&out).unwrap()
+        };
+        let a = mk();
+        let b = mk();
+        assert_eq!(a.faults, b.faults, "seed {seed}");
+        assert_eq!(a.recovery, b.recovery, "seed {seed}");
+        assert_eq!(a.trace, b.trace, "seed {seed}");
+        let va: Vec<_> = a.sense_results.iter().map(|s| s.volume_pl).collect();
+        let vb: Vec<_> = b.sense_results.iter().map(|s| s.volume_pl).collect();
+        assert_eq!(va, vb, "seed {seed}");
+    }
+}
