@@ -2,7 +2,13 @@
 //! dense tableau backend on the paper's assays and writes the results
 //! to `BENCH_lp.json` at the repo root.
 //!
-//! Usage: `cargo run --release --bin bench_lp [--quick] [--out PATH]`
+//! Usage: `cargo run --release --bin bench_lp [--quick] [--out PATH]
+//! [--obs TRACE_PATH]`
+//!
+//! `--obs` attaches a recording observability sink: pivot/eta-refactor
+//! counters and phase spans from every solve are exported as a Chrome
+//! trace-event JSON (load it at `chrome://tracing` or Perfetto) and a
+//! text summary is printed at exit.
 //!
 //! Four cases are measured, each as formulated by `lpform` (glycomics
 //! is solved per partition, like the paper's four-partition runs):
@@ -29,17 +35,22 @@ struct Case {
     models: Vec<Model>,
 }
 
-fn config(backend: SolverBackend) -> SimplexConfig {
+fn config(backend: SolverBackend, obs: &aqua_obs::Obs) -> SimplexConfig {
     SimplexConfig {
         backend,
+        obs: obs.clone(),
         ..SimplexConfig::default()
     }
 }
 
 /// Solves every model of a case with one backend; returns per-model
 /// (status kind, objective) where the objective is NaN unless optimal.
-fn solve_case(case: &Case, backend: SolverBackend) -> Vec<(&'static str, f64)> {
-    let config = config(backend);
+fn solve_case(
+    case: &Case,
+    backend: SolverBackend,
+    obs: &aqua_obs::Obs,
+) -> Vec<(&'static str, f64)> {
+    let config = config(backend, obs);
     case.models
         .iter()
         .map(|m| match solve_with(m, &config).status {
@@ -92,6 +103,9 @@ fn main() {
         }),
         None => concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_lp.json").to_owned(),
     };
+    // With --obs PATH, every timed solve reports pivot counts and
+    // phase spans into a Chrome trace written at exit.
+    let (obs, obs_out) = harness::obs_from_args(&args);
 
     let machine = Machine::paper_default();
     let cases = vec![
@@ -112,8 +126,8 @@ fn main() {
 
     for case in &cases {
         // Reference solves (untimed) for the agreement check.
-        let ref_sparse = solve_case(case, SolverBackend::Sparse);
-        let ref_dense = solve_case(case, SolverBackend::Dense);
+        let ref_sparse = solve_case(case, SolverBackend::Sparse, &obs);
+        let ref_dense = solve_case(case, SolverBackend::Dense, &obs);
         let delta = agreement(&ref_sparse, &ref_dense);
         let agree = delta.is_some_and(|d| d <= OBJ_TOL);
         agree_all &= agree;
@@ -152,7 +166,7 @@ fn main() {
                     "dense"
                 }
             );
-            let m = harness::time(&label, warmup, iters, || solve_case(case, backend));
+            let m = harness::time(&label, warmup, iters, || solve_case(case, backend, &obs));
             harness::report(&m);
             case_medians[slot] = m.median_ns;
             measurements.push(m);
@@ -169,6 +183,9 @@ fn main() {
     let json = harness::to_json("bench_lp/v1", &measurements, &extras);
     std::fs::write(&out_path, &json).expect("write BENCH_lp.json");
     println!("wrote {out_path}");
+    if let Some((path, sink)) = obs_out {
+        harness::write_obs_trace(&path, &sink);
+    }
     if !agree_all {
         eprintln!("error: backend disagreement (see above)");
         std::process::exit(1);

@@ -4,7 +4,12 @@
 //! completes the assay anyway. Writes `BENCH_fault.json` at the repo
 //! root.
 //!
-//! Usage: `cargo run --release --bin fault_sweep [--quick] [--out PATH]`
+//! Usage: `cargo run --release --bin fault_sweep [--quick] [--out PATH]
+//! [--obs TRACE_PATH]`
+//!
+//! `--obs` attaches a recording observability sink: `sim.run` spans,
+//! fault and per-tier recovery counters from every execution are
+//! exported as a Chrome trace-event JSON plus a text summary at exit.
 //!
 //! Four cases: the Figure 2 running example, Glucose, Glycomics and
 //! Enzyme10 (on a 128-reservoir machine — the assay stores 113 fluids
@@ -88,6 +93,7 @@ fn main() {
         }),
         None => concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fault.json").to_owned(),
     };
+    let (obs, obs_out) = harness::obs_from_args(&args);
 
     let default = Machine::paper_default();
     let big = Machine::paper_default()
@@ -137,6 +143,7 @@ fn main() {
                     let config = ExecConfig {
                         faults: FaultPlan::uniform(seed + 1, rate),
                         recover: true,
+                        obs: obs.clone(),
                         ..ExecConfig::default()
                     };
                     let report = Executor::new(&case.machine, config)
@@ -207,6 +214,9 @@ fn main() {
     let json = harness::to_json("bench_fault/v1", &measurements, &extras);
     std::fs::write(&out_path, &json).expect("write BENCH_fault.json");
     println!("wrote {out_path}");
+    if let Some((path, sink)) = obs_out {
+        harness::write_obs_trace(&path, &sink);
+    }
     if !zero_rate_ok {
         eprintln!("error: a zero-fault-rate run failed to complete cleanly");
         std::process::exit(1);

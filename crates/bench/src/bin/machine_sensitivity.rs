@@ -1,7 +1,7 @@
 //! Sensitivity study: how the benchmark assays' feasibility and minimum
 //! dispensed volumes move with the hardware least count (at a fixed
 //! 100 nl capacity). The paper fixes 100 pl (the demonstrated PDMS-valve
-//! resolution, [12]); this sweep shows how much headroom that choice
+//! resolution, \[12\]); this sweep shows how much headroom that choice
 //! leaves — and when the volume-management hierarchy has to start
 //! rewriting.
 

@@ -1,13 +1,16 @@
 //! Regenerates Table 2: DAGSolve vs LP execution times, LP constraint
 //! counts, and regeneration counts without volume management.
 //!
-//! Usage: `cargo run --release --bin table2 [--enzyme-n N]`
+//! Usage: `cargo run --release --bin table2 [--enzyme-n N]
+//! [--obs TRACE_PATH]`
 //!
 //! The paper's Enzyme10 LP took >20 minutes on a 750 MHz P-III; our
 //! from-scratch simplex on a modern core takes minutes. Pass a smaller
-//! `--enzyme-n` for a quick run.
+//! `--enzyme-n` for a quick run. `--obs` records per-stage spans and
+//! LP pivot counters into a Chrome trace-event JSON.
 
-use aqua_bench::{secs, table2_row, Benchmark};
+use aqua_bench::harness;
+use aqua_bench::{secs, table2_row_obs, Benchmark};
 use aqua_volume::Machine;
 
 fn main() {
@@ -18,6 +21,7 @@ fn main() {
             enzyme_n = v;
         }
     }
+    let (obs, obs_out) = harness::obs_from_args(&args);
 
     let machine = Machine::paper_default();
     let suite = [
@@ -37,7 +41,8 @@ fn main() {
     );
     // The rows are independent benchmarks; fan them out across cores.
     // On a single-core machine this degrades to the sequential loop.
-    let rows = aqua_lp::batch::run_parallel(suite.len(), |i| table2_row(suite[i], &machine));
+    let rows =
+        aqua_lp::batch::run_parallel(suite.len(), |i| table2_row_obs(suite[i], &machine, &obs));
     for row in rows {
         println!(
             "{:<12} {:>14} {:>12} {:>8} {:>16} {:>12}",
@@ -55,4 +60,7 @@ fn main() {
     println!("- Regeneration counts use the documented fill-to-capacity baseline");
     println!("  policy; the paper's policy is unspecified, so compare shapes, not");
     println!("  absolute values (small / large / an order larger).");
+    if let Some((path, sink)) = obs_out {
+        harness::write_obs_trace(&path, &sink);
+    }
 }

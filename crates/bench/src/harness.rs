@@ -150,6 +150,51 @@ pub fn to_json(schema: &str, measurements: &[Measurement], extras: &[(String, Ex
     out
 }
 
+/// Parses `--obs PATH` from argv. Like `--out`, a flag without a path
+/// is a hard error (exit 2) — a typo must not silently drop the trace.
+pub fn obs_path_from_args(args: &[String]) -> Option<String> {
+    let pos = args.iter().position(|a| a == "--obs")?;
+    match args.get(pos + 1) {
+        Some(p) if !p.starts_with("--") => Some(p.clone()),
+        _ => {
+            eprintln!("error: --obs requires a path");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Builds a recording observability handle when `--obs` was given, or
+/// the no-op handle otherwise. Returns the sink alongside so the caller
+/// can export it with [`write_obs_trace`] at exit.
+pub fn obs_from_args(
+    args: &[String],
+) -> (
+    aqua_obs::Obs,
+    Option<(String, std::sync::Arc<aqua_obs::MemorySink>)>,
+) {
+    match obs_path_from_args(args) {
+        Some(path) => {
+            let (obs, sink) = aqua_obs::Obs::recording();
+            (obs, Some((path, sink)))
+        }
+        None => (aqua_obs::Obs::off(), None),
+    }
+}
+
+/// Writes the Chrome trace-event JSON for a recorded run and prints the
+/// compact text summary to stdout.
+///
+/// # Panics
+///
+/// Panics if the trace file cannot be written (benchmark binaries treat
+/// that as fatal, like their `--out` writes).
+pub fn write_obs_trace(path: &str, sink: &aqua_obs::MemorySink) {
+    let trace = aqua_obs::export::chrome_trace(sink);
+    std::fs::write(path, &trace).expect("write obs trace");
+    println!("\n{}", aqua_obs::export::text_summary(sink));
+    println!("wrote obs trace to {path}");
+}
+
 fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {

@@ -95,15 +95,34 @@ fn time_dagsolve_once(dag: &Dag, machine: &Machine) -> (Duration, bool) {
 /// averaged over 10 runs when fast. Returns (time, feasible,
 /// constraint count).
 pub fn time_lp(dag: &Dag, machine: &Machine, opts: &LpOptions) -> (Duration, bool, usize) {
+    time_lp_obs(dag, machine, opts, &aqua_obs::Obs::off())
+}
+
+/// [`time_lp`] with an observability handle threaded into the solver
+/// (pivot counters and phase spans land in the attached sink).
+pub fn time_lp_obs(
+    dag: &Dag,
+    machine: &Machine,
+    opts: &LpOptions,
+    obs: &aqua_obs::Obs,
+) -> (Duration, bool, usize) {
     let (d, (ok, n)) = averaged(|| {
-        let (d, ok, n) = time_lp_once(dag, machine, opts);
+        let (d, ok, n) = time_lp_once(dag, machine, opts, obs);
         (d, (ok, n))
     });
     (d, ok, n)
 }
 
-fn time_lp_once(dag: &Dag, machine: &Machine, opts: &LpOptions) -> (Duration, bool, usize) {
-    let config = SimplexConfig::default();
+fn time_lp_once(
+    dag: &Dag,
+    machine: &Machine,
+    opts: &LpOptions,
+    obs: &aqua_obs::Obs,
+) -> (Duration, bool, usize) {
+    let config = SimplexConfig {
+        obs: obs.clone(),
+        ..SimplexConfig::default()
+    };
     let start = Instant::now();
     if unknown::has_unknown_volumes(dag) {
         let Ok(plan) = unknown::partition(dag, machine) else {
@@ -141,10 +160,26 @@ pub fn benchmark_dag(bench: Benchmark) -> Dag {
 
 /// Measures one Table 2 row.
 pub fn table2_row(bench: Benchmark, machine: &Machine) -> Table2Row {
+    table2_row_obs(bench, machine, &aqua_obs::Obs::off())
+}
+
+/// [`table2_row`] with an observability handle: each stage is wrapped
+/// in a span (`table2.dagsolve` / `table2.lp` / `table2.regen`) and the
+/// LP stage reports pivot counters through the handle.
+pub fn table2_row_obs(bench: Benchmark, machine: &Machine, obs: &aqua_obs::Obs) -> Table2Row {
     let dag = benchmark_dag(bench);
-    let (dagsolve, _) = time_dagsolve(&dag, machine);
-    let (lp, lp_feasible, lp_constraints) = time_lp(&dag, machine, &LpOptions::rvol());
-    let regen = count_regenerations(&dag, machine, &RegenConfig::default());
+    let (dagsolve, _) = {
+        let _span = obs.span("table2.dagsolve");
+        time_dagsolve(&dag, machine)
+    };
+    let (lp, lp_feasible, lp_constraints) = {
+        let _span = obs.span("table2.lp");
+        time_lp_obs(&dag, machine, &LpOptions::rvol(), obs)
+    };
+    let regen = {
+        let _span = obs.span("table2.regen");
+        count_regenerations(&dag, machine, &RegenConfig::default())
+    };
     Table2Row {
         assay: bench.name(),
         dagsolve,

@@ -35,6 +35,10 @@
 //! ```
 
 #![warn(missing_docs)]
+// Lib targets must not panic on `unwrap()`: reachable failure paths
+// carry typed errors, invariants use `expect` with a justification.
+// Test code (cfg(test)) is exempt — asserting via unwrap is idiomatic.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod codegen;
 pub mod error;
@@ -108,7 +112,12 @@ pub fn compile(
     machine: &Machine,
     opts: &CompileOptions,
 ) -> Result<CompileOutput, CompileError> {
-    let flat = aqua_lang::compile_to_flat(src)?;
+    // The hierarchy's obs handle doubles as the compiler's: one handle
+    // covers the whole pipeline.
+    let flat = {
+        let _span = opts.volume.obs.span("compile.parse");
+        aqua_lang::compile_to_flat(src)?
+    };
     compile_flat(flat, machine, opts)
 }
 
@@ -122,14 +131,24 @@ pub fn compile_flat(
     machine: &Machine,
     opts: &CompileOptions,
 ) -> Result<CompileOutput, CompileError> {
-    let (dag, dag_map) = lower::lower_to_dag(&flat)?;
-    dag.validate().map_err(CompileError::Dag)?;
+    let obs = opts.volume.obs.clone();
+    let (dag, dag_map) = {
+        let _span = obs.span("compile.lower");
+        let (dag, dag_map) = lower::lower_to_dag(&flat)?;
+        dag.validate().map_err(CompileError::Dag)?;
+        (dag, dag_map)
+    };
 
     // --- Volume management ---
+    let vol_span = obs.span("compile.volumes");
     let (final_dag, resolution) = if opts.skip_volume_management {
         (dag, VolumeResolution::None)
     } else if unknown::has_unknown_volumes(&dag) {
         let plan = unknown::partition(&dag, machine).map_err(CompileError::Partition)?;
+        // Partitioning computes one compile-time Vnorm table per
+        // partition; report them on the same counter the hierarchy uses.
+        obs.add("vol.vnorm_passes", plan.partitions.len() as u64);
+        obs.add("vol.partitions", plan.partitions.len() as u64);
         (dag, VolumeResolution::Partitioned(plan))
     } else {
         // Thread explicit OUTPUT weights into the hierarchy.
@@ -152,9 +171,13 @@ pub fn compile_flat(
         }
     };
 
+    vol_span.end();
+
     // --- Code generation ---
-    let (program, volume_plan) =
-        codegen::emit(&flat.name, &final_dag, &dag_map, machine, &resolution)?;
+    let (program, volume_plan) = {
+        let _span = obs.span("compile.codegen");
+        codegen::emit(&flat.name, &final_dag, &dag_map, machine, &resolution)?
+    };
 
     Ok(CompileOutput {
         flat,

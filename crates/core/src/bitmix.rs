@@ -1,7 +1,7 @@
 //! Biostream-style fixed-ratio (1:1) mixing plans.
 //!
 //! The paper contrasts its variable-ratio mixes with Biostream, which
-//! "allow[s] mixing only in a 1:1 ratio, and discard[s] half of the
+//! "allow\[s\] mixing only in a 1:1 ratio, and discard\[s\] half of the
 //! output of the mix ... achieving arbitrary mix ratios always requires
 //! cascading (except for 1:1 mixing), which executes on the slow fluid
 //! path" (§3.4.1). This module makes that comparison quantitative: it

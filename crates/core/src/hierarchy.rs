@@ -18,6 +18,7 @@ use crate::dagsolve::{self, VolumeAssignment};
 use crate::lpform::{self, LpOptions};
 use crate::machine::Machine;
 use crate::replicate;
+use crate::round;
 use crate::vnorm;
 
 /// Which solver finally produced the accepted assignment.
@@ -63,6 +64,13 @@ pub struct VolumeManagerOptions {
     /// cascading never rewrites a mix that consumes them (§3.4.1:
     /// "because of safety, cost, regulation, or even correctness").
     pub no_excess_fluids: Vec<String>,
+    /// Observability handle: spans (`vol.manage`, `vol.dagsolve`,
+    /// `vol.lp`) and counters (`vol.vnorm_passes`,
+    /// `vol.cascade_rewrites`, `vol.replicate_rewrites`,
+    /// `vol.lp_fallbacks`, `vol.escalations`) flow through here and into
+    /// the LP solver beneath. The default [`aqua_obs::Obs::off`] handle
+    /// reduces every probe to one branch.
+    pub obs: aqua_obs::Obs,
 }
 
 impl Default for VolumeManagerOptions {
@@ -73,6 +81,7 @@ impl Default for VolumeManagerOptions {
             use_lp: true,
             output_weights: std::collections::HashMap::new(),
             no_excess_fluids: Vec::new(),
+            obs: aqua_obs::Obs::off(),
         }
     }
 }
@@ -153,6 +162,7 @@ impl ManagedOutcome {
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub fn manage_volumes(dag: &Dag, machine: &Machine, opts: &VolumeManagerOptions) -> ManagedOutcome {
+    let _manage_span = opts.obs.span("vol.manage");
     let mut work = dag.clone();
     let mut log = Vec::new();
     let mut rewritten = false;
@@ -160,31 +170,39 @@ pub fn manage_volumes(dag: &Dag, machine: &Machine, opts: &VolumeManagerOptions)
 
     for round in 0..=opts.max_rewrite_rounds {
         // --- 1. DAGSolve ---
-        match dagsolve::solve_weighted(&work, machine, &opts.output_weights) {
-            Ok(sol) if sol.underflow.is_none() => {
-                log.push(format!("round {round}: DAGSolve succeeded"));
-                let method = if rewritten {
-                    Method::DagSolveAfterRewrites
-                } else {
-                    Method::DagSolve
-                };
-                return ManagedOutcome::Solved {
-                    volumes: ManagedVolumes {
-                        edge_volumes_nl: sol.edge_volumes_nl.clone(),
-                        node_volumes_nl: sol.node_volumes_nl.clone(),
-                        method,
-                    },
-                    dag: work,
-                    log,
-                };
-            }
-            Ok(sol) => {
-                log.push(format!(
-                    "round {round}: DAGSolve underflowed ({})",
-                    sol.underflow.as_ref().expect("checked").volume_nl
-                ));
-                best_effort = Some(sol);
-            }
+        let dag_result = {
+            let _span = opts.obs.span("vol.dagsolve");
+            // Every DAGSolve attempt is one backward Vnorm pass.
+            opts.obs.add("vol.vnorm_passes", 1);
+            dagsolve::solve_weighted(&work, machine, &opts.output_weights)
+        };
+        match dag_result {
+            Ok(sol) => match sol.underflow {
+                None => {
+                    log.push(format!("round {round}: DAGSolve succeeded"));
+                    let method = if rewritten {
+                        Method::DagSolveAfterRewrites
+                    } else {
+                        Method::DagSolve
+                    };
+                    return ManagedOutcome::Solved {
+                        volumes: ManagedVolumes {
+                            edge_volumes_nl: sol.edge_volumes_nl.clone(),
+                            node_volumes_nl: sol.node_volumes_nl.clone(),
+                            method,
+                        },
+                        dag: work,
+                        log,
+                    };
+                }
+                Some(ref under) => {
+                    log.push(format!(
+                        "round {round}: DAGSolve underflowed ({})",
+                        under.volume_nl
+                    ));
+                    best_effort = Some(sol);
+                }
+            },
             Err(e) => {
                 log.push(format!("round {round}: DAGSolve error: {e}"));
             }
@@ -192,6 +210,8 @@ pub fn manage_volumes(dag: &Dag, machine: &Machine, opts: &VolumeManagerOptions)
 
         // --- 2. LP fallback ---
         if opts.use_lp {
+            opts.obs.add("vol.lp_fallbacks", 1);
+            let _lp_span = opts.obs.span("vol.lp");
             // Explicit output weights override the default anti-skew
             // band (which would force outputs equal-ish and fight the
             // requested proportions).
@@ -204,41 +224,69 @@ pub fn manage_volumes(dag: &Dag, machine: &Machine, opts: &VolumeManagerOptions)
                 }
             };
             let form = lpform::build(&work, machine, &lp_opts);
-            let out = aqua_lp::solve(&form.model);
+            let config = aqua_lp::SimplexConfig {
+                obs: opts.obs.clone(),
+                ..Default::default()
+            };
+            let out = aqua_lp::solve_with(&form.model, &config);
             match out.status {
                 aqua_lp::Status::Optimal(sol) => {
-                    log.push(format!(
-                        "round {round}: LP succeeded ({} constraints)",
-                        form.num_constraints
-                    ));
                     let vols = form.volumes(&work, machine, &sol);
-                    let edge_volumes_nl = vols.rounded(machine);
-                    let mut node_volumes_nl = vec![Ratio::ZERO; work.num_nodes()];
-                    for n in work.node_ids() {
-                        let from_edges = Ratio::checked_sum(
-                            work.in_edges(n).iter().map(|&e| edge_volumes_nl[e.index()]),
-                        )
-                        .unwrap_or(Ratio::ZERO);
-                        node_volumes_nl[n.index()] = if work.in_edges(n).is_empty() {
-                            machine.round_to_least_count(float_to_ratio_nl(vols.node_nl[n.index()]))
+                    // RVol → IVol with the clamp-and-measure discipline:
+                    // sub-least-count transfers are raised to one count
+                    // (never silently emitted or dropped). When such a
+                    // clamp breaks a mix ratio beyond the paper's 2%
+                    // tolerance, the plan escalates to the rewrite tier
+                    // instead of shipping. Ordinary rounding noise on
+                    // meterable transfers does not escalate — §4.2
+                    // measures it and the chemistry tolerates it.
+                    let ra = round::round_lp_edges(&work, machine, &vols.edge_nl);
+                    if !ra.underflows.is_empty() && !ra.within_paper_tolerance() {
+                        opts.obs.add("vol.escalations", 1);
+                        log.push(format!(
+                            "round {round}: LP clamped {} sub-least-count transfer(s) \
+                             and broke a mix ratio ({} > {} tolerance); escalating",
+                            ra.underflows.len(),
+                            ra.max_ratio_error,
+                            round::PAPER_RATIO_TOLERANCE,
+                        ));
+                    } else {
+                        log.push(format!(
+                            "round {round}: LP succeeded ({} constraints)",
+                            form.num_constraints
+                        ));
+                        let round::RoundedAssignment {
+                            edge_volumes_nl,
+                            node_volumes_nl: mut rounded_nodes,
+                            ..
+                        } = ra;
+                        // Source nodes must load at least what they
+                        // dispense (non-deficit); the rounded out-edge
+                        // sum already guarantees that, but never load
+                        // *less* than the LP asked for.
+                        for n in work.node_ids() {
+                            if work.in_edges(n).is_empty() {
+                                let lp_load = machine.round_to_least_count(float_to_ratio_nl(
+                                    vols.node_nl[n.index()],
+                                ));
+                                rounded_nodes[n.index()] = rounded_nodes[n.index()].max(lp_load);
+                            }
+                        }
+                        let method = if rewritten {
+                            Method::LpAfterRewrites
                         } else {
-                            from_edges
+                            Method::Lp
+                        };
+                        return ManagedOutcome::Solved {
+                            volumes: ManagedVolumes {
+                                edge_volumes_nl,
+                                node_volumes_nl: rounded_nodes,
+                                method,
+                            },
+                            dag: work,
+                            log,
                         };
                     }
-                    let method = if rewritten {
-                        Method::LpAfterRewrites
-                    } else {
-                        Method::Lp
-                    };
-                    return ManagedOutcome::Solved {
-                        volumes: ManagedVolumes {
-                            edge_volumes_nl,
-                            node_volumes_nl,
-                            method,
-                        },
-                        dag: work,
-                        log,
-                    };
                 }
                 aqua_lp::Status::Infeasible => {
                     log.push(format!("round {round}: LP infeasible"));
@@ -275,6 +323,7 @@ pub fn manage_volumes(dag: &Dag, machine: &Machine, opts: &VolumeManagerOptions)
                 }
                 match cascade::apply_cascade(&mut work, node, machine) {
                     Ok(info) => {
+                        opts.obs.add("vol.cascade_rewrites", 1);
                         log.push(format!(
                             "round {round}: cascaded `{}` into {} stages",
                             work.node(info.node).name,
@@ -288,12 +337,14 @@ pub fn manage_volumes(dag: &Dag, machine: &Machine, opts: &VolumeManagerOptions)
         }
         if !changed {
             // Replicate the current bottleneck.
+            opts.obs.add("vol.vnorm_passes", 1);
             match vnorm::compute(&work) {
                 Ok(t) => match replicate::bottleneck_candidate(&work, &t) {
                     Some(node) => {
                         let name = work.node(node).name.clone();
                         match replicate::replicate_node(&mut work, node, 2, machine) {
                             Ok(_) => {
+                                opts.obs.add("vol.replicate_rewrites", 1);
                                 log.push(format!("round {round}: replicated `{name}` x2"));
                                 changed = true;
                             }
@@ -315,6 +366,7 @@ pub fn manage_volumes(dag: &Dag, machine: &Machine, opts: &VolumeManagerOptions)
         rewritten = true;
     }
 
+    opts.obs.add("vol.escalations", 1);
     log.push("falling back to run-time regeneration".into());
     ManagedOutcome::NeedsRegeneration {
         dag: work,
@@ -345,29 +397,31 @@ pub fn replan_with_observations(
         observed_nl.len()
     )];
     match dagsolve::solve_capped(dag, machine, &opts.output_weights, observed_nl) {
-        Ok(sol) if sol.underflow.is_none() => {
-            log.push("replan: DAGSolve (capped) succeeded".into());
-            ManagedOutcome::Solved {
-                volumes: ManagedVolumes {
-                    edge_volumes_nl: sol.edge_volumes_nl.clone(),
-                    node_volumes_nl: sol.node_volumes_nl.clone(),
-                    method: Method::DagSolve,
-                },
-                dag: dag.clone(),
-                log,
+        Ok(sol) => match sol.underflow {
+            None => {
+                log.push("replan: DAGSolve (capped) succeeded".into());
+                ManagedOutcome::Solved {
+                    volumes: ManagedVolumes {
+                        edge_volumes_nl: sol.edge_volumes_nl.clone(),
+                        node_volumes_nl: sol.node_volumes_nl.clone(),
+                        method: Method::DagSolve,
+                    },
+                    dag: dag.clone(),
+                    log,
+                }
             }
-        }
-        Ok(sol) => {
-            log.push(format!(
-                "replan: capped DAGSolve underflowed ({})",
-                sol.underflow.as_ref().expect("checked").volume_nl
-            ));
-            ManagedOutcome::NeedsRegeneration {
-                dag: dag.clone(),
-                best_effort: Some(sol),
-                log,
+            Some(ref under) => {
+                log.push(format!(
+                    "replan: capped DAGSolve underflowed ({})",
+                    under.volume_nl
+                ));
+                ManagedOutcome::NeedsRegeneration {
+                    dag: dag.clone(),
+                    best_effort: Some(sol),
+                    log,
+                }
             }
-        }
+        },
         Err(e) => {
             log.push(format!("replan: DAGSolve error: {e}"));
             ManagedOutcome::NeedsRegeneration {
@@ -411,6 +465,20 @@ pub fn solve_assays_parallel(
     opts: &VolumeManagerOptions,
 ) -> Vec<ManagedOutcome> {
     aqua_lp::batch::run_parallel(dags.len(), |i| manage_volumes(&dags[i], machine, opts))
+}
+
+/// [`solve_assays_parallel`] with an explicit worker-thread count.
+/// Results are in input order and identical for every `threads` value;
+/// the determinism tests pin exactly this across 1, 2, and 8 workers.
+pub fn solve_assays_parallel_threads(
+    dags: &[Dag],
+    machine: &Machine,
+    opts: &VolumeManagerOptions,
+    threads: usize,
+) -> Vec<ManagedOutcome> {
+    aqua_lp::batch::run_parallel_threads(dags.len(), threads, |i| {
+        manage_volumes(&dags[i], machine, opts)
+    })
 }
 
 /// Converts an LP float (nl) to an exact ratio via milli-least-count
@@ -535,6 +603,61 @@ mod tests {
                 assert!(best_effort.expect("has best effort").underflow.is_some());
             }
             other => panic!("expected regeneration fallback, got {other:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod parallel_tests {
+    use super::*;
+
+    /// Determinism across thread counts: the same assay batch managed
+    /// with 1, 2, and 8 workers must produce identical outcomes in
+    /// input order — same method, same log, same exact volumes.
+    #[test]
+    fn parallel_assays_are_identical_across_thread_counts() {
+        let dags: Vec<Dag> = (0..12)
+            .map(|k: u64| {
+                let mut d = Dag::new();
+                let a = d.add_input("A");
+                let b = d.add_input("B");
+                // Ratios from mild (1:3) to extreme (1:1603) so the
+                // batch exercises DAGSolve, LP, and cascade paths.
+                let m = d
+                    .add_mix("mx", &[(a, 1), (b, (k % 5) * 400 + 3)], 0)
+                    .unwrap();
+                d.add_process("s", "sense.OD", m);
+                d
+            })
+            .collect();
+        let machine = Machine::paper_default();
+        let opts = VolumeManagerOptions::default();
+        let baseline = solve_assays_parallel_threads(&dags, &machine, &opts, 1);
+        for threads in [2usize, 8] {
+            let run = solve_assays_parallel_threads(&dags, &machine, &opts, threads);
+            assert_eq!(run.len(), baseline.len());
+            for (i, (a, b)) in baseline.iter().zip(&run).enumerate() {
+                match (a, b) {
+                    (
+                        ManagedOutcome::Solved {
+                            volumes: va,
+                            log: la,
+                            ..
+                        },
+                        ManagedOutcome::Solved {
+                            volumes: vb,
+                            log: lb,
+                            ..
+                        },
+                    ) => {
+                        assert_eq!(va.method, vb.method, "assay {i}, {threads} threads");
+                        assert_eq!(va.edge_volumes_nl, vb.edge_volumes_nl, "assay {i}");
+                        assert_eq!(va.node_volumes_nl, vb.node_volumes_nl, "assay {i}");
+                        assert_eq!(la, lb, "assay {i}");
+                    }
+                    other => panic!("outcome mismatch at assay {i}: {other:?}"),
+                }
+            }
         }
     }
 }

@@ -52,6 +52,10 @@
 //! ```
 
 #![warn(missing_docs)]
+// Lib targets must not panic on `unwrap()`: reachable failure paths
+// carry typed errors, invariants use `expect` with a justification.
+// Test code (cfg(test)) is exempt — asserting via unwrap is idiomatic.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod bitmix;
 pub mod cascade;
@@ -66,8 +70,8 @@ pub mod vnorm;
 
 pub use dagsolve::{DagSolveError, VolumeAssignment};
 pub use hierarchy::{
-    manage_volumes, replan_with_observations, solve_assays_parallel, ManagedOutcome, Method,
-    VolumeManagerOptions,
+    manage_volumes, replan_with_observations, solve_assays_parallel, solve_assays_parallel_threads,
+    ManagedOutcome, Method, VolumeManagerOptions,
 };
 pub use machine::Machine;
 pub use vnorm::VnormTable;

@@ -6,6 +6,9 @@
 //! chemistry tolerates small errors (the paper measured ≤ 2% on its
 //! benchmarks), and this module measures exactly that error.
 
+use std::error::Error;
+use std::fmt;
+
 use aqua_dag::{Dag, NodeKind, Ratio};
 
 use crate::dagsolve::VolumeAssignment;
@@ -26,9 +29,62 @@ pub struct RoundedAssignment {
     pub mean_ratio_error: Ratio,
     /// Edges whose rounded volume fell below the least count (rounding
     /// can only cause this for transfers already within half a least
-    /// count of the floor).
+    /// count of the floor). Under [`round_assignment`] and
+    /// [`round_lp_edges`] these edges are *clamped up to one least
+    /// count* in `edge_volumes_nl` / `node_volumes_nl` — the hardware
+    /// cannot meter less — while the ratio-error metrics are measured
+    /// on the raw (unclamped) rounding, the paper's §4.2 metric, where
+    /// a dropped transfer is a 100% error on its mix. Either way an
+    /// underflowed mix fails [`Self::within_paper_tolerance`], so the
+    /// hierarchy escalates instead of shipping the broken plan.
+    /// [`round_apportioned`] records but does not clamp (its guarantee
+    /// is per-node conservation, which a clamp would break).
     pub underflows: Vec<usize>,
 }
+
+impl RoundedAssignment {
+    /// Whether the rounded volumes stay within the paper's measured
+    /// mix-ratio tolerance (≤ 2% on its benchmarks, §4.2).
+    pub fn within_paper_tolerance(&self) -> bool {
+        self.max_ratio_error <= paper_ratio_tolerance()
+    }
+}
+
+/// The paper's mix-ratio error tolerance: 2% (§4.2 measured ≤ 2% across
+/// its benchmarks). The hierarchy rejects rounded assignments whose
+/// clamped underflows push a mix ratio beyond this.
+pub fn paper_ratio_tolerance() -> Ratio {
+    // 1/50 is a valid, canonical rational.
+    Ratio::new(1, 50).unwrap_or(Ratio::ZERO)
+}
+
+/// Constant alias for documentation; see [`paper_ratio_tolerance`].
+pub const PAPER_RATIO_TOLERANCE: &str = "2%";
+
+/// Typed error from [`round_assignment_strict`]: a productive transfer
+/// rounds below the machine's least count, so the plan as given cannot
+/// be metered without perturbation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundingError {
+    /// Index of the underflowing edge.
+    pub edge: usize,
+    /// The exact (pre-rounding) transfer volume in nl.
+    pub volume_nl: Ratio,
+    /// The least count it fails to reach, in nl.
+    pub least_count_nl: Ratio,
+}
+
+impl fmt::Display for RoundingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "transfer of {} nl on edge {} rounds below the least count of {} nl",
+            self.volume_nl, self.edge, self.least_count_nl
+        )
+    }
+}
+
+impl Error for RoundingError {}
 
 /// Rounds a rational assignment to least-count multiples and measures
 /// the resulting mix-ratio error.
@@ -57,6 +113,71 @@ pub fn round_assignment(
     machine: &Machine,
     assignment: &VolumeAssignment,
 ) -> RoundedAssignment {
+    let (edge_volumes_nl, underflows) = rounded_edges(dag, machine, assignment);
+    clamp_and_finish(dag, machine, edge_volumes_nl, underflows)
+}
+
+/// Shared tail of the clamping entry points: measure ratio errors on
+/// the raw rounded table (§4.2's metric — an underflowed transfer
+/// counts as dropped, a 100% error), then clamp each underflowed edge
+/// up to one least count for the emitted volumes, since the hardware
+/// cannot meter less. A clamped plan therefore never ships a
+/// sub-least-count transfer, and its distorted mix still fails
+/// [`RoundedAssignment::within_paper_tolerance`].
+fn clamp_and_finish(
+    dag: &Dag,
+    machine: &Machine,
+    mut edge_volumes_nl: Vec<Ratio>,
+    underflows: Vec<usize>,
+) -> RoundedAssignment {
+    let (max_ratio_error, mean_ratio_error) = ratio_errors(dag, &edge_volumes_nl);
+    let lc = machine.least_count_nl();
+    for &e in &underflows {
+        edge_volumes_nl[e] = lc;
+    }
+    let node_volumes_nl = node_totals(dag, &edge_volumes_nl);
+    RoundedAssignment {
+        edge_volumes_nl,
+        node_volumes_nl,
+        max_ratio_error,
+        mean_ratio_error,
+        underflows,
+    }
+}
+
+/// Like [`round_assignment`] but *strict*: instead of clamping, the
+/// first productive transfer that rounds below the least count is
+/// surfaced as a typed [`RoundingError`]. For callers that must not
+/// perturb volumes (e.g. plans already committed to hardware).
+///
+/// # Errors
+///
+/// Returns [`RoundingError`] for the first underflowing edge.
+pub fn round_assignment_strict(
+    dag: &Dag,
+    machine: &Machine,
+    assignment: &VolumeAssignment,
+) -> Result<RoundedAssignment, RoundingError> {
+    let (edge_volumes_nl, underflows) = rounded_edges(dag, machine, assignment);
+    if let Some(&e) = underflows.first() {
+        return Err(RoundingError {
+            edge: e,
+            volume_nl: assignment.edge_volumes_nl[e],
+            least_count_nl: machine.least_count_nl(),
+        });
+    }
+    Ok(finish_rounding(dag, edge_volumes_nl, underflows))
+}
+
+/// Rounds each live edge independently; returns the rounded table plus
+/// the indices of productive transfers that fell below the least count
+/// (only transfers the plan actually needs: positive exact volume,
+/// destination not an excess node).
+fn rounded_edges(
+    dag: &Dag,
+    machine: &Machine,
+    assignment: &VolumeAssignment,
+) -> (Vec<Ratio>, Vec<usize>) {
     let mut edge_volumes_nl = vec![Ratio::ZERO; dag.num_edges()];
     let mut underflows = Vec::new();
     for e in dag.edge_ids() {
@@ -67,64 +188,41 @@ pub fn round_assignment(
         let rounded = machine.round_to_least_count(exact);
         edge_volumes_nl[e.index()] = rounded;
         let is_excess = dag.node(dag.edge(e).dst).kind == NodeKind::Excess;
-        if rounded < machine.least_count_nl() && !is_excess {
+        if rounded < machine.least_count_nl() && exact.is_positive() && !is_excess {
             underflows.push(e.index());
         }
     }
+    (edge_volumes_nl, underflows)
+}
 
-    // Node production after rounding = rounded input total (for sources:
-    // rounded output demand).
-    let mut node_volumes_nl = vec![Ratio::ZERO; dag.num_nodes()];
-    for id in dag.node_ids() {
-        let ins = dag.in_edges(id);
-        node_volumes_nl[id.index()] = if ins.is_empty() {
-            Ratio::checked_sum(
-                dag.out_edges(id)
-                    .iter()
-                    .map(|&e| edge_volumes_nl[e.index()]),
-            )
-            .unwrap_or(Ratio::ZERO)
-        } else {
-            Ratio::checked_sum(ins.iter().map(|&e| edge_volumes_nl[e.index()]))
-                .unwrap_or(Ratio::ZERO)
-        };
-    }
-
-    // Mix-ratio error: for each in-edge of each mix node, compare the
-    // achieved input share against the specified fraction.
-    let mut max_err = Ratio::ZERO;
-    let mut total_err = Ratio::ZERO;
-    let mut samples: i128 = 0;
-    for id in dag.node_ids() {
-        if !matches!(dag.node(id).kind, NodeKind::Mix { .. }) {
+/// Rounds LP solution volumes (floats, nl) to least-count multiples
+/// with the same clamp-and-measure discipline as [`round_assignment`]:
+/// productive transfers that round to zero but carry real volume are
+/// raised to one least count, and the returned ratio errors reflect
+/// the clamped table. This is the LP-path RVol → IVol step used by
+/// `hierarchy::manage_volumes`.
+pub fn round_lp_edges(dag: &Dag, machine: &Machine, edge_nl: &[f64]) -> RoundedAssignment {
+    let lc = machine.least_count_nl();
+    let lc_f = lc.to_f64();
+    // Anything below this is LP float noise around zero, not a real
+    // transfer the plan depends on; clamping it would invent fluid.
+    let noise = lc_f * 1e-6;
+    let mut edge_volumes_nl = vec![Ratio::ZERO; dag.num_edges()];
+    let mut underflows = Vec::new();
+    for e in dag.edge_ids() {
+        if !dag.edge_is_live(e) {
             continue;
         }
-        let total = node_volumes_nl[id.index()];
-        if !total.is_positive() {
-            continue;
-        }
-        for &e in dag.in_edges(id) {
-            let spec = dag.edge(e).fraction;
-            let got = edge_volumes_nl[e.index()] / total;
-            let err = (got - spec).abs() / spec;
-            max_err = max_err.max(err);
-            total_err += err;
-            samples += 1;
+        let exact = edge_nl[e.index()];
+        let counts = (exact / lc_f).round() as i128;
+        let rounded = Ratio::from_int(counts.max(0)) * lc;
+        edge_volumes_nl[e.index()] = rounded;
+        let is_excess = dag.node(dag.edge(e).dst).kind == NodeKind::Excess;
+        if rounded < lc && exact > noise && !is_excess {
+            underflows.push(e.index());
         }
     }
-    let mean_ratio_error = if samples > 0 {
-        total_err / Ratio::from_int(samples)
-    } else {
-        Ratio::ZERO
-    };
-
-    RoundedAssignment {
-        edge_volumes_nl,
-        node_volumes_nl,
-        max_ratio_error: max_err,
-        mean_ratio_error,
-        underflows,
-    }
+    clamp_and_finish(dag, machine, edge_volumes_nl, underflows)
 }
 
 #[cfg(test)]
@@ -160,8 +258,8 @@ mod tests {
 
     #[test]
     fn near_least_count_transfer_can_round_into_underflow() {
-        // A 1:1999 mix underflows before rounding; rounding the 0.05 nl
-        // transfer lands at 0.1 or 0.0 depending on the exact value.
+        // A 1:2999 mix underflows before rounding: 100 nl / 3000 =
+        // 0.0333 nl rounds to 0.0, a recorded underflow.
         let mut d = Dag::new();
         let a = d.add_input("A");
         let b = d.add_input("B");
@@ -171,8 +269,103 @@ mod tests {
         let sol = dagsolve::solve(&d, &machine).unwrap();
         assert!(sol.underflow.is_some());
         let rounded = round_assignment(&d, &machine, &sol);
-        // 100 nl / 3000 = 0.0333 nl -> rounds to 0.0: recorded underflow.
         assert_eq!(rounded.underflows.len(), 1);
+        // The underflowed transfer is clamped up to exactly one least
+        // count — never emitted as a sub-least-count (unmeterable)
+        // volume, never silently dropped to zero.
+        let e = rounded.underflows[0];
+        assert_eq!(rounded.edge_volumes_nl[e], machine.least_count_nl());
+        // The clamp is reflected in the mix node's total...
+        let mix_total = rounded.node_volumes_nl[m.index()];
+        let b_edge: Ratio = d
+            .in_edges(m)
+            .iter()
+            .map(|&ed| rounded.edge_volumes_nl[ed.index()])
+            .sum();
+        assert_eq!(mix_total, b_edge);
+        // ...and in the ratio error: the raw rounding drops the
+        // transfer entirely (a 100% error on its mix), far beyond the
+        // paper's 2% — the hierarchy must not ship this plan.
+        assert!(!rounded.within_paper_tolerance());
+        assert!(rounded.max_ratio_error > r(1, 2));
+    }
+
+    #[test]
+    fn regression_1_to_1999_mix_rounds_to_one_count_and_breaks_tolerance() {
+        // Regression for the span-limit case from dagsolve: a 1:1999 mix
+        // at 100 nl capacity wants 0.05 nl of A — half a least count.
+        // Half-away-from-zero rounding lands it at exactly one count
+        // (0.1 nl), doubling A's share. The result must be a meterable
+        // table (no sub-least-count transfers) whose ratio error
+        // honestly reports the ~100% distortion so the hierarchy
+        // escalates instead of shipping the broken mix.
+        let mut d = Dag::new();
+        let a = d.add_input("A");
+        let b = d.add_input("B");
+        let m = d.add_mix("mx", &[(a, 1), (b, 1999)], 0).unwrap();
+        d.add_output("o", m);
+        let machine = Machine::paper_default();
+        let sol = dagsolve::solve(&d, &machine).unwrap();
+        // The rational solution already flags the underflow...
+        assert!(sol.underflow.is_some());
+        let rounded = round_assignment(&d, &machine, &sol);
+        // ...and after rounding every live transfer is a least-count
+        // multiple of at least one count.
+        for e in d.edge_ids() {
+            let v = rounded.edge_volumes_nl[e.index()];
+            assert!(machine.is_least_count_multiple(v));
+            assert!(
+                v >= machine.least_count_nl(),
+                "edge {e} emitted sub-least-count volume {v}"
+            );
+        }
+        // 0.1 / 100.1 against a spec of 1/2000 is ~2x: flagged.
+        assert!(!rounded.within_paper_tolerance());
+        assert!(rounded.max_ratio_error > r(9, 10));
+        assert!(rounded.max_ratio_error < r(11, 10));
+    }
+
+    #[test]
+    fn strict_rounding_surfaces_typed_error_on_underflow() {
+        let mut d = Dag::new();
+        let a = d.add_input("A");
+        let b = d.add_input("B");
+        let m = d.add_mix("mx", &[(a, 1), (b, 2999)], 0).unwrap();
+        d.add_output("o", m);
+        let machine = Machine::paper_default();
+        let sol = dagsolve::solve(&d, &machine).unwrap();
+        let err = round_assignment_strict(&d, &machine, &sol).unwrap_err();
+        assert_eq!(err.least_count_nl, machine.least_count_nl());
+        assert!(err.volume_nl.is_positive());
+        assert!(err.volume_nl < machine.least_count_nl());
+        let msg = err.to_string();
+        assert!(msg.contains("least count"), "message: {msg}");
+        // A clean mix passes strict rounding.
+        let mut ok = Dag::new();
+        let x = ok.add_input("X");
+        let y = ok.add_input("Y");
+        let mx = ok.add_mix("mx", &[(x, 1), (y, 3)], 0).unwrap();
+        ok.add_output("o", mx);
+        let sol = dagsolve::solve(&ok, &machine).unwrap();
+        assert!(round_assignment_strict(&ok, &machine, &sol).is_ok());
+    }
+
+    #[test]
+    fn lp_edge_rounding_clamps_and_ignores_float_noise() {
+        let mut d = Dag::new();
+        let a = d.add_input("A");
+        let b = d.add_input("B");
+        let m = d.add_mix("mx", &[(a, 1), (b, 1)], 0).unwrap();
+        d.add_output("o", m);
+        let machine = Machine::paper_default();
+        // Edge order: a->m, b->m, m->o. Give A solver noise (treated as
+        // zero, not clamped) and B a real sub-count volume (clamped).
+        let edge_nl = vec![1e-12, 0.04, 50.0];
+        let ra = round_lp_edges(&d, &machine, &edge_nl);
+        assert_eq!(ra.edge_volumes_nl[0], Ratio::ZERO);
+        assert_eq!(ra.edge_volumes_nl[1], machine.least_count_nl());
+        assert_eq!(ra.underflows, vec![1]);
+        assert_eq!(ra.edge_volumes_nl[2], Ratio::from_int(50));
     }
 
     #[test]
@@ -264,12 +457,27 @@ pub fn round_apportioned(
     finish_rounding(dag, edge_volumes_nl, underflows)
 }
 
-/// Computes node totals and mix-ratio error for a rounded edge table.
+/// Computes node totals and mix-ratio error for a rounded edge table
+/// (no clamping — the strict and apportioned paths).
 fn finish_rounding(
     dag: &Dag,
     edge_volumes_nl: Vec<Ratio>,
     underflows: Vec<usize>,
 ) -> RoundedAssignment {
+    let node_volumes_nl = node_totals(dag, &edge_volumes_nl);
+    let (max_ratio_error, mean_ratio_error) = ratio_errors(dag, &edge_volumes_nl);
+    RoundedAssignment {
+        edge_volumes_nl,
+        node_volumes_nl,
+        max_ratio_error,
+        mean_ratio_error,
+        underflows,
+    }
+}
+
+/// Per-node production for an edge table: the sum of a node's in-edge
+/// volumes (sources keep their total out-edge demand).
+fn node_totals(dag: &Dag, edge_volumes_nl: &[Ratio]) -> Vec<Ratio> {
     let mut node_volumes_nl = vec![Ratio::ZERO; dag.num_nodes()];
     for id in dag.node_ids() {
         let ins = dag.in_edges(id);
@@ -285,6 +493,13 @@ fn finish_rounding(
                 .unwrap_or(Ratio::ZERO)
         };
     }
+    node_volumes_nl
+}
+
+/// (max, mean) relative mix-ratio error across all mix-node inputs of
+/// an edge table — the §4.2 metric.
+fn ratio_errors(dag: &Dag, edge_volumes_nl: &[Ratio]) -> (Ratio, Ratio) {
+    let node_volumes_nl = node_totals(dag, edge_volumes_nl);
     let mut max_err = Ratio::ZERO;
     let mut total_err = Ratio::ZERO;
     let mut samples: i128 = 0;
@@ -305,18 +520,12 @@ fn finish_rounding(
             samples += 1;
         }
     }
-    let mean_ratio_error = if samples > 0 {
+    let mean = if samples > 0 {
         total_err / Ratio::from_int(samples)
     } else {
         Ratio::ZERO
     };
-    RoundedAssignment {
-        edge_volumes_nl,
-        node_volumes_nl,
-        max_ratio_error: max_err,
-        mean_ratio_error,
-        underflows,
-    }
+    (max_err, mean)
 }
 
 #[cfg(test)]

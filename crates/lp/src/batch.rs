@@ -38,7 +38,7 @@
 //! ```
 
 use std::collections::VecDeque;
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 use crate::ilp::{solve_ilp, IlpConfig, IlpOutcome};
 use crate::model::Model;
@@ -54,13 +54,26 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    run_parallel_threads(n, threads, f)
+}
+
+/// [`run_parallel`] with an explicit worker-thread count (clamped to
+/// `[1, n]`). Results are in input order and identical for every
+/// `threads` value — the determinism tests pin exactly this: the pool
+/// writes each result into its own per-index slot, so scheduling can
+/// only change wall time, never placement.
+pub fn run_parallel_threads<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
     if n == 0 {
         return Vec::new();
     }
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .min(n);
+    let threads = threads.clamp(1, n);
     if threads <= 1 {
         return (0..n).map(f).collect();
     }
@@ -79,15 +92,15 @@ where
             scope.spawn(move || loop {
                 // Own deque first (LIFO), then steal (FIFO) round-robin
                 // starting from the next worker.
-                let task = queues[w].lock().unwrap().pop_back().or_else(|| {
+                let task = lock(&queues[w]).pop_back().or_else(|| {
                     (1..threads)
                         .map(|k| (w + k) % threads)
-                        .find_map(|v| queues[v].lock().unwrap().pop_front())
+                        .find_map(|v| lock(&queues[v]).pop_front())
                 });
                 match task {
                     Some(i) => {
                         let out = f(i);
-                        *slots[i].lock().unwrap() = Some(out);
+                        *lock(&slots[i]) = Some(out);
                     }
                     // No new tasks are ever produced, so globally-empty
                     // deques mean this worker is done.
@@ -101,10 +114,17 @@ where
         .into_iter()
         .map(|s| {
             s.into_inner()
-                .expect("no worker panicked")
+                .unwrap_or_else(PoisonError::into_inner)
                 .expect("every task index was queued exactly once")
         })
         .collect()
+}
+
+/// Poison-proof lock: a panicking worker must not turn every later
+/// `lock()` into a second panic — the scope already propagates the
+/// original one, and the queued indices/results remain valid data.
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// Solves every model with the default configuration, in parallel.
@@ -193,6 +213,48 @@ mod tests {
         assert_eq!(squares.len(), 100);
         assert_eq!(squares[7], 49);
         assert_eq!(squares[99], 9801);
+    }
+
+    /// Determinism across thread counts: the same batch solved with 1,
+    /// 2, and 8 workers must return bit-identical solutions in input
+    /// order. Guards the per-index result slots against any future
+    /// "optimization" that would let work stealing permute results.
+    #[test]
+    fn batch_is_bit_identical_across_thread_counts() {
+        let models: Vec<Model> = (0..24)
+            .map(|k| {
+                let mut m = Model::new(Sense::Maximize);
+                let x = m.add_var("x", 0.0, f64::INFINITY);
+                let y = m.add_var("y", 0.0, 4.0 + (k % 3) as f64);
+                m.set_objective([(x, 3.0), (y, 1.0)]);
+                m.add_le("cap", [(x, 2.0), (y, 1.0)], 7.0 + k as f64);
+                m.add_ge("floor", [(x, 1.0), (y, 1.0)], 1.0 + (k % 5) as f64 / 2.0);
+                m
+            })
+            .collect();
+        let config = SimplexConfig::default();
+        let runs: Vec<Vec<SolveOutput>> = [1usize, 2, 8]
+            .iter()
+            .map(|&t| run_parallel_threads(models.len(), t, |i| solve_with(&models[i], &config)))
+            .collect();
+        for run in &runs[1..] {
+            assert_eq!(run.len(), runs[0].len());
+            for (a, b) in runs[0].iter().zip(run) {
+                let (sa, sb) = match (&a.status, &b.status) {
+                    (Status::Optimal(sa), Status::Optimal(sb)) => (sa, sb),
+                    other => panic!("status mismatch across thread counts: {other:?}"),
+                };
+                // Bit-identical, not approximately equal: the solver is
+                // a pure function of its input, so the fan-out must not
+                // perturb a single ULP.
+                assert_eq!(sa.objective.to_bits(), sb.objective.to_bits());
+                assert_eq!(sa.values.len(), sb.values.len());
+                for (va, vb) in sa.values.iter().zip(&sb.values) {
+                    assert_eq!(va.to_bits(), vb.to_bits());
+                }
+                assert_eq!(a.stats.iterations, b.stats.iterations);
+            }
+        }
     }
 
     #[test]

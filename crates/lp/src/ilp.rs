@@ -106,6 +106,7 @@ pub struct IlpOutcome {
 /// }
 /// ```
 pub fn solve_ilp(model: &Model, config: &IlpConfig) -> IlpOutcome {
+    let _span = config.simplex.obs.span("ilp.solve");
     let start = Instant::now();
     let mut stats = IlpStats::default();
     let int_vars = model.integer_vars();
@@ -226,6 +227,7 @@ pub fn solve_ilp(model: &Model, config: &IlpConfig) -> IlpOutcome {
     }
 
     stats.elapsed = start.elapsed();
+    config.simplex.obs.add("ilp.nodes", stats.nodes);
     let status = if saw_budget_stop {
         IlpStatus::BudgetExhausted { incumbent }
     } else if let Some(s) = incumbent {

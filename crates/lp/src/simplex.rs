@@ -62,6 +62,10 @@ pub struct SimplexConfig {
     pub stall_limit: u64,
     /// Which simplex implementation to run.
     pub backend: SolverBackend,
+    /// Instrumentation handle: spans (`lp.solve`, `lp.phase1`,
+    /// `lp.phase2`) and counters (`lp.pivots`, `lp.eta_refactors`).
+    /// Off by default — the default handle records nothing.
+    pub obs: aqua_obs::Obs,
 }
 
 impl Default for SimplexConfig {
@@ -71,6 +75,7 @@ impl Default for SimplexConfig {
             max_iters: None,
             stall_limit: 256,
             backend: SolverBackend::default(),
+            obs: aqua_obs::Obs::default(),
         }
     }
 }
@@ -178,10 +183,14 @@ pub fn solve_with_warm(
         };
         return (out, None);
     }
-    match config.backend {
+    let span = config.obs.span("lp.solve");
+    let (out, ws) = match config.backend {
         SolverBackend::Sparse => crate::sparse::solve_sparse(model, config, warm),
         SolverBackend::Dense => (solve_dense(model, config), None),
-    }
+    };
+    config.obs.add("lp.pivots", out.stats.iterations);
+    span.end();
+    (out, ws)
 }
 
 fn solve_dense(model: &Model, config: &SimplexConfig) -> SolveOutput {
@@ -714,6 +723,7 @@ impl Tableau {
 
         // --- Phase 1 ---
         if self.art_start < self.cols {
+            let _phase1 = self.config.obs.span("lp.phase1");
             let mut phase1_cost = vec![0.0; self.cols];
             for c in phase1_cost.iter_mut().skip(self.art_start) {
                 *c = 1.0;
@@ -739,6 +749,7 @@ impl Tableau {
         }
 
         // --- Phase 2 ---
+        let _phase2 = self.config.obs.span("lp.phase2");
         let phase2_cost = self.cost.clone();
         self.recompute_reduced_costs(&phase2_cost);
         let end = self.iterate(&phase2_cost, false);

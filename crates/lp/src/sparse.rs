@@ -303,6 +303,7 @@ impl<'a> Revised<'a> {
     // --- basis maintenance ---
 
     fn refactor(&mut self) -> Result<(), ()> {
+        self.config.obs.add("lp.eta_refactors", 1);
         let std = &self.std;
         let art_sign = &self.art_sign;
         let scatter = |j: usize, x: &mut [f64]| {
@@ -556,6 +557,7 @@ impl<'a> Revised<'a> {
 
         // --- Phase 1 ---
         if any_artificial {
+            let _phase1 = self.config.obs.span("lp.phase1");
             let mut phase1_cost = vec![0.0; self.ncols];
             for c in phase1_cost.iter_mut().skip(art_start) {
                 *c = 1.0;
@@ -583,6 +585,7 @@ impl<'a> Revised<'a> {
     }
 
     fn run_phase2(&mut self) -> SolveOutput {
+        let _phase2 = self.config.obs.span("lp.phase2");
         let mut phase2_cost = self.std.cost.clone();
         phase2_cost.resize(self.ncols, 0.0);
         match self.iterate(&phase2_cost, false) {
@@ -628,6 +631,7 @@ impl<'a> Revised<'a> {
         }
         let mut phase2_cost = self.std.cost.clone();
         phase2_cost.resize(self.ncols, 0.0);
+        self.config.obs.add("lp.warm_restores", 1);
         match self.dual_restore(&phase2_cost) {
             DualEnd::Feasible => WarmOutcome::Done(self.run_phase2()),
             DualEnd::Infeasible => WarmOutcome::Done(self.finish(Status::Infeasible)),

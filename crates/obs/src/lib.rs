@@ -1,0 +1,506 @@
+//! Dependency-free observability: spans, counters, and histograms
+//! behind a pluggable [`Sink`].
+//!
+//! Every solver and runtime crate in the workspace threads an [`Obs`]
+//! handle through its configuration struct. The default handle is
+//! *off*: it holds no sink, every instrumentation call reduces to one
+//! branch on a `None`, and the guard types are zero-field wrappers —
+//! an un-instrumented run pays nothing measurable. Turning recording
+//! on is a caller-side decision (`Obs::recording()`), never a library
+//! default, so benchmarks compare identical code paths.
+//!
+//! Three primitives cover the paper's measurement needs:
+//!
+//! * **spans** — wall-clock phases ([`Obs::span`] returns a guard that
+//!   reports on drop; spans nest naturally across call frames);
+//! * **counters** — monotonically accumulated operation counts
+//!   ([`Obs::add`]): simplex pivots, eta refactors, B&B nodes, vnorm
+//!   passes, recovery-ladder tiers;
+//! * **histograms** — value distributions ([`Obs::record`]), e.g.
+//!   per-instruction execution latency.
+//!
+//! Time comes from a pluggable [`Clock`] so exporter output can be made
+//! bit-stable in tests ([`FakeClock`]); production uses a monotonic
+//! [`std::time::Instant`] anchor.
+//!
+//! The [`export`] module renders a recorded [`MemorySink`] as Chrome
+//! trace-event JSON (load it in `chrome://tracing` or Perfetto), as a
+//! compact text summary, or as an aggregated [`export::ObsReport`].
+//!
+//! # Examples
+//!
+//! ```
+//! use aqua_obs::Obs;
+//!
+//! let (obs, sink) = Obs::recording();
+//! {
+//!     let _solve = obs.span("lp.solve");
+//!     obs.add("lp.pivots", 42);
+//! }
+//! assert_eq!(sink.counter("lp.pivots"), 42);
+//! assert_eq!(sink.spans().len(), 1);
+//!
+//! // The default handle is off: nothing is recorded, nothing is kept.
+//! let off = Obs::default();
+//! assert!(!off.enabled());
+//! ```
+
+#![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
+pub mod export;
+
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::ThreadId;
+use std::time::Instant;
+
+/// A source of monotonic nanosecond timestamps.
+///
+/// Implementations must be monotone non-decreasing per thread; the
+/// absolute origin is arbitrary (exporters only use differences and
+/// offsets from the earliest event).
+pub trait Clock: Send + Sync {
+    /// Nanoseconds since this clock's origin.
+    fn now_ns(&self) -> u64;
+}
+
+/// The production clock: a monotonic [`Instant`] anchored at creation.
+pub struct MonotonicClock {
+    origin: Instant,
+}
+
+impl MonotonicClock {
+    /// A clock anchored at "now".
+    pub fn new() -> MonotonicClock {
+        MonotonicClock {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for MonotonicClock {
+    fn default() -> MonotonicClock {
+        MonotonicClock::new()
+    }
+}
+
+impl Clock for MonotonicClock {
+    fn now_ns(&self) -> u64 {
+        // u64 nanoseconds cover ~584 years of process uptime.
+        self.origin.elapsed().as_nanos() as u64
+    }
+}
+
+/// A deterministic test clock: every reading advances by a fixed step.
+///
+/// With `step_ns = 1000`, the first reading is 0, the next 1000, and so
+/// on — so a span opened and closed with no intervening readings always
+/// has duration 1000 ns, making exporter output byte-stable for golden
+/// tests.
+pub struct FakeClock {
+    next: AtomicU64,
+    step_ns: u64,
+}
+
+impl FakeClock {
+    /// A clock starting at 0 that advances `step_ns` per reading.
+    pub fn new(step_ns: u64) -> FakeClock {
+        FakeClock {
+            next: AtomicU64::new(0),
+            step_ns,
+        }
+    }
+}
+
+impl Clock for FakeClock {
+    fn now_ns(&self) -> u64 {
+        self.next.fetch_add(self.step_ns, Ordering::Relaxed)
+    }
+}
+
+/// Receiver for instrumentation events.
+///
+/// Implementations must be cheap and thread-safe: solver hot loops call
+/// [`Sink::add`] while holding no other locks, and the batch pool emits
+/// spans from many worker threads at once.
+pub trait Sink: Send + Sync {
+    /// A completed span: `name` ran on logical thread `tid` from
+    /// `start_ns` for `dur_ns`.
+    fn span(&self, name: &'static str, start_ns: u64, dur_ns: u64, tid: u64);
+    /// Adds `delta` to the counter `name`.
+    fn add(&self, name: &'static str, delta: u64);
+    /// Records one observation of `value` in the histogram `name`.
+    fn record(&self, name: &'static str, value: u64);
+}
+
+struct Inner {
+    sink: Arc<dyn Sink>,
+    clock: Arc<dyn Clock>,
+    /// Small dense thread ids for trace export (OS ids are opaque).
+    tids: Mutex<(HashMap<ThreadId, u64>, u64)>,
+}
+
+impl Inner {
+    fn tid(&self) -> u64 {
+        let mut guard = self.tids.lock().unwrap_or_else(PoisonError::into_inner);
+        let (map, next) = &mut *guard;
+        *map.entry(std::thread::current().id()).or_insert_with(|| {
+            let id = *next;
+            *next += 1;
+            id
+        })
+    }
+}
+
+/// The instrumentation handle threaded through configuration structs.
+///
+/// Cloning is cheap (an `Option<Arc>`); the [`Default`] handle is off.
+#[derive(Clone, Default)]
+pub struct Obs {
+    inner: Option<Arc<Inner>>,
+}
+
+impl fmt::Debug for Obs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(if self.inner.is_some() {
+            "Obs(recording)"
+        } else {
+            "Obs(off)"
+        })
+    }
+}
+
+impl Obs {
+    /// The no-op handle (same as [`Default`]): records nothing.
+    pub fn off() -> Obs {
+        Obs { inner: None }
+    }
+
+    /// A recording handle backed by a fresh in-memory sink and the
+    /// monotonic production clock. Returns the handle and the sink to
+    /// read results from.
+    pub fn recording() -> (Obs, Arc<MemorySink>) {
+        let sink = Arc::new(MemorySink::new());
+        (Obs::with_sink(sink.clone()), sink)
+    }
+
+    /// A recording handle with an explicit sink and the monotonic
+    /// production clock.
+    pub fn with_sink(sink: Arc<dyn Sink>) -> Obs {
+        Obs::with_sink_and_clock(sink, Arc::new(MonotonicClock::new()))
+    }
+
+    /// A recording handle with explicit sink *and* clock (tests pass a
+    /// [`FakeClock`] here for deterministic trace output).
+    pub fn with_sink_and_clock(sink: Arc<dyn Sink>, clock: Arc<dyn Clock>) -> Obs {
+        Obs {
+            inner: Some(Arc::new(Inner {
+                sink,
+                clock,
+                tids: Mutex::new((HashMap::new(), 1)),
+            })),
+        }
+    }
+
+    /// Whether instrumentation is live. Callers may branch on this to
+    /// skip building expensive event payloads.
+    pub fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Opens a span; it reports to the sink when the guard drops.
+    /// On an off handle this returns an empty guard and does no work.
+    #[inline]
+    pub fn span(&self, name: &'static str) -> SpanGuard {
+        SpanGuard {
+            state: self
+                .inner
+                .as_ref()
+                .map(|inner| (inner.clone(), name, inner.clock.now_ns())),
+        }
+    }
+
+    /// Adds `delta` to the counter `name` (no-op when off).
+    #[inline]
+    pub fn add(&self, name: &'static str, delta: u64) {
+        if let Some(inner) = &self.inner {
+            inner.sink.add(name, delta);
+        }
+    }
+
+    /// Records one histogram observation (no-op when off).
+    #[inline]
+    pub fn record(&self, name: &'static str, value: u64) {
+        if let Some(inner) = &self.inner {
+            inner.sink.record(name, value);
+        }
+    }
+}
+
+/// RAII guard for an open span; reports on drop. Obtain via
+/// [`Obs::span`]. Guards may nest freely (each captures its own start
+/// time) and may be moved across function boundaries.
+#[must_use = "a span measures the scope it lives in; bind it to a variable"]
+pub struct SpanGuard {
+    state: Option<(Arc<Inner>, &'static str, u64)>,
+}
+
+impl SpanGuard {
+    /// Ends the span now (equivalent to dropping it).
+    pub fn end(self) {}
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some((inner, name, start_ns)) = self.state.take() {
+            let end_ns = inner.clock.now_ns();
+            let tid = inner.tid();
+            inner
+                .sink
+                .span(name, start_ns, end_ns.saturating_sub(start_ns), tid);
+        }
+    }
+}
+
+/// One completed span as stored by [`MemorySink`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Span name (static taxonomy, e.g. `lp.solve`).
+    pub name: &'static str,
+    /// Start timestamp in ns (clock origin).
+    pub start_ns: u64,
+    /// Duration in ns.
+    pub dur_ns: u64,
+    /// Dense logical thread id (1-based, assigned in first-use order).
+    pub tid: u64,
+}
+
+/// Aggregated histogram state: count, sum, and extremes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HistogramSummary {
+    /// Number of recorded observations.
+    pub count: u64,
+    /// Sum of all observations.
+    pub sum: u64,
+    /// Smallest observation (0 when empty).
+    pub min: u64,
+    /// Largest observation (0 when empty).
+    pub max: u64,
+}
+
+impl HistogramSummary {
+    fn observe(&mut self, value: u64) {
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+    }
+
+    /// Mean observation, rounded down (0 when empty).
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+}
+
+/// An in-memory [`Sink`] accumulating spans, counters, and histograms
+/// for later export.
+#[derive(Default)]
+pub struct MemorySink {
+    spans: Mutex<Vec<SpanEvent>>,
+    counters: Mutex<BTreeMap<&'static str, u64>>,
+    hists: Mutex<BTreeMap<&'static str, HistogramSummary>>,
+}
+
+impl MemorySink {
+    /// An empty sink.
+    pub fn new() -> MemorySink {
+        MemorySink::default()
+    }
+
+    /// All recorded spans, in completion order.
+    pub fn spans(&self) -> Vec<SpanEvent> {
+        self.spans
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
+    /// All counters, sorted by name.
+    pub fn counters(&self) -> Vec<(&'static str, u64)> {
+        self.counters
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .map(|(&k, &v)| (k, v))
+            .collect()
+    }
+
+    /// One counter's value (0 if never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(name)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// All histograms, sorted by name.
+    pub fn histograms(&self) -> Vec<(&'static str, HistogramSummary)> {
+        self.hists
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .map(|(&k, &v)| (k, v))
+            .collect()
+    }
+
+    /// Whether nothing at all was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.spans
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .is_empty()
+            && self
+                .counters
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .is_empty()
+            && self
+                .hists
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .is_empty()
+    }
+}
+
+impl Sink for MemorySink {
+    fn span(&self, name: &'static str, start_ns: u64, dur_ns: u64, tid: u64) {
+        self.spans
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(SpanEvent {
+                name,
+                start_ns,
+                dur_ns,
+                tid,
+            });
+    }
+
+    fn add(&self, name: &'static str, delta: u64) {
+        *self
+            .counters
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .entry(name)
+            .or_insert(0) += delta;
+    }
+
+    fn record(&self, name: &'static str, value: u64) {
+        self.hists
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .entry(name)
+            .or_default()
+            .observe(value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_handle_records_nothing() {
+        let obs = Obs::off();
+        assert!(!obs.enabled());
+        // None of these can reach a sink; they must simply not panic.
+        let guard = obs.span("lp.solve");
+        obs.add("lp.pivots", 7);
+        obs.record("sim.instr_ns", 1234);
+        drop(guard);
+    }
+
+    #[test]
+    fn no_op_default_leaves_a_fresh_sink_untouched() {
+        // The no-op path and a live sink must be fully independent:
+        // instrument through an off handle while a sink exists, and the
+        // sink stays empty (nothing leaks through globals).
+        let sink = Arc::new(MemorySink::new());
+        let off = Obs::default();
+        {
+            let _s = off.span("vol.manage");
+            off.add("ilp.nodes", 3);
+            off.record("h", 9);
+        }
+        assert!(sink.is_empty());
+        assert_eq!(sink.counter("ilp.nodes"), 0);
+        assert!(sink.spans().is_empty());
+        assert!(sink.histograms().is_empty());
+    }
+
+    #[test]
+    fn spans_nest_and_report_in_completion_order() {
+        let sink = Arc::new(MemorySink::new());
+        let obs = Obs::with_sink_and_clock(sink.clone(), Arc::new(FakeClock::new(100)));
+        {
+            let _outer = obs.span("outer");
+            {
+                let _inner = obs.span("inner");
+            }
+        }
+        let spans = sink.spans();
+        assert_eq!(spans.len(), 2);
+        // Inner closes first.
+        assert_eq!(spans[0].name, "inner");
+        assert_eq!(spans[1].name, "outer");
+        // FakeClock(100): outer starts at 0, inner at 100, inner ends at
+        // 200, outer at 300.
+        assert_eq!(spans[0].start_ns, 100);
+        assert_eq!(spans[0].dur_ns, 100);
+        assert_eq!(spans[1].start_ns, 0);
+        assert_eq!(spans[1].dur_ns, 300);
+    }
+
+    #[test]
+    fn counters_accumulate_and_histograms_summarize() {
+        let (obs, sink) = Obs::recording();
+        obs.add("lp.pivots", 3);
+        obs.add("lp.pivots", 4);
+        obs.record("lat", 10);
+        obs.record("lat", 30);
+        assert_eq!(sink.counter("lp.pivots"), 7);
+        let hists = sink.histograms();
+        assert_eq!(hists.len(), 1);
+        let (name, h) = hists[0];
+        assert_eq!(name, "lat");
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 40);
+        assert_eq!(h.min, 10);
+        assert_eq!(h.max, 30);
+        assert_eq!(h.mean(), 20);
+    }
+
+    #[test]
+    fn tids_are_dense_and_stable_per_thread() {
+        let (obs, sink) = Obs::recording();
+        {
+            let _a = obs.span("a");
+        }
+        {
+            let _b = obs.span("b");
+        }
+        let spans = sink.spans();
+        assert_eq!(spans[0].tid, spans[1].tid);
+        assert_eq!(spans[0].tid, 1);
+    }
+}

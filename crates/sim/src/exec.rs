@@ -57,6 +57,11 @@ pub struct ExecConfig {
     /// Tier-1 budget: top-up dispenses attempted per shortfall before
     /// escalating (default 2).
     pub max_redispense: u32,
+    /// Observability handle: the `sim.run` span, per-instruction
+    /// `sim.instr_ns` histogram, and `sim.instructions` / `sim.faults` /
+    /// `sim.recover.*` counters flow through here. The default
+    /// [`aqua_obs::Obs::off`] handle reduces every probe to one branch.
+    pub obs: aqua_obs::Obs,
 }
 
 impl Default for ExecConfig {
@@ -68,6 +73,7 @@ impl Default for ExecConfig {
             faults: FaultPlan::none(),
             recover: false,
             max_redispense: 2,
+            obs: aqua_obs::Obs::off(),
         }
     }
 }
@@ -278,6 +284,7 @@ impl Executor {
     /// cannot resolve (compiler bug) — never for fluidic constraint
     /// violations, which are collected in the report.
     pub fn run(&self, out: &CompileOutput) -> Result<ExecReport, ExecError> {
+        let _run_span = self.config.obs.span("sim.run");
         let lc_pl = (self.machine.least_count_nl() * Ratio::from_int(1000)).round() as u64;
         let cap_pl = (self.machine.max_capacity_nl() * Ratio::from_int(1000)).round() as u64;
         let mut st = RunState {
@@ -299,6 +306,9 @@ impl Executor {
         };
 
         for (idx, instr) in out.program.instrs().iter().enumerate() {
+            // Controller-side (simulation) time per instruction — only
+            // sampled when a sink is attached.
+            let instr_start = self.config.obs.enabled().then(std::time::Instant::now);
             if instr.is_wet() {
                 st.report.wet_instructions += 1;
                 st.report.wet_seconds += match instr {
@@ -440,10 +450,33 @@ impl Executor {
                     });
                 }
             }
+            if let Some(t0) = instr_start {
+                self.config.obs.add("sim.instructions", 1);
+                self.config
+                    .obs
+                    .record("sim.instr_ns", t0.elapsed().as_nanos() as u64);
+            }
         }
         st.report.faults = st.faults.counters;
         st.report.final_state = st.chip;
+        self.fold_obs_counters(&st.report);
         Ok(st.report)
+    }
+
+    /// Folds the run's fault and per-tier recovery totals into the
+    /// observability sink (no-op when no sink is attached).
+    fn fold_obs_counters(&self, report: &ExecReport) {
+        let obs = &self.config.obs;
+        if !obs.enabled() {
+            return;
+        }
+        obs.add("sim.faults", report.faults.total());
+        let rec = &report.recovery;
+        obs.add("sim.recover.redispense", rec.redispense);
+        obs.add("sim.recover.regenerate", rec.regenerate);
+        obs.add("sim.recover.replan", rec.replan);
+        obs.add("sim.recover.overflow_trims", rec.overflow_trims);
+        obs.add("sim.recover.failures", rec.failures);
     }
 
     /// Executes an `input` load: the port supplies unlimited fluid, but

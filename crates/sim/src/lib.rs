@@ -54,6 +54,10 @@
 //! ```
 
 #![warn(missing_docs)]
+// Lib targets must not panic on `unwrap()`: reachable failure paths
+// carry typed errors, invariants use `expect` with a justification.
+// Test code (cfg(test)) is exempt — asserting via unwrap is idiomatic.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod exec;
 pub mod fault;

@@ -5,9 +5,11 @@
 #   1. formatting            (cargo fmt --check)
 #   2. lints, deny warnings  (cargo clippy --workspace --all-targets)
 #   3. tier-1 build + tests  (cargo build --release && cargo test -q)
-#   4. property suites       (cargo test --features proptests)
-#   5. LP backend smoke test (bench_lp --quick: sparse/dense agreement)
-#   6. fault-recovery smoke  (fault_sweep --quick: 100% recovery at rate 0)
+#   4. rustdoc, deny warnings (cargo doc --no-deps)
+#   5. property suites       (cargo test --features proptests)
+#   6. LP backend smoke test (bench_lp --quick: sparse/dense agreement)
+#      + obs smoke: --obs must produce a non-empty Chrome trace
+#   7. fault-recovery smoke  (fault_sweep --quick: 100% recovery at rate 0)
 #
 # The smoke runs write their JSON to target/ so they never clobber the
 # committed BENCH_lp.json / BENCH_fault.json (regenerate those with a
@@ -28,11 +30,23 @@ cargo build --release
 echo "==> tier-1: cargo test -q"
 cargo test -q
 
+echo "==> cargo doc --no-deps (deny warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
 echo "==> property suites: cargo test -q --features proptests"
 cargo test -q --release --features proptests --test fault_properties
 
-echo "==> bench_lp --quick (backend agreement smoke test)"
-cargo run --release -p aqua-bench --bin bench_lp -- --quick --out target/BENCH_lp.quick.json
+echo "==> bench_lp --quick (backend agreement + obs smoke test)"
+cargo run --release -p aqua-bench --bin bench_lp -- --quick \
+  --out target/BENCH_lp.quick.json --obs target/obs_trace.quick.json
+# The trace must exist, be non-trivial, and carry trace events: an empty
+# or malformed trace means the obs wiring regressed silently.
+test -s target/obs_trace.quick.json
+grep -q '"traceEvents"' target/obs_trace.quick.json
+grep -q '"lp.solve"' target/obs_trace.quick.json
+
+echo "==> fault_sweep --quick (recovery ladder smoke test)"
+cargo run --release -p aqua-bench --bin fault_sweep -- --quick --out target/BENCH_fault.quick.json
 
 echo "==> fault_sweep --quick (recovery ladder smoke test)"
 cargo run --release -p aqua-bench --bin fault_sweep -- --quick --out target/BENCH_fault.quick.json
