@@ -1,0 +1,273 @@
+//! Times the plan-compilation service's cold, warm-src, and warm-key
+//! paths on the four paper assays and writes the results to
+//! `BENCH_serve.json` at the repo root.
+//!
+//! Usage: `cargo run --release --bin bench_serve [--quick] [--out PATH]
+//! [--obs TRACE_PATH]`
+//!
+//! Three paths are measured per assay (Table 2 suite: Glucose,
+//! Glycomics, Enzyme, Enzyme10):
+//!
+//! * `cold` — the cache is cleared before every request, so each one
+//!   canonicalizes, queues, solves, and renders from scratch;
+//! * `warm-src` — the cache stays hot and requests arrive as assay
+//!   source (canonicalize + hash + hit);
+//! * `warm-key` — the cache stays hot and requests arrive as a bare
+//!   content key (hash probe + Arc clone, the steady-state hot path).
+//!
+//! Warm responses are checked byte-identical to cold compiles before
+//! anything is timed; the binary exits nonzero on a mismatch or if the
+//! headline `warm_over_cold` (cold median / warm-key median, pooled
+//! over the suite) drops below 10x.
+//!
+//! `--quick` drops iteration counts to a smoke-test level for CI; use
+//! the default mode to regenerate the committed `BENCH_serve.json`.
+
+use aqua_bench::harness::{self, Extra, Measurement};
+use aqua_bench::Benchmark;
+use aqua_serve::{Served, Service, ServiceConfig};
+use aqua_volume::Machine;
+use std::time::Instant;
+
+/// A named request generator for one timing mode.
+type Mode<'a> = (&'a str, Box<dyn FnMut() -> Served + 'a>);
+
+/// The acceptance floor for the headline speedup.
+const MIN_WARM_OVER_COLD: f64 = 10.0;
+
+struct Case {
+    name: String,
+    src: String,
+    /// Content key, from the pre-timing cold compile.
+    key: u128,
+    /// Cold plan bytes, the byte-identity reference.
+    plan: std::sync::Arc<str>,
+}
+
+/// Times `iters` runs of `f`, returning the sorted per-request samples
+/// in nanoseconds (the harness `time` helper keeps only aggregates; the
+/// service bench also reports p50/p99, so it keeps the samples).
+fn sample(warmup: usize, iters: usize, mut f: impl FnMut() -> Served) -> Vec<u128> {
+    for _ in 0..warmup {
+        std::hint::black_box(f());
+    }
+    let mut samples_ns = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        samples_ns.push(start.elapsed().as_nanos());
+    }
+    samples_ns.sort_unstable();
+    samples_ns
+}
+
+/// Nearest-rank percentile (q in `[0,1]`) of sorted samples.
+fn percentile(sorted_ns: &[u128], q: f64) -> u128 {
+    let idx = ((sorted_ns.len() as f64 * q).ceil() as usize).clamp(1, sorted_ns.len()) - 1;
+    sorted_ns[idx]
+}
+
+fn measurement(name: &str, sorted_ns: &[u128]) -> Measurement {
+    let iters = sorted_ns.len();
+    Measurement {
+        name: name.to_owned(),
+        iters,
+        min_ns: sorted_ns[0],
+        mean_ns: sorted_ns.iter().sum::<u128>() / iters as u128,
+        median_ns: percentile(sorted_ns, 0.50),
+        p95_ns: percentile(sorted_ns, 0.95),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = match args.iter().position(|a| a == "--out") {
+        Some(pos) => args.get(pos + 1).cloned().unwrap_or_else(|| {
+            // Refuse to fall back silently: the default path is the
+            // committed BENCH_serve.json, which a typo'd --out would
+            // clobber.
+            eprintln!("error: --out requires a path");
+            std::process::exit(2);
+        }),
+        None => concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json").to_owned(),
+    };
+    let (obs, obs_out) = harness::obs_from_args(&args);
+
+    let machine = Machine::paper_default();
+    let service = Service::new(ServiceConfig {
+        obs,
+        ..ServiceConfig::default()
+    });
+
+    // Pre-timing pass: cold-compile every assay on a fresh service and
+    // check the shared service's warm responses are byte-identical.
+    let mut cases: Vec<Case> = Vec::new();
+    for bench in Benchmark::table2_suite() {
+        let src = bench.source();
+        let fresh = Service::new(ServiceConfig::default());
+        let cold = fresh
+            .submit_src(&src, &machine, None)
+            .expect("paper assay compiles");
+        let first = service
+            .submit_src(&src, &machine, None)
+            .expect("paper assay compiles");
+        let warm = service
+            .submit_src(&src, &machine, None)
+            .expect("warm hit succeeds");
+        if first.plan != cold.plan || warm.plan != first.plan {
+            eprintln!(
+                "error: {} warm plan differs from cold compile",
+                bench.name()
+            );
+            std::process::exit(1);
+        }
+        cases.push(Case {
+            name: bench.name().to_lowercase(),
+            src,
+            key: cold.key,
+            plan: cold.plan,
+        });
+    }
+
+    println!(
+        "bench_serve: cold vs warm plan service ({} mode)\n",
+        if quick { "quick" } else { "full" }
+    );
+
+    let (cold_iters, warm_iters) = if quick { (2, 20) } else { (15, 400) };
+    let mut measurements: Vec<Measurement> = Vec::new();
+    let mut extras: Vec<(String, Extra)> = vec![("quick".into(), Extra::Bool(quick))];
+    // Pooled samples across the suite drive the headline numbers.
+    let mut pooled: [Vec<u128>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+    let mut identical = true;
+
+    for case in &cases {
+        let modes: [Mode; 3] = [
+            (
+                "cold",
+                Box::new(|| {
+                    service.clear_cache();
+                    service
+                        .submit_src(&case.src, &machine, None)
+                        .expect("cold compile")
+                }),
+            ),
+            (
+                "warm-src",
+                Box::new(|| {
+                    service
+                        .submit_src(&case.src, &machine, None)
+                        .expect("warm src hit")
+                }),
+            ),
+            (
+                "warm-key",
+                Box::new(|| service.submit_key(case.key).expect("warm key hit")),
+            ),
+        ];
+        // Re-warm after the cold mode left the cache empty.
+        let rewarm = service
+            .submit_src(&case.src, &machine, None)
+            .expect("re-warm");
+        identical &= rewarm.plan == case.plan;
+
+        for (i, (mode, mut f)) in modes.into_iter().enumerate() {
+            let iters = if mode == "cold" {
+                cold_iters
+            } else {
+                warm_iters
+            };
+            let warmup = if quick { 0 } else { 2 };
+            if mode != "cold" {
+                // Make sure the entry is resident before timing hits.
+                let warm = service
+                    .submit_src(&case.src, &machine, None)
+                    .expect("warm-up");
+                identical &= warm.plan == case.plan;
+            }
+            let samples = sample(warmup, iters, &mut f);
+            let label = format!("{}/{}", case.name, mode);
+            let m = measurement(&label, &samples);
+            harness::report(&m);
+            extras.push((
+                format!("{}_{}_p50_ns", case.name, mode.replace('-', "_")),
+                Extra::Num(percentile(&samples, 0.50).to_string()),
+            ));
+            extras.push((
+                format!("{}_{}_p99_ns", case.name, mode.replace('-', "_")),
+                Extra::Num(percentile(&samples, 0.99).to_string()),
+            ));
+            pooled[i].extend_from_slice(&samples);
+            measurements.push(m);
+        }
+        println!();
+    }
+
+    for p in &mut pooled {
+        p.sort_unstable();
+    }
+    let [cold_pool, warm_src_pool, warm_key_pool] = &pooled;
+    let rps = |sorted: &[u128]| {
+        let mean = sorted.iter().sum::<u128>() as f64 / sorted.len() as f64;
+        1e9 / mean
+    };
+    let cold_p50 = percentile(cold_pool, 0.50);
+    let warm_src_p50 = percentile(warm_src_pool, 0.50);
+    let warm_key_p50 = percentile(warm_key_pool, 0.50);
+    let warm_over_cold = cold_p50 as f64 / warm_key_p50.max(1) as f64;
+    let warm_src_over_cold = cold_p50 as f64 / warm_src_p50.max(1) as f64;
+
+    println!(
+        "pooled: cold p50 {}  warm-src p50 {}  warm-key p50 {}",
+        harness::fmt_ns(cold_p50),
+        harness::fmt_ns(warm_src_p50),
+        harness::fmt_ns(warm_key_p50)
+    );
+    println!(
+        "throughput: cold {:.0} rps, warm-src {:.0} rps, warm-key {:.0} rps",
+        rps(cold_pool),
+        rps(warm_src_pool),
+        rps(warm_key_pool)
+    );
+    println!("headline warm_over_cold (key path): {warm_over_cold:.1}x");
+
+    extras.push((
+        "cold_rps".into(),
+        Extra::Num(format!("{:.1}", rps(cold_pool))),
+    ));
+    extras.push((
+        "warm_src_rps".into(),
+        Extra::Num(format!("{:.1}", rps(warm_src_pool))),
+    ));
+    extras.push((
+        "warm_key_rps".into(),
+        Extra::Num(format!("{:.1}", rps(warm_key_pool))),
+    ));
+    extras.push((
+        "warm_over_cold".into(),
+        Extra::Num(format!("{warm_over_cold:.2}")),
+    ));
+    extras.push((
+        "warm_src_over_cold".into(),
+        Extra::Num(format!("{warm_src_over_cold:.2}")),
+    ));
+    extras.push(("warm_equals_cold".into(), Extra::Bool(identical)));
+
+    let json = harness::to_json("bench_serve/v1", &measurements, &extras);
+    std::fs::write(&out_path, &json).expect("write BENCH_serve.json");
+    println!("wrote {out_path}");
+    if let Some((path, sink)) = obs_out {
+        harness::write_obs_trace(&path, &sink);
+    }
+    if !identical {
+        eprintln!("error: a warm plan differed from its cold compile");
+        std::process::exit(1);
+    }
+    if warm_over_cold < MIN_WARM_OVER_COLD {
+        eprintln!(
+            "error: warm_over_cold {warm_over_cold:.2} < {MIN_WARM_OVER_COLD} acceptance floor"
+        );
+        std::process::exit(1);
+    }
+}

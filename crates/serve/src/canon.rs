@@ -1,0 +1,523 @@
+//! Canonicalization of assay DAGs into content-addressed cache keys.
+//!
+//! Two requests that describe the *same computation* must map to the
+//! same cache entry even when they spell it differently: fluids renamed
+//! (`Glucose` vs `fluidX`), nodes declared in a different order, or the
+//! same DAG rebuilt by a different front end. Conversely, anything that
+//! changes the dispensing plan — a mix ratio, an output weight, any
+//! field of the [`Machine`] — must change the key.
+//!
+//! The pipeline is:
+//!
+//! 1. **Structural coloring** — an iterated Weisfeiler–Leman refinement
+//!    over the DAG. Each node starts from a hash of its
+//!    [`NodeKind`] payload (ratios, yields, op vocabulary, output
+//!    weight — never its name) and is repeatedly re-hashed with the
+//!    sorted multiset of its in/out neighbors' `(fraction, color)`
+//!    pairs until the color partition stops refining.
+//! 2. **Canonical order** — Kahn's topological sort with the ready set
+//!    ordered by color. Structure-identical inputs therefore produce
+//!    the same order no matter how their nodes were numbered. (Nodes
+//!    that remain color-tied are WL-symmetric; for genuinely automorphic
+//!    nodes either choice yields the identical canonical DAG, and in the
+//!    rare non-automorphic tie the key merely splits — a missed cache
+//!    share, never a wrong hit.)
+//! 3. **Rebuild + interning** — the DAG is rebuilt with nodes in
+//!    canonical order, fluid names interned to `f0..fN`, and edges
+//!    sorted by `(dst, src, fraction)`.
+//! 4. **Encoding + key** — the canonical structure, the output weights,
+//!    and *every* field of the machine description are serialized into
+//!    a byte string whose FNV-1a-128 hash is the cache key. The exact
+//!    encoding is kept alongside the key so the cache can reject true
+//!    hash collisions by comparing bytes (see `cache`).
+
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+use std::sync::Arc;
+
+use aqua_dag::{Dag, NodeId, NodeKind};
+use aqua_volume::Machine;
+
+/// Version tag folded into every key: bump when the encoding, the plan
+/// format, or the solver semantics change incompatibly, so stale caches
+/// (in-process or persisted) can never serve plans from another era.
+const KEY_VERSION: &str = "aqua-serve-key/v1";
+
+/// Upper bound on WL refinement rounds; practical assay DAGs stabilize
+/// within (depth + 2) rounds, this is a safety valve for adversarial
+/// shapes.
+const MAX_REFINE_ROUNDS: usize = 64;
+
+/// The canonical form of one plan-compilation request.
+#[derive(Debug, Clone)]
+pub struct Canon {
+    /// The relabeled DAG: nodes in canonical order named `f0..fN`,
+    /// edges sorted by `(dst, src, fraction)`.
+    pub dag: Dag,
+    /// The request's original node names in canonical order:
+    /// `names[i]` is what the request called canonical node `i`. Not
+    /// part of the encoding or key (keys are rename-invariant); the
+    /// protocol layer attaches it to responses so clients can map plan
+    /// node ids back to their own fluid names.
+    pub names: Vec<String>,
+    /// Output weights, re-keyed to canonical node ids.
+    pub weights: HashMap<NodeId, u64>,
+    /// The exact canonical encoding the key was hashed from; the cache
+    /// compares this on lookup to reject 128-bit hash collisions.
+    pub encoding: Arc<[u8]>,
+    /// The content-addressed cache key (FNV-1a-128 of `encoding`).
+    pub key: u128,
+}
+
+/// Error canonicalizing a request (structurally invalid DAG).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CanonError(pub String);
+
+impl fmt::Display for CanonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot canonicalize assay DAG: {}", self.0)
+    }
+}
+
+impl std::error::Error for CanonError {}
+
+/// Renders a key as the 32-hex-digit wire form.
+pub fn key_hex(key: u128) -> String {
+    format!("{key:032x}")
+}
+
+/// Parses the 32-hex-digit wire form of a key.
+pub fn parse_key_hex(s: &str) -> Option<u128> {
+    if s.len() != 32 {
+        return None;
+    }
+    u128::from_str_radix(s, 16).ok()
+}
+
+/// Incremental FNV-1a over 128 bits: tiny, dependency-free, and good
+/// enough for content addressing once the cache verifies encodings on
+/// hit (so a collision can only cost a miss, never a wrong plan).
+pub(crate) struct Fnv128(u128);
+
+impl Fnv128 {
+    const OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+    const PRIME: u128 = 0x0000000001000000000000000000013b;
+
+    pub(crate) fn new() -> Fnv128 {
+        Fnv128(Self::OFFSET)
+    }
+
+    pub(crate) fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u128;
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    fn write_u128(&mut self, v: u128) {
+        self.write(&v.to_le_bytes());
+    }
+
+    fn write_i128(&mut self, v: i128) {
+        self.write(&v.to_le_bytes());
+    }
+
+    pub(crate) fn finish(&self) -> u128 {
+        self.0
+    }
+}
+
+/// Serializes a node kind's *semantic* payload (no names) into `buf`.
+/// The op vocabulary of `Process` nodes is fixed by the lowering
+/// (`incubate`, `concentrate`, `sense.OD`, ...), never user text, so
+/// including it does not break rename-invariance.
+fn push_kind(buf: &mut Vec<u8>, kind: &NodeKind) {
+    match kind {
+        NodeKind::Input => buf.push(0),
+        NodeKind::Mix { seconds } => {
+            buf.push(1);
+            buf.extend_from_slice(&seconds.to_le_bytes());
+        }
+        NodeKind::Process { op } => {
+            buf.push(2);
+            buf.extend_from_slice(&(op.len() as u64).to_le_bytes());
+            buf.extend_from_slice(op.as_bytes());
+        }
+        NodeKind::Separate { fraction } => {
+            buf.push(3);
+            match fraction {
+                None => buf.push(0),
+                Some(f) => {
+                    buf.push(1);
+                    buf.extend_from_slice(&f.numer().to_le_bytes());
+                    buf.extend_from_slice(&f.denom().to_le_bytes());
+                }
+            }
+        }
+        NodeKind::Output => buf.push(4),
+        NodeKind::Excess => buf.push(5),
+        NodeKind::ConstrainedInput => buf.push(6),
+    }
+}
+
+fn initial_color(kind: &NodeKind, weight: u64) -> u128 {
+    let mut buf = Vec::with_capacity(32);
+    push_kind(&mut buf, kind);
+    buf.extend_from_slice(&weight.to_le_bytes());
+    let mut h = Fnv128::new();
+    h.write(&buf);
+    h.finish()
+}
+
+fn distinct_colors(colors: &[u128]) -> usize {
+    let mut sorted: Vec<u128> = colors.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    sorted.len()
+}
+
+/// Canonicalizes a request: DAG + explicit output weights + machine.
+///
+/// # Errors
+///
+/// Returns [`CanonError`] if the DAG fails validation (cycles, empty
+/// graphs, unnormalized fractions) — such requests are rejected before
+/// they reach the cache or the solver.
+pub fn canonicalize(
+    dag: &Dag,
+    weights: &HashMap<NodeId, u64>,
+    machine: &Machine,
+) -> Result<Canon, CanonError> {
+    dag.validate().map_err(|e| CanonError(e.to_string()))?;
+    let n = dag.num_nodes();
+    let ids: Vec<NodeId> = dag.node_ids().collect();
+
+    // --- 1. WL color refinement ---------------------------------------
+    let mut colors: Vec<u128> = ids
+        .iter()
+        .map(|&id| initial_color(&dag.node(id).kind, weights.get(&id).copied().unwrap_or(0)))
+        .collect();
+    let mut partition = distinct_colors(&colors);
+    for _ in 0..MAX_REFINE_ROUNDS.min(n) {
+        if partition == n {
+            break;
+        }
+        let mut next = Vec::with_capacity(n);
+        for &id in &ids {
+            let mut h = Fnv128::new();
+            h.write_u128(colors[id.index()]);
+            let mut ins: Vec<(i128, i128, u128)> = dag
+                .in_edges(id)
+                .iter()
+                .map(|&e| {
+                    let edge = dag.edge(e);
+                    (
+                        edge.fraction.numer(),
+                        edge.fraction.denom(),
+                        colors[edge.src.index()],
+                    )
+                })
+                .collect();
+            ins.sort_unstable();
+            h.write_u64(ins.len() as u64);
+            for (num, den, c) in ins {
+                h.write_i128(num);
+                h.write_i128(den);
+                h.write_u128(c);
+            }
+            let mut outs: Vec<(i128, i128, u128)> = dag
+                .out_edges(id)
+                .iter()
+                .map(|&e| {
+                    let edge = dag.edge(e);
+                    (
+                        edge.fraction.numer(),
+                        edge.fraction.denom(),
+                        colors[edge.dst.index()],
+                    )
+                })
+                .collect();
+            outs.sort_unstable();
+            h.write_u64(outs.len() as u64);
+            for (num, den, c) in outs {
+                h.write_i128(num);
+                h.write_i128(den);
+                h.write_u128(c);
+            }
+            next.push(h.finish());
+        }
+        colors = next;
+        let refined = distinct_colors(&colors);
+        if refined == partition {
+            break; // fixpoint: no round can refine further
+        }
+        partition = refined;
+    }
+
+    // --- 2. canonical topological order -------------------------------
+    let mut indegree: Vec<usize> = ids.iter().map(|&id| dag.in_edges(id).len()).collect();
+    let mut ready: BTreeSet<(u128, usize)> = ids
+        .iter()
+        .filter(|id| indegree[id.index()] == 0)
+        .map(|id| (colors[id.index()], id.index()))
+        .collect();
+    let mut order: Vec<NodeId> = Vec::with_capacity(n);
+    while let Some(&(color, idx)) = ready.iter().next() {
+        ready.remove(&(color, idx));
+        let id = ids[idx];
+        order.push(id);
+        for &e in dag.out_edges(id) {
+            let dst = dag.edge(e).dst;
+            indegree[dst.index()] -= 1;
+            if indegree[dst.index()] == 0 {
+                ready.insert((colors[dst.index()], dst.index()));
+            }
+        }
+    }
+    if order.len() != n {
+        return Err(CanonError("cycle survived validation".to_owned()));
+    }
+
+    // --- 3. rebuild with interned names and sorted edges ---------------
+    let mut canon_dag = Dag::new();
+    let mut old_to_new: Vec<usize> = vec![usize::MAX; n];
+    let mut new_ids: Vec<NodeId> = Vec::with_capacity(n);
+    let mut names: Vec<String> = Vec::with_capacity(n);
+    for (new_idx, &old) in order.iter().enumerate() {
+        old_to_new[old.index()] = new_idx;
+        names.push(dag.node(old).name.clone());
+        new_ids.push(canon_dag.add_node(format!("f{new_idx}"), dag.node(old).kind.clone()));
+    }
+    let mut edges: Vec<(usize, usize, i128, i128)> = dag
+        .edge_ids()
+        .filter(|&e| dag.edge_is_live(e))
+        .map(|e| {
+            let edge = dag.edge(e);
+            (
+                old_to_new[edge.dst.index()],
+                old_to_new[edge.src.index()],
+                edge.fraction.numer(),
+                edge.fraction.denom(),
+            )
+        })
+        .collect();
+    edges.sort_unstable();
+    for &(dst, src, num, den) in &edges {
+        let fraction = aqua_rational::Ratio::new(num, den)
+            .map_err(|e| CanonError(format!("edge fraction: {e}")))?;
+        canon_dag.add_edge(new_ids[src], new_ids[dst], fraction);
+    }
+    let mut canon_weights: HashMap<NodeId, u64> = HashMap::with_capacity(weights.len());
+    for (&old, &w) in weights {
+        if let Some(&new_idx) = old_to_new.get(old.index()) {
+            if new_idx != usize::MAX {
+                canon_weights.insert(new_ids[new_idx], w);
+            }
+        }
+    }
+
+    // --- 4. encode and hash --------------------------------------------
+    let mut buf: Vec<u8> = Vec::with_capacity(64 + 64 * n);
+    buf.extend_from_slice(KEY_VERSION.as_bytes());
+    buf.push(0);
+    // Machine-spec folding: every field, so no spec change can ever be
+    // served a stale plan (capacity, least count, and the full unit
+    // inventory all shape rewrites and reservoir allocation).
+    for r in [machine.max_capacity_nl(), machine.least_count_nl()] {
+        buf.extend_from_slice(&r.numer().to_le_bytes());
+        buf.extend_from_slice(&r.denom().to_le_bytes());
+    }
+    for count in [
+        machine.reservoirs,
+        machine.mixers,
+        machine.heaters,
+        machine.separators,
+        machine.sensors,
+        machine.input_ports,
+    ] {
+        buf.extend_from_slice(&(count as u64).to_le_bytes());
+    }
+    buf.extend_from_slice(&(n as u64).to_le_bytes());
+    for &new_id in &new_ids {
+        push_kind(&mut buf, &canon_dag.node(new_id).kind);
+        let w = canon_weights.get(&new_id).copied().unwrap_or(0);
+        buf.extend_from_slice(&w.to_le_bytes());
+    }
+    buf.extend_from_slice(&(edges.len() as u64).to_le_bytes());
+    for &(dst, src, num, den) in &edges {
+        buf.extend_from_slice(&(src as u64).to_le_bytes());
+        buf.extend_from_slice(&(dst as u64).to_le_bytes());
+        buf.extend_from_slice(&num.to_le_bytes());
+        buf.extend_from_slice(&den.to_le_bytes());
+    }
+    let mut h = Fnv128::new();
+    h.write(&buf);
+    let key = h.finish();
+
+    Ok(Canon {
+        dag: canon_dag,
+        names,
+        weights: canon_weights,
+        encoding: Arc::from(buf.into_boxed_slice()),
+        key,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqua_rational::Ratio;
+
+    fn mix_assay(parts: &[(u64, u64)]) -> Dag {
+        let mut d = Dag::new();
+        let a = d.add_input("A");
+        let b = d.add_input("B");
+        for (i, &(pa, pb)) in parts.iter().enumerate() {
+            let m = d.add_mix(format!("m{i}"), &[(a, pa), (b, pb)], 10).unwrap();
+            d.add_process(format!("s{i}"), "sense.OD", m);
+        }
+        d
+    }
+
+    fn key_of(dag: &Dag) -> u128 {
+        canonicalize(dag, &HashMap::new(), &Machine::paper_default())
+            .unwrap()
+            .key
+    }
+
+    #[test]
+    fn renaming_fluids_keeps_the_key() {
+        let mut renamed = Dag::new();
+        let a = renamed.add_input("SampleXYZ");
+        let b = renamed.add_input("ReagentQ");
+        let m = renamed.add_mix("weird", &[(a, 1), (b, 4)], 10).unwrap();
+        renamed.add_process("out", "sense.OD", m);
+        assert_eq!(key_of(&mix_assay(&[(1, 4)])), key_of(&renamed));
+    }
+
+    #[test]
+    fn permuting_node_order_keeps_the_key() {
+        // Same structure, inputs declared in the opposite order and the
+        // mix parts swapped to match.
+        let mut permuted = Dag::new();
+        let b = permuted.add_input("B");
+        let a = permuted.add_input("A");
+        let m = permuted.add_mix("m0", &[(b, 4), (a, 1)], 10).unwrap();
+        permuted.add_process("s0", "sense.OD", m);
+        assert_eq!(key_of(&mix_assay(&[(1, 4)])), key_of(&permuted));
+    }
+
+    #[test]
+    fn different_mix_ratios_change_the_key() {
+        let k14 = key_of(&mix_assay(&[(1, 4)]));
+        let k15 = key_of(&mix_assay(&[(1, 5)]));
+        let k41 = key_of(&mix_assay(&[(4, 1)]));
+        assert_ne!(k14, k15);
+        assert_ne!(k15, k41);
+        // 1:4 and 4:1 over two otherwise-identical inputs are the SAME
+        // computation up to renaming (swap the inputs): canonicalization
+        // deliberately quotients by that isomorphism, and the response's
+        // `names` array tells each client which input became which
+        // canonical node.
+        assert_eq!(k14, k41);
+    }
+
+    #[test]
+    fn names_map_canonical_ids_back_to_request_names() {
+        let mut d = Dag::new();
+        let a = d.add_input("SampleXYZ");
+        let b = d.add_input("ReagentQ");
+        let m = d.add_mix("weird", &[(a, 1), (b, 4)], 10).unwrap();
+        d.add_process("out", "sense.OD", m);
+        let canon = canonicalize(&d, &HashMap::new(), &Machine::paper_default()).unwrap();
+        assert_eq!(canon.names.len(), canon.dag.num_nodes());
+        let mut sorted = canon.names.clone();
+        sorted.sort();
+        assert_eq!(
+            sorted,
+            vec!["ReagentQ", "SampleXYZ", "out", "weird"],
+            "every request name appears exactly once"
+        );
+    }
+
+    #[test]
+    fn every_machine_field_is_folded_into_the_key() {
+        let dag = mix_assay(&[(1, 4)]);
+        let weights = HashMap::new();
+        let base = Machine::paper_default();
+        let base_key = canonicalize(&dag, &weights, &base).unwrap().key;
+        let variants: Vec<Machine> = vec![
+            Machine::new(Ratio::from_int(50), base.least_count_nl()).unwrap(),
+            Machine::new(base.max_capacity_nl(), Ratio::new(1, 5).unwrap()).unwrap(),
+            base.clone().with_reservoirs(4),
+            base.clone().with_input_ports(2),
+            {
+                let mut m = base.clone();
+                m.mixers = 1;
+                m
+            },
+            {
+                let mut m = base.clone();
+                m.heaters = 7;
+                m
+            },
+            {
+                let mut m = base.clone();
+                m.separators = 9;
+                m
+            },
+            {
+                let mut m = base.clone();
+                m.sensors = 5;
+                m
+            },
+        ];
+        for (i, m) in variants.iter().enumerate() {
+            let k = canonicalize(&dag, &weights, m).unwrap().key;
+            assert_ne!(k, base_key, "machine variant {i} did not change the key");
+        }
+    }
+
+    #[test]
+    fn output_weights_change_the_key() {
+        let mut d = Dag::new();
+        let a = d.add_input("A");
+        let b = d.add_input("B");
+        let m = d.add_mix("m", &[(a, 1), (b, 1)], 0).unwrap();
+        let o = d.add_output("out", m);
+        let unweighted = canonicalize(&d, &HashMap::new(), &Machine::paper_default()).unwrap();
+        let mut w = HashMap::new();
+        w.insert(o, 3u64);
+        let weighted = canonicalize(&d, &w, &Machine::paper_default()).unwrap();
+        assert_ne!(unweighted.key, weighted.key);
+    }
+
+    #[test]
+    fn canonical_dag_is_valid_and_interned() {
+        let canon = canonicalize(
+            &mix_assay(&[(1, 4), (2, 3)]),
+            &HashMap::new(),
+            &Machine::paper_default(),
+        )
+        .unwrap();
+        assert!(canon.dag.validate().is_ok());
+        for (i, id) in canon.dag.node_ids().enumerate() {
+            assert_eq!(canon.dag.node(id).name, format!("f{i}"));
+        }
+        // Canonical order is topological.
+        let order = canon.dag.topological_order().unwrap();
+        assert_eq!(order.len(), canon.dag.num_nodes());
+    }
+
+    #[test]
+    fn key_hex_round_trips() {
+        let k = 0x0123_4567_89ab_cdef_0011_2233_4455_6677u128;
+        assert_eq!(parse_key_hex(&key_hex(k)), Some(k));
+        assert_eq!(parse_key_hex("zz"), None);
+        assert_eq!(parse_key_hex("123"), None);
+    }
+}

@@ -1,0 +1,332 @@
+//! Compiling a canonical request into a deterministic plan document.
+//!
+//! The plan is rendered as one JSON object with a fixed member order, so
+//! byte-identity of responses is meaningful: two requests that
+//! canonicalize to the same [`Canon`] always produce the same bytes,
+//! whether they were compiled cold or served from the cache. That is the
+//! cache-equivalence property the differential tests pin — it holds *by
+//! construction* because plans are compiled from the canonical DAG
+//! (names interned to `f0..fN`), never from the request's surface form.
+//!
+//! Plan statuses mirror the Fig. 6 hierarchy plus §3.5:
+//!
+//! * `"solved"` — an underflow-free assignment (method, exact volumes).
+//! * `"partitioned"` — the DAG has unknown-volume separations; the plan
+//!   carries the compile-time partitions and their run-time bindings.
+//! * `"needs_regeneration"` — no static assignment within budget.
+//! * `"resources_exceeded"` / `"invalid"` — compilation failures.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use aqua_dag::{Dag, NodeKind};
+use aqua_obs::Obs;
+use aqua_rational::Ratio;
+use aqua_volume::unknown::{self, Binding};
+use aqua_volume::{manage_volumes, Machine, ManagedOutcome, VolumeManagerOptions};
+
+use crate::canon::Canon;
+use crate::json::quote;
+
+fn kind_str(kind: &NodeKind) -> String {
+    match kind {
+        NodeKind::Input => "input".to_owned(),
+        NodeKind::Mix { seconds } => format!("mix:{seconds}"),
+        NodeKind::Process { op } => format!("process:{op}"),
+        NodeKind::Separate { fraction: None } => "separate:?".to_owned(),
+        NodeKind::Separate { fraction: Some(f) } => format!("separate:{f}"),
+        NodeKind::Output => "output".to_owned(),
+        NodeKind::Excess => "excess".to_owned(),
+        NodeKind::ConstrainedInput => "constrained_input".to_owned(),
+    }
+}
+
+/// Renders the node list of `dag` as a JSON array (canonical ids are the
+/// positions, so only kinds are emitted).
+fn push_nodes(out: &mut String, dag: &Dag) {
+    out.push('[');
+    for (i, id) in dag.node_ids().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&quote(&kind_str(&dag.node(id).kind)));
+    }
+    out.push(']');
+}
+
+/// Renders the live edges of `dag` as `[src,dst,"fraction"]` triples,
+/// with per-edge volumes appended when `vols` is provided.
+fn push_edges(out: &mut String, dag: &Dag, vols: Option<&[Ratio]>) {
+    out.push('[');
+    let mut first = true;
+    for e in dag.edge_ids() {
+        if !dag.edge_is_live(e) {
+            continue;
+        }
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let edge = dag.edge(e);
+        let _ = write!(
+            out,
+            "[{},{},{}",
+            edge.src.index(),
+            edge.dst.index(),
+            quote(&edge.fraction.to_string())
+        );
+        if let Some(v) = vols {
+            out.push(',');
+            out.push_str(&quote(&v[e.index()].to_string()));
+        }
+        out.push(']');
+    }
+    out.push(']');
+}
+
+fn push_ratio_vec(out: &mut String, vols: &[Ratio]) {
+    out.push('[');
+    for (i, v) in vols.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&quote(&v.to_string()));
+    }
+    out.push(']');
+}
+
+fn push_log(out: &mut String, log: &[String]) {
+    out.push('[');
+    for (i, line) in log.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&quote(line));
+    }
+    out.push(']');
+}
+
+/// Compiles one canonical request into its plan document.
+///
+/// This is the only compile entry point in the crate — both the cold
+/// path (miss → batcher → here) and the bench harness call it, so warm
+/// and cold responses can never diverge. The result is deterministic:
+/// the hierarchy is a pure function of `(canon, machine)` and the JSON
+/// member order is fixed.
+pub fn compile_plan(canon: &Canon, machine: &Machine, obs: &Obs) -> String {
+    let _span = obs.span("serve.plan.compile");
+    obs.add("serve.plan.compiles", 1);
+
+    // §3.5: statically-unknown volumes go down the partition path — the
+    // final dispensing step is deferred to run time, so the "plan" is
+    // the partition table with its bindings.
+    if unknown::has_unknown_volumes(&canon.dag) {
+        return match unknown::partition(&canon.dag, machine) {
+            Ok(plan) => {
+                let mut out = String::from("{\"status\":\"partitioned\",\"partitions\":[");
+                for (pi, part) in plan.partitions.iter().enumerate() {
+                    if pi > 0 {
+                        out.push(',');
+                    }
+                    out.push_str("{\"nodes\":");
+                    push_nodes(&mut out, &part.dag);
+                    out.push_str(",\"edges\":");
+                    push_edges(&mut out, &part.dag, None);
+                    // Bindings sorted by local node id for determinism
+                    // (HashMap iteration order must never leak).
+                    let mut bindings: Vec<_> = part.bindings.iter().collect();
+                    bindings.sort_by_key(|(id, _)| id.index());
+                    out.push_str(",\"constrained_inputs\":[");
+                    for (bi, (id, binding)) in bindings.iter().enumerate() {
+                        if bi > 0 {
+                            out.push(',');
+                        }
+                        match binding {
+                            Binding::Static { volume_nl } => {
+                                let _ = write!(
+                                    out,
+                                    "{{\"node\":{},\"binding\":\"static\",\"volume_nl\":{}}}",
+                                    id.index(),
+                                    quote(&volume_nl.to_string())
+                                );
+                            }
+                            Binding::Runtime {
+                                partition,
+                                source,
+                                share,
+                            } => {
+                                let _ = write!(
+                                    out,
+                                    "{{\"node\":{},\"binding\":\"runtime\",\"partition\":{},\
+                                     \"source\":{},\"share\":{}}}",
+                                    id.index(),
+                                    partition,
+                                    source.index(),
+                                    quote(&share.to_string())
+                                );
+                            }
+                        }
+                    }
+                    out.push_str("]}");
+                }
+                out.push_str("]}");
+                out
+            }
+            Err(e) => format!(
+                "{{\"status\":\"invalid\",\"error\":{}}}",
+                quote(&e.to_string())
+            ),
+        };
+    }
+
+    let opts = VolumeManagerOptions {
+        obs: obs.clone(),
+        output_weights: canon
+            .weights
+            .iter()
+            .map(|(&id, &w)| (id, Ratio::from_int(w as i128)))
+            .collect::<HashMap<_, _>>(),
+        ..VolumeManagerOptions::default()
+    };
+
+    match manage_volumes(&canon.dag, machine, &opts) {
+        ManagedOutcome::Solved { dag, volumes, log } => {
+            // The hierarchy may have rewritten the DAG (cascades,
+            // replicas); volumes index into the rewritten graph, so the
+            // plan carries that graph, not the request's.
+            let mut out = String::from("{\"status\":\"solved\",\"method\":");
+            out.push_str(&quote(&volumes.method.to_string()));
+            out.push_str(",\"nodes\":");
+            push_nodes(&mut out, &dag);
+            out.push_str(",\"edges\":");
+            push_edges(&mut out, &dag, Some(&volumes.edge_volumes_nl));
+            out.push_str(",\"node_volumes_nl\":");
+            push_ratio_vec(&mut out, &volumes.node_volumes_nl);
+            // IVol: the loads quantized to the machine's least count —
+            // what the dispensing hardware is actually told to meter.
+            let ivol: Vec<Ratio> = volumes
+                .node_volumes_nl
+                .iter()
+                .map(|v| machine.round_to_least_count(*v))
+                .collect();
+            out.push_str(",\"ivol_nl\":");
+            push_ratio_vec(&mut out, &ivol);
+            out.push_str(",\"log\":");
+            push_log(&mut out, &log);
+            out.push('}');
+            out
+        }
+        ManagedOutcome::NeedsRegeneration {
+            dag,
+            best_effort,
+            log,
+        } => {
+            let mut out = String::from("{\"status\":\"needs_regeneration\"");
+            if let Some(sol) = best_effort {
+                out.push_str(",\"best_effort\":{\"nodes\":");
+                push_nodes(&mut out, &dag);
+                out.push_str(",\"edges\":");
+                push_edges(&mut out, &dag, Some(&sol.edge_volumes_nl));
+                out.push_str(",\"node_volumes_nl\":");
+                push_ratio_vec(&mut out, &sol.node_volumes_nl);
+                if let Some(under) = &sol.underflow {
+                    let _ = write!(
+                        out,
+                        ",\"underflow\":{{\"edge\":{},\"volume_nl\":{},\"least_count_nl\":{}}}",
+                        under.edge.index(),
+                        quote(&under.volume_nl.to_string()),
+                        quote(&under.least_count_nl.to_string())
+                    );
+                }
+                out.push('}');
+            }
+            out.push_str(",\"log\":");
+            push_log(&mut out, &log);
+            out.push('}');
+            out
+        }
+        ManagedOutcome::ResourcesExceeded { reason, log } => {
+            let mut out = String::from("{\"status\":\"resources_exceeded\",\"reason\":");
+            out.push_str(&quote(&reason));
+            out.push_str(",\"log\":");
+            push_log(&mut out, &log);
+            out.push('}');
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::canon::canonicalize;
+    use aqua_dag::Dag;
+    use std::collections::HashMap;
+
+    fn canon_of(dag: &Dag, machine: &Machine) -> Canon {
+        canonicalize(dag, &HashMap::new(), machine).expect("canonicalizes")
+    }
+
+    #[test]
+    fn solved_plan_is_valid_fixed_order_json() {
+        let mut d = Dag::new();
+        let a = d.add_input("A");
+        let b = d.add_input("B");
+        let m = d.add_mix("mx", &[(a, 1), (b, 4)], 0).unwrap();
+        d.add_process("s", "sense.OD", m);
+        let machine = Machine::paper_default();
+        let plan = compile_plan(&canon_of(&d, &machine), &machine, &Obs::off());
+        let v = crate::json::parse(&plan).expect("plan is valid JSON");
+        assert_eq!(v.get("status").unwrap().as_str(), Some("solved"));
+        assert!(v.get("nodes").is_some());
+        assert!(v.get("ivol_nl").is_some());
+    }
+
+    #[test]
+    fn compile_is_deterministic() {
+        let mut d = Dag::new();
+        let a = d.add_input("A");
+        let b = d.add_input("B");
+        let m = d.add_mix("mx", &[(a, 1), (b, 1999)], 0).unwrap();
+        d.add_process("s", "sense.OD", m);
+        let machine = Machine::paper_default();
+        let canon = canon_of(&d, &machine);
+        let p1 = compile_plan(&canon, &machine, &Obs::off());
+        let p2 = compile_plan(&canon, &machine, &Obs::off());
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn unknown_separations_take_the_partition_path() {
+        let mut d = Dag::new();
+        let a = d.add_input("A");
+        let b = d.add_input("B");
+        let m = d.add_mix("m1", &[(a, 1), (b, 1)], 30).unwrap();
+        let sep = d.add_separate("sep", m, None);
+        let c = d.add_input("C");
+        let m2 = d.add_mix("m2", &[(sep, 1), (c, 1)], 30).unwrap();
+        d.add_process("s", "sense.OD", m2);
+        let machine = Machine::paper_default();
+        let plan = compile_plan(&canon_of(&d, &machine), &machine, &Obs::off());
+        let v = crate::json::parse(&plan).expect("plan is valid JSON");
+        assert_eq!(v.get("status").unwrap().as_str(), Some("partitioned"));
+        match v.get("partitions").unwrap() {
+            crate::json::Value::Arr(parts) => assert_eq!(parts.len(), 2),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn compiles_counter_is_bumped() {
+        let sink = std::sync::Arc::new(aqua_obs::MemorySink::new());
+        let obs = Obs::with_sink(sink.clone());
+        let mut d = Dag::new();
+        let a = d.add_input("A");
+        let b = d.add_input("B");
+        let m = d.add_mix("mx", &[(a, 1), (b, 1)], 0).unwrap();
+        d.add_process("s", "sense.OD", m);
+        let machine = Machine::paper_default();
+        compile_plan(&canon_of(&d, &machine), &machine, &obs);
+        assert_eq!(sink.counter("serve.plan.compiles"), 1);
+    }
+}

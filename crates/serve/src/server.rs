@@ -1,0 +1,138 @@
+//! NDJSON transport fronts: stdin and TCP.
+//!
+//! Both fronts speak the same line protocol (see [`crate::service`]):
+//! one JSON request per line in, one JSON response per line out, in
+//! request order per connection. The TCP front spawns one thread per
+//! connection — connection counts for a plan-compilation service are
+//! tiny compared to its per-request compute, so thread-per-connection
+//! is the simple and sufficient choice.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crate::service::Service;
+
+/// Serves requests from `input` line-by-line, writing responses to
+/// `output`. Returns when the input is exhausted.
+///
+/// # Errors
+///
+/// Propagates I/O errors from either stream.
+pub fn serve_lines(
+    service: &Service,
+    input: impl BufRead,
+    mut output: impl Write,
+) -> io::Result<()> {
+    for line in input.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = service.handle_line(&line);
+        output.write_all(response.as_bytes())?;
+        output.write_all(b"\n")?;
+        output.flush()?;
+    }
+    Ok(())
+}
+
+/// Serves requests from stdin to stdout until EOF.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the standard streams.
+pub fn serve_stdin(service: &Service) -> io::Result<()> {
+    let stdin = io::stdin();
+    let stdout = io::stdout();
+    serve_lines(service, stdin.lock(), stdout.lock())
+}
+
+fn handle_conn(service: &Service, stream: TcpStream) -> io::Result<()> {
+    let reader = BufReader::new(stream.try_clone()?);
+    serve_lines(service, reader, stream)
+}
+
+/// Binds `addr` and serves each connection on its own thread. Returns
+/// the bound address (useful with port 0) and the accept-loop handle;
+/// the loop runs until the process exits or the listener errors.
+///
+/// # Errors
+///
+/// Returns the bind error, if any. Per-connection errors are logged to
+/// stderr and do not stop the accept loop.
+pub fn spawn_tcp(service: Arc<Service>, addr: &str) -> io::Result<(SocketAddr, JoinHandle<()>)> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    let handle = std::thread::Builder::new()
+        .name("aqua-serve-accept".into())
+        .spawn(move || {
+            for conn in listener.incoming() {
+                match conn {
+                    Ok(stream) => {
+                        let service = Arc::clone(&service);
+                        let spawned = std::thread::Builder::new()
+                            .name("aqua-serve-conn".into())
+                            .spawn(move || {
+                                if let Err(e) = handle_conn(&service, stream) {
+                                    eprintln!("aqua-serve: connection error: {e}");
+                                }
+                            });
+                        if let Err(e) = spawned {
+                            eprintln!("aqua-serve: cannot spawn connection thread: {e}");
+                        }
+                    }
+                    Err(e) => {
+                        eprintln!("aqua-serve: accept error: {e}");
+                        return;
+                    }
+                }
+            }
+        })?;
+    Ok((local, handle))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::ServiceConfig;
+
+    const TINY: &str = "
+ASSAY tiny START
+fluid A, B, m;
+VAR Result[1];
+m = MIX A AND B IN RATIOS 1 : 4 FOR 10;
+SENSE OPTICAL it INTO Result[1];
+END
+";
+
+    #[test]
+    fn line_front_answers_in_order() {
+        let service = Service::new(ServiceConfig::default());
+        let req = format!(
+            "{{\"id\":1,\"src\":{}}}\n\n{{\"id\":2,\"cmd\":\"stats\"}}\n",
+            crate::json::quote(TINY)
+        );
+        let mut out = Vec::new();
+        serve_lines(&service, req.as_bytes(), &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2, "blank line is skipped: {text}");
+        assert!(lines[0].starts_with("{\"id\":1,\"ok\":true,"));
+        assert!(lines[1].starts_with("{\"id\":2,\"ok\":true,\"stats\":"));
+    }
+
+    #[test]
+    fn tcp_front_round_trips() {
+        let service = Arc::new(Service::new(ServiceConfig::default()));
+        let (addr, _accept) = spawn_tcp(Arc::clone(&service), "127.0.0.1:0").unwrap();
+        let mut conn = TcpStream::connect(addr).unwrap();
+        let req = format!("{{\"id\":\"t1\",\"src\":{}}}\n", crate::json::quote(TINY));
+        conn.write_all(req.as_bytes()).unwrap();
+        conn.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut line = String::new();
+        BufReader::new(conn).read_line(&mut line).unwrap();
+        assert!(line.starts_with("{\"id\":\"t1\",\"ok\":true,"), "{line}");
+    }
+}

@@ -1,0 +1,787 @@
+//! The plan-compilation service: admission, single-flight, batching.
+//!
+//! Request lifecycle (every stage is spanned through `aqua-obs`):
+//!
+//! 1. **Canonicalize** — the request's DAG, output weights, and machine
+//!    are folded into a [`Canon`] whose key addresses the cache.
+//! 2. **Cache probe** — a hit (with encoding verification) returns the
+//!    cached plan bytes immediately.
+//! 3. **Single-flight admission** — concurrent misses for the *same*
+//!    key coalesce onto one in-flight compile; only the first becomes a
+//!    queued job, the rest wait on its in-flight entry. Distinct misses
+//!    enter a bounded queue; a full queue rejects with
+//!    [`ServeError::Overloaded`] instead of building unbounded backlog.
+//! 4. **Batched solve** — a batcher thread drains up to `max_batch`
+//!    queued jobs and fans them out on `aqua_lp::batch`'s work-stealing
+//!    pool (the same machinery as `solve_assays_parallel`), then
+//!    publishes results cache-first so later requests hit before the
+//!    in-flight entry is retired.
+//! 5. **Deadlines** — every request carries a deadline; waiting past it
+//!    returns [`ServeError::Timeout`]. A request admitted with an
+//!    already-expired deadline times out deterministically *before*
+//!    enqueueing, which the golden protocol tests rely on.
+
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use aqua_dag::{Dag, NodeId};
+use aqua_obs::Obs;
+use aqua_rational::Ratio;
+use aqua_volume::Machine;
+
+use crate::cache::ShardedLru;
+use crate::canon::{self, Canon};
+use crate::json::{self, quote, Value};
+use crate::plan::compile_plan;
+
+/// Service tuning knobs. [`Default`] matches the paper machine and
+/// production-ish queue/cache sizes; tests shrink them to force the
+/// Overloaded/Timeout/eviction paths deterministically.
+#[derive(Clone)]
+pub struct ServiceConfig {
+    /// Machine plans are compiled for unless the request overrides it.
+    pub machine: Machine,
+    /// Total cached plans across all shards.
+    pub cache_capacity: usize,
+    /// Number of independently locked cache shards.
+    pub cache_shards: usize,
+    /// Bound on queued (admitted, not yet solved) jobs; `0` rejects
+    /// every miss with `Overloaded` (used by the golden tests).
+    pub queue_capacity: usize,
+    /// Worker threads for the batch solve; `0` = all available cores.
+    pub solver_threads: usize,
+    /// Most jobs drained per batch flush.
+    pub max_batch: usize,
+    /// Deadline applied to requests that don't carry one, in ms.
+    pub default_deadline_ms: u64,
+    /// Observability handle threaded through admission → cache → solve.
+    pub obs: Obs,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> ServiceConfig {
+        ServiceConfig {
+            machine: Machine::paper_default(),
+            cache_capacity: 1024,
+            cache_shards: 8,
+            queue_capacity: 256,
+            solver_threads: 0,
+            max_batch: 16,
+            default_deadline_ms: 30_000,
+            obs: Obs::off(),
+        }
+    }
+}
+
+/// Typed request rejections (the wire `error` field is the lowercase
+/// variant name).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The request could not be parsed, lowered, or canonicalized.
+    BadRequest(String),
+    /// The admission queue was full.
+    Overloaded,
+    /// The deadline expired before the plan was ready.
+    Timeout,
+    /// A key-addressed lookup missed the cache.
+    UnknownKey,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::BadRequest(m) => write!(f, "bad request: {m}"),
+            ServeError::Overloaded => write!(f, "admission queue is full"),
+            ServeError::Timeout => write!(f, "deadline expired before the plan was ready"),
+            ServeError::UnknownKey => write!(f, "no cached plan under this key"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// A served plan: the content key plus the rendered plan bytes (shared,
+/// so cache hits never copy the document).
+#[derive(Debug, Clone)]
+pub struct Served {
+    /// Content-addressed cache key.
+    pub key: u128,
+    /// The plan document (JSON object, fixed member order).
+    pub plan: Arc<str>,
+}
+
+/// One in-flight compile that any number of deduplicated waiters block
+/// on.
+struct Flight {
+    done: Mutex<Option<Result<Served, ServeError>>>,
+    cv: Condvar,
+}
+
+impl Flight {
+    fn new() -> Flight {
+        Flight {
+            done: Mutex::new(None),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn complete(&self, result: Result<Served, ServeError>) {
+        let mut done = self.done.lock().unwrap_or_else(PoisonError::into_inner);
+        *done = Some(result);
+        self.cv.notify_all();
+    }
+}
+
+struct Job {
+    canon: Canon,
+    machine: Machine,
+    flight: Arc<Flight>,
+}
+
+struct Inner {
+    config: ServiceConfig,
+    cache: ShardedLru,
+    inflight: Mutex<HashMap<u128, Arc<Flight>>>,
+    queue: Mutex<VecDeque<Job>>,
+    queue_cv: Condvar,
+    shutdown: AtomicBool,
+    dedups: AtomicU64,
+    timeouts: AtomicU64,
+    overloads: AtomicU64,
+}
+
+/// The multi-threaded plan-compilation service. Cheap to share behind
+/// an [`Arc`]; dropping the last handle shuts the batcher down after it
+/// drains the queue.
+pub struct Service {
+    inner: Arc<Inner>,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl Service {
+    /// Starts a service (and its batcher thread) with the given config.
+    pub fn new(config: ServiceConfig) -> Service {
+        let cache = ShardedLru::new(
+            config.cache_capacity,
+            config.cache_shards,
+            config.obs.clone(),
+        );
+        let inner = Arc::new(Inner {
+            cache,
+            config,
+            inflight: Mutex::new(HashMap::new()),
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            dedups: AtomicU64::new(0),
+            timeouts: AtomicU64::new(0),
+            overloads: AtomicU64::new(0),
+        });
+        let worker_inner = Arc::clone(&inner);
+        let worker = std::thread::Builder::new()
+            .name("aqua-serve-batcher".into())
+            .spawn(move || batch_loop(&worker_inner))
+            .expect("spawn batcher thread");
+        Service {
+            inner,
+            worker: Some(worker),
+        }
+    }
+
+    /// Canonicalizes assay source text against `machine` without
+    /// submitting it (used by the bench harness and tests to learn a
+    /// request's key up front).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::BadRequest`] on parse/lower/canonicalization
+    /// failures.
+    pub fn canon_src(src: &str, machine: &Machine) -> Result<Canon, ServeError> {
+        let flat =
+            aqua_lang::compile_to_flat(src).map_err(|e| ServeError::BadRequest(e.to_string()))?;
+        let (dag, map) = aqua_compiler::lower_to_dag(&flat)
+            .map_err(|e| ServeError::BadRequest(e.to_string()))?;
+        canon::canonicalize(&dag, &map.output_weights, machine)
+            .map_err(|e| ServeError::BadRequest(e.to_string()))
+    }
+
+    /// Compiles (or serves from cache) a plan for assay source text.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ServeError`]; see the module docs for the lifecycle.
+    pub fn submit_src(
+        &self,
+        src: &str,
+        machine: &Machine,
+        deadline: Option<Duration>,
+    ) -> Result<Served, ServeError> {
+        let canon = Self::canon_src(src, machine)?;
+        self.submit_canon(canon, machine.clone(), deadline)
+    }
+
+    /// Compiles (or serves from cache) a plan for an explicit DAG and
+    /// output-weight map.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ServeError`]; see the module docs for the lifecycle.
+    pub fn submit_dag(
+        &self,
+        dag: &Dag,
+        weights: &HashMap<NodeId, u64>,
+        machine: &Machine,
+        deadline: Option<Duration>,
+    ) -> Result<Served, ServeError> {
+        let canon = canon::canonicalize(dag, weights, machine)
+            .map_err(|e| ServeError::BadRequest(e.to_string()))?;
+        self.submit_canon(canon, machine.clone(), deadline)
+    }
+
+    /// Key-addressed lookup: serves a previously compiled plan without
+    /// re-running the front end. Never compiles.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownKey`] if the key is not cached.
+    pub fn submit_key(&self, key: u128) -> Result<Served, ServeError> {
+        self.inner
+            .cache
+            .get_by_key(key)
+            .ok_or(ServeError::UnknownKey)
+    }
+
+    /// Submits an already-canonicalized request.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ServeError`]; see the module docs for the lifecycle.
+    pub fn submit_canon(
+        &self,
+        canon: Canon,
+        machine: Machine,
+        deadline: Option<Duration>,
+    ) -> Result<Served, ServeError> {
+        let inner = &*self.inner;
+        let obs = &inner.config.obs;
+        let _span = obs.span("serve.submit");
+        let deadline_at = Instant::now()
+            + deadline.unwrap_or(Duration::from_millis(inner.config.default_deadline_ms));
+        let key = canon.key;
+
+        if let Some(hit) = inner.cache.get(key, &canon.encoding) {
+            return Ok(hit);
+        }
+
+        let flight = {
+            let mut inflight = inner
+                .inflight
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            // Re-probe under the lock: the batcher publishes cache-first,
+            // so a just-finished compile is visible here.
+            if let Some(hit) = inner.cache.get(key, &canon.encoding) {
+                return Ok(hit);
+            }
+            if let Some(flight) = inflight.get(&key) {
+                inner.dedups.fetch_add(1, Ordering::Relaxed);
+                obs.add("serve.singleflight.dedup", 1);
+                Arc::clone(flight)
+            } else {
+                // The leader for this key. An already-expired deadline
+                // cannot wait for any compile: reject before admitting.
+                if Instant::now() >= deadline_at {
+                    inner.timeouts.fetch_add(1, Ordering::Relaxed);
+                    obs.add("serve.timeout", 1);
+                    return Err(ServeError::Timeout);
+                }
+                let flight = Arc::new(Flight::new());
+                {
+                    let mut queue = inner.queue.lock().unwrap_or_else(PoisonError::into_inner);
+                    if queue.len() >= inner.config.queue_capacity {
+                        inner.overloads.fetch_add(1, Ordering::Relaxed);
+                        obs.add("serve.overloaded", 1);
+                        return Err(ServeError::Overloaded);
+                    }
+                    queue.push_back(Job {
+                        canon,
+                        machine,
+                        flight: Arc::clone(&flight),
+                    });
+                }
+                inner.queue_cv.notify_one();
+                inflight.insert(key, Arc::clone(&flight));
+                flight
+            }
+        };
+
+        let mut done = flight.done.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if let Some(result) = done.clone() {
+                return result;
+            }
+            let now = Instant::now();
+            if now >= deadline_at {
+                inner.timeouts.fetch_add(1, Ordering::Relaxed);
+                obs.add("serve.timeout", 1);
+                return Err(ServeError::Timeout);
+            }
+            let (guard, _) = flight
+                .cv
+                .wait_timeout(done, deadline_at - now)
+                .unwrap_or_else(PoisonError::into_inner);
+            done = guard;
+        }
+    }
+
+    /// Handles one NDJSON request line and renders the response line
+    /// (no trailing newline). Never panics on malformed input.
+    pub fn handle_line(&self, line: &str) -> String {
+        let parsed = match json::parse(line) {
+            Ok(v) => v,
+            Err(e) => {
+                return error_line(
+                    "null",
+                    &ServeError::BadRequest(format!("invalid JSON: {e}")),
+                )
+            }
+        };
+        let id = parsed
+            .get("id")
+            .map(render_value)
+            .unwrap_or_else(|| "null".to_owned());
+
+        if let Some(cmd) = parsed.get("cmd").and_then(Value::as_str) {
+            return match cmd {
+                "stats" => format!(
+                    "{{\"id\":{id},\"ok\":true,\"stats\":{}}}",
+                    self.stats_json()
+                ),
+                "clear_cache" => {
+                    self.clear_cache();
+                    format!("{{\"id\":{id},\"ok\":true}}")
+                }
+                other => error_line(
+                    &id,
+                    &ServeError::BadRequest(format!("unknown command `{other}`")),
+                ),
+            };
+        }
+
+        if let Some(key_field) = parsed.get("key") {
+            let result = match key_field.as_str().and_then(canon::parse_key_hex) {
+                None => Err(ServeError::BadRequest(
+                    "`key` must be a 32-hex-digit string".to_owned(),
+                )),
+                Some(key) => self.submit_key(key),
+            };
+            return match result {
+                Ok(served) => success_line(&id, &served),
+                Err(e) => error_line(&id, &e),
+            };
+        }
+
+        let Some(src) = parsed.get("src").and_then(Value::as_str) else {
+            return error_line(
+                &id,
+                &ServeError::BadRequest("request needs `src`, `key`, or `cmd`".to_owned()),
+            );
+        };
+        let machine = match parsed.get("machine") {
+            None => self.inner.config.machine.clone(),
+            Some(overrides) => {
+                match machine_with_overrides(&self.inner.config.machine, overrides) {
+                    Ok(m) => m,
+                    Err(msg) => return error_line(&id, &ServeError::BadRequest(msg)),
+                }
+            }
+        };
+        let deadline = match parsed.get("deadline_ms") {
+            None => None,
+            Some(v) => match v.as_int() {
+                Some(ms) if ms >= 0 => Some(Duration::from_millis(ms as u64)),
+                _ => {
+                    return error_line(
+                        &id,
+                        &ServeError::BadRequest(
+                            "`deadline_ms` must be a non-negative integer".to_owned(),
+                        ),
+                    )
+                }
+            },
+        };
+        let canon = match Self::canon_src(src, &machine) {
+            Ok(c) => c,
+            Err(e) => return error_line(&id, &e),
+        };
+        let names = canon.names.clone();
+        match self.submit_canon(canon, machine, deadline) {
+            Ok(served) => success_line_named(&id, &served, &names),
+            Err(e) => error_line(&id, &e),
+        }
+    }
+
+    /// Drops every cached plan (bench cold path; counters survive).
+    pub fn clear_cache(&self) {
+        self.inner.cache.clear();
+    }
+
+    /// Current counters as a JSON object (fixed member order).
+    pub fn stats_json(&self) -> String {
+        let c = &self.inner.cache.stats;
+        let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        format!(
+            "{{\"cached_plans\":{},\"hits\":{},\"misses\":{},\"inserts\":{},\
+             \"evictions\":{},\"collisions\":{},\"singleflight_dedups\":{},\
+             \"timeouts\":{},\"overloads\":{}}}",
+            self.inner.cache.len(),
+            load(&c.hits),
+            load(&c.misses),
+            load(&c.inserts),
+            load(&c.evictions),
+            load(&c.collisions),
+            load(&self.inner.dedups),
+            load(&self.inner.timeouts),
+            load(&self.inner.overloads),
+        )
+    }
+
+    /// Number of single-flight deduplications so far.
+    pub fn dedup_count(&self) -> u64 {
+        self.inner.dedups.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        self.inner.queue_cv.notify_all();
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// The batcher: drains up to `max_batch` jobs per flush and fans them
+/// out on the work-stealing pool. Results are published cache-first,
+/// then the in-flight entry is retired, then waiters are woken — so at
+/// every instant a request either hits the cache or finds the flight.
+fn batch_loop(inner: &Inner) {
+    let obs = &inner.config.obs;
+    loop {
+        let jobs: Vec<Job> = {
+            let mut queue = inner.queue.lock().unwrap_or_else(PoisonError::into_inner);
+            loop {
+                if !queue.is_empty() {
+                    break;
+                }
+                if inner.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                queue = inner
+                    .queue_cv
+                    .wait(queue)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+            let take = queue.len().min(inner.config.max_batch.max(1));
+            queue.drain(..take).collect()
+        };
+        obs.add("serve.batch.flushes", 1);
+        obs.record("serve.batch.size", jobs.len() as u64);
+        let threads = if inner.config.solver_threads == 0 {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        } else {
+            inner.config.solver_threads
+        };
+        let _span = obs.span("serve.batch.solve");
+        let plans = aqua_lp::batch::run_parallel_threads(jobs.len(), threads, |i| {
+            compile_plan(&jobs[i].canon, &jobs[i].machine, obs)
+        });
+        for (job, plan) in jobs.into_iter().zip(plans) {
+            let served = Served {
+                key: job.canon.key,
+                plan: Arc::from(plan),
+            };
+            inner.cache.insert(
+                job.canon.key,
+                Arc::clone(&job.canon.encoding),
+                served.clone(),
+            );
+            inner
+                .inflight
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .remove(&job.canon.key);
+            job.flight.complete(Ok(served));
+        }
+    }
+}
+
+fn success_line(id: &str, served: &Served) -> String {
+    format!(
+        "{{\"id\":{id},\"ok\":true,\"key\":\"{}\",\"plan\":{}}}",
+        canon::key_hex(served.key),
+        served.plan
+    )
+}
+
+/// Success line with the request's `names` array (canonical node id →
+/// the request's own name for it). Attached outside the cached plan, so
+/// renamed-but-isomorphic requests share plan bytes while each client
+/// still gets its own mapping.
+fn success_line_named(id: &str, served: &Served, names: &[String]) -> String {
+    let mut rendered = String::from("[");
+    for (i, name) in names.iter().enumerate() {
+        if i > 0 {
+            rendered.push(',');
+        }
+        rendered.push_str(&quote(name));
+    }
+    rendered.push(']');
+    format!(
+        "{{\"id\":{id},\"ok\":true,\"key\":\"{}\",\"names\":{rendered},\"plan\":{}}}",
+        canon::key_hex(served.key),
+        served.plan
+    )
+}
+
+fn error_line(id: &str, error: &ServeError) -> String {
+    let tag = match error {
+        ServeError::BadRequest(_) => "bad_request",
+        ServeError::Overloaded => "overloaded",
+        ServeError::Timeout => "timeout",
+        ServeError::UnknownKey => "unknown_key",
+    };
+    format!(
+        "{{\"id\":{id},\"ok\":false,\"error\":\"{tag}\",\"message\":{}}}",
+        quote(&error.to_string())
+    )
+}
+
+/// Re-renders a parsed value (used to echo request ids verbatim).
+fn render_value(v: &Value) -> String {
+    match v {
+        Value::Null => "null".to_owned(),
+        Value::Bool(b) => b.to_string(),
+        Value::Int(n) => n.to_string(),
+        Value::Float(x) => format!("{x}"),
+        Value::Str(s) => quote(s),
+        Value::Arr(items) => {
+            let mut out = String::from("[");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&render_value(item));
+            }
+            out.push(']');
+            out
+        }
+        Value::Obj(members) => {
+            let mut out = String::from("{");
+            for (i, (k, item)) in members.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{}:{}", quote(k), render_value(item));
+            }
+            out.push('}');
+            out
+        }
+    }
+}
+
+fn ratio_field(v: &Value, what: &str) -> Result<Ratio, String> {
+    match v {
+        Value::Int(n) => Ratio::new(*n as i128, 1).map_err(|e| format!("{what}: {e}")),
+        Value::Str(s) => {
+            let (num, den) = match s.split_once('/') {
+                Some((n, d)) => (n, d),
+                None => (s.as_str(), "1"),
+            };
+            let num: i128 = num
+                .trim()
+                .parse()
+                .map_err(|_| format!("{what}: bad ratio `{s}`"))?;
+            let den: i128 = den
+                .trim()
+                .parse()
+                .map_err(|_| format!("{what}: bad ratio `{s}`"))?;
+            Ratio::new(num, den).map_err(|e| format!("{what}: {e}"))
+        }
+        _ => Err(format!("{what} must be an integer or a `num/den` string")),
+    }
+}
+
+fn count_field(v: &Value, what: &str) -> Result<usize, String> {
+    match v.as_int() {
+        Some(n) if n >= 0 => Ok(n as usize),
+        _ => Err(format!("{what} must be a non-negative integer")),
+    }
+}
+
+/// Builds a request machine from the configured base plus a `machine`
+/// override object. Every overridable field participates in the cache
+/// key (see `canon`), so overrides can never be served a stale plan.
+fn machine_with_overrides(base: &Machine, overrides: &Value) -> Result<Machine, String> {
+    if !matches!(overrides, Value::Obj(_)) {
+        return Err("`machine` must be an object".to_owned());
+    }
+    let cap = match overrides.get("max_capacity_nl") {
+        Some(v) => ratio_field(v, "machine.max_capacity_nl")?,
+        None => base.max_capacity_nl(),
+    };
+    let lc = match overrides.get("least_count_nl") {
+        Some(v) => ratio_field(v, "machine.least_count_nl")?,
+        None => base.least_count_nl(),
+    };
+    let mut machine = Machine::new(cap, lc).map_err(|e| e.to_string())?;
+    machine.reservoirs = base.reservoirs;
+    machine.mixers = base.mixers;
+    machine.heaters = base.heaters;
+    machine.separators = base.separators;
+    machine.sensors = base.sensors;
+    machine.input_ports = base.input_ports;
+    if let Some(v) = overrides.get("reservoirs") {
+        machine.reservoirs = count_field(v, "reservoirs")?;
+    }
+    if let Some(v) = overrides.get("mixers") {
+        machine.mixers = count_field(v, "mixers")?;
+    }
+    if let Some(v) = overrides.get("heaters") {
+        machine.heaters = count_field(v, "heaters")?;
+    }
+    if let Some(v) = overrides.get("separators") {
+        machine.separators = count_field(v, "separators")?;
+    }
+    if let Some(v) = overrides.get("sensors") {
+        machine.sensors = count_field(v, "sensors")?;
+    }
+    if let Some(v) = overrides.get("input_ports") {
+        machine.input_ports = count_field(v, "input_ports")?;
+    }
+    Ok(machine)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TINY: &str = "
+ASSAY tiny START
+fluid A, B, m;
+VAR Result[1];
+m = MIX A AND B IN RATIOS 1 : 4 FOR 10;
+SENSE OPTICAL it INTO Result[1];
+END
+";
+
+    fn service(config: ServiceConfig) -> Service {
+        Service::new(config)
+    }
+
+    #[test]
+    fn warm_hit_is_byte_identical_to_cold() {
+        let svc = service(ServiceConfig::default());
+        let machine = Machine::paper_default();
+        let cold = svc.submit_src(TINY, &machine, None).unwrap();
+        let warm = svc.submit_src(TINY, &machine, None).unwrap();
+        assert_eq!(cold.key, warm.key);
+        assert_eq!(cold.plan, warm.plan);
+        assert_eq!(svc.inner.cache.stats.hits.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn key_lookup_serves_without_compiling() {
+        let svc = service(ServiceConfig::default());
+        let machine = Machine::paper_default();
+        let cold = svc.submit_src(TINY, &machine, None).unwrap();
+        let by_key = svc.submit_key(cold.key).unwrap();
+        assert_eq!(by_key.plan, cold.plan);
+        assert_eq!(
+            svc.submit_key(cold.key ^ 1).unwrap_err(),
+            ServeError::UnknownKey
+        );
+    }
+
+    #[test]
+    fn zero_capacity_queue_rejects_with_overloaded() {
+        let svc = service(ServiceConfig {
+            queue_capacity: 0,
+            ..ServiceConfig::default()
+        });
+        let machine = Machine::paper_default();
+        let err = svc.submit_src(TINY, &machine, None).unwrap_err();
+        assert_eq!(err, ServeError::Overloaded);
+    }
+
+    #[test]
+    fn zero_deadline_times_out_before_enqueueing() {
+        let svc = service(ServiceConfig::default());
+        let machine = Machine::paper_default();
+        let err = svc
+            .submit_src(TINY, &machine, Some(Duration::ZERO))
+            .unwrap_err();
+        assert_eq!(err, ServeError::Timeout);
+        // ...but a cache hit is served even with no time budget.
+        svc.submit_src(TINY, &machine, None).unwrap();
+        svc.submit_src(TINY, &machine, Some(Duration::ZERO))
+            .unwrap();
+    }
+
+    #[test]
+    fn handle_line_roundtrips_the_protocol() {
+        let svc = service(ServiceConfig::default());
+        let resp = svc.handle_line(&format!("{{\"id\":1,\"src\":{}}}", quote(TINY)));
+        let v = json::parse(&resp).expect("response is valid JSON");
+        assert_eq!(v.get("id").unwrap().as_int(), Some(1));
+        assert_eq!(v.get("ok"), Some(&Value::Bool(true)));
+        let key = v.get("key").unwrap().as_str().unwrap().to_owned();
+        let replay = svc.handle_line(&format!("{{\"id\":2,\"key\":{}}}", quote(&key)));
+        let rv = json::parse(&replay).unwrap();
+        assert_eq!(rv.get("ok"), Some(&Value::Bool(true)));
+        assert_eq!(rv.get("plan"), v.get("plan"));
+    }
+
+    #[test]
+    fn machine_override_changes_the_key() {
+        let svc = service(ServiceConfig::default());
+        let r1 = svc.handle_line(&format!("{{\"id\":1,\"src\":{}}}", quote(TINY)));
+        let r2 = svc.handle_line(&format!(
+            "{{\"id\":2,\"src\":{},\"machine\":{{\"least_count_nl\":\"1/5\"}}}}",
+            quote(TINY)
+        ));
+        let k1 = json::parse(&r1)
+            .unwrap()
+            .get("key")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .to_owned();
+        let k2 = json::parse(&r2)
+            .unwrap()
+            .get("key")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .to_owned();
+        assert_ne!(k1, k2);
+    }
+
+    #[test]
+    fn malformed_lines_get_bad_request() {
+        let svc = service(ServiceConfig::default());
+        for line in ["not json", "{}", "{\"id\":3,\"key\":\"zz\"}"] {
+            let resp = svc.handle_line(line);
+            let v = json::parse(&resp).expect("error response is valid JSON");
+            assert_eq!(v.get("ok"), Some(&Value::Bool(false)));
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Golden protocol fixtures: full response lines pinned byte-for-byte.
+//!
+//! These tests freeze the wire format — field order, error tags,
+//! message wording, key hex. If one fails, either the change is an
+//! accidental protocol break (fix the code) or a deliberate revision
+//! (update the fixtures AND `canon::KEY_VERSION` / the protocol docs
+//! together).
+
+use aqua_serve::{Service, ServiceConfig};
+
+const TINY: &str = "
+ASSAY tiny START
+fluid A, B, m;
+VAR Result[1];
+m = MIX A AND B IN RATIOS 1 : 4 FOR 10;
+SENSE OPTICAL it INTO Result[1];
+END
+";
+
+/// The TINY assay's content-addressed key under the paper-default
+/// machine. Changes only when the canonicalization scheme changes.
+const TINY_KEY: &str = "bd616f77aef57130f18e86b9c9b98083";
+
+/// The TINY assay's compiled plan, shared by the `src` and `key`
+/// fixtures below.
+const TINY_PLAN: &str = "{\"status\":\"solved\",\"method\":\"DAGSolve\",\
+\"nodes\":[\"input\",\"input\",\"mix:10\",\"process:sense.OD\"],\
+\"edges\":[[0,2,\"1/5\",\"20\"],[1,2,\"4/5\",\"80\"],[2,3,\"1\",\"100\"]],\
+\"node_volumes_nl\":[\"20\",\"80\",\"100\",\"100\"],\
+\"ivol_nl\":[\"20\",\"80\",\"100\",\"100\"],\
+\"log\":[\"round 0: DAGSolve succeeded\"]}";
+
+fn service() -> Service {
+    Service::new(ServiceConfig::default())
+}
+
+fn src_request(id: &str, extra: &str) -> String {
+    format!(
+        "{{\"id\":{id},\"src\":{}{extra}}}",
+        aqua_serve::json::quote(TINY)
+    )
+}
+
+#[test]
+fn golden_success_via_src() {
+    let got = service().handle_line(&src_request("1", ""));
+    let want = format!(
+        "{{\"id\":1,\"ok\":true,\"key\":\"{TINY_KEY}\",\
+\"names\":[\"A\",\"B\",\"m\",\"Result[1]\"],\"plan\":{TINY_PLAN}}}"
+    );
+    assert_eq!(got, want);
+}
+
+#[test]
+fn golden_success_via_key() {
+    // Warm the cache through the src path, then fetch by key: same
+    // plan bytes, no `names` array (a bare key has no request-side
+    // spelling to map back to).
+    let svc = service();
+    svc.handle_line(&src_request("1", ""));
+    let got = svc.handle_line(&format!("{{\"id\":2,\"key\":\"{TINY_KEY}\"}}"));
+    let want = format!("{{\"id\":2,\"ok\":true,\"key\":\"{TINY_KEY}\",\"plan\":{TINY_PLAN}}}");
+    assert_eq!(got, want);
+}
+
+#[test]
+fn golden_stats() {
+    let svc = service();
+    svc.handle_line(&src_request("1", ""));
+    svc.handle_line(&src_request("1", ""));
+    svc.handle_line(&format!("{{\"id\":2,\"key\":\"{TINY_KEY}\"}}"));
+    let got = svc.handle_line("{\"id\":3,\"cmd\":\"stats\"}");
+    // The cold request probes twice (fast path, then the re-probe
+    // under the single-flight lock), hence misses=2 for one compile.
+    let want = "{\"id\":3,\"ok\":true,\"stats\":{\"cached_plans\":1,\
+\"hits\":2,\"misses\":2,\"inserts\":1,\"evictions\":0,\"collisions\":0,\
+\"singleflight_dedups\":0,\"timeouts\":0,\"overloads\":0}}";
+    assert_eq!(got, want);
+}
+
+#[test]
+fn golden_malformed_json() {
+    let got = service().handle_line("{oops");
+    assert_eq!(
+        got,
+        "{\"id\":null,\"ok\":false,\"error\":\"bad_request\",\
+\"message\":\"bad request: invalid JSON: expected member name at byte 1\"}"
+    );
+}
+
+#[test]
+fn golden_missing_payload() {
+    let got = service().handle_line("{}");
+    assert_eq!(
+        got,
+        "{\"id\":null,\"ok\":false,\"error\":\"bad_request\",\
+\"message\":\"bad request: request needs `src`, `key`, or `cmd`\"}"
+    );
+}
+
+#[test]
+fn golden_unknown_key() {
+    let got = service().handle_line(&format!("{{\"id\":4,\"key\":\"{}\"}}", "0".repeat(32)));
+    assert_eq!(
+        got,
+        "{\"id\":4,\"ok\":false,\"error\":\"unknown_key\",\
+\"message\":\"no cached plan under this key\"}"
+    );
+}
+
+#[test]
+fn golden_bad_key_format() {
+    let got = service().handle_line("{\"id\":5,\"key\":\"zz\"}");
+    assert_eq!(
+        got,
+        "{\"id\":5,\"ok\":false,\"error\":\"bad_request\",\
+\"message\":\"bad request: `key` must be a 32-hex-digit string\"}"
+    );
+}
+
+#[test]
+fn golden_overloaded() {
+    let svc = Service::new(ServiceConfig {
+        queue_capacity: 0,
+        ..ServiceConfig::default()
+    });
+    let got = svc.handle_line(&src_request("\"ov\"", ""));
+    assert_eq!(
+        got,
+        "{\"id\":\"ov\",\"ok\":false,\"error\":\"overloaded\",\
+\"message\":\"admission queue is full\"}"
+    );
+}
+
+#[test]
+fn golden_timeout() {
+    let got = service().handle_line(&src_request("\"to\"", ",\"deadline_ms\":0"));
+    assert_eq!(
+        got,
+        "{\"id\":\"to\",\"ok\":false,\"error\":\"timeout\",\
+\"message\":\"deadline expired before the plan was ready\"}"
+    );
+}
+
+#[test]
+fn golden_compile_error() {
+    let got = service().handle_line("{\"id\":6,\"src\":\"not an assay\"}");
+    let parsed = aqua_serve::json::parse(&got).expect("valid JSON response");
+    assert_eq!(parsed.get("id").and_then(|v| v.as_int()), Some(6));
+    assert_eq!(
+        parsed.get("error").and_then(|v| v.as_str()),
+        Some("bad_request"),
+        "{got}"
+    );
+    let msg = parsed
+        .get("message")
+        .and_then(|v| v.as_str())
+        .expect("has message");
+    assert!(msg.starts_with("bad request:"), "{msg}");
+}

@@ -1,0 +1,148 @@
+//! Cache invalidation under machine-spec changes.
+//!
+//! Changing ANY `Machine` field (least count, mixer capacity, unit
+//! inventory) must change the cache key, so a plan compiled for one
+//! machine is never served for another. The key derivation folds the
+//! full spec into the canonical encoding (see `canon`); these tests
+//! pin the end-to-end behavior through the service.
+
+use std::collections::HashMap;
+
+use aqua_dag::Dag;
+use aqua_rational::Ratio;
+use aqua_serve::{canonicalize, Service, ServiceConfig};
+use aqua_volume::Machine;
+
+/// An assay whose plan visibly depends on the machine's least count
+/// (the 1:9 mix dispenses 1/10 shares, right at the default least
+/// count's granularity).
+fn sensitive_assay() -> Dag {
+    let mut d = Dag::new();
+    let a = d.add_input("A");
+    let b = d.add_input("B");
+    let m = d.add_mix("m", &[(a, 1), (b, 9)], 10).expect("valid mix");
+    d.add_process("s", "sense.OD", m);
+    d
+}
+
+fn machine_variants() -> Vec<(&'static str, Machine)> {
+    let base = Machine::paper_default();
+    vec![
+        (
+            "capacity 50nl",
+            Machine::new(Ratio::from_int(50), base.least_count_nl()).expect("valid"),
+        ),
+        (
+            "least count 1/5nl",
+            Machine::new(base.max_capacity_nl(), Ratio::new(1, 5).expect("nonzero"))
+                .expect("valid"),
+        ),
+        ("reservoirs 4", base.clone().with_reservoirs(4)),
+        ("input ports 2", base.clone().with_input_ports(2)),
+        ("mixers 1", {
+            let mut m = base.clone();
+            m.mixers = 1;
+            m
+        }),
+        ("heaters 7", {
+            let mut m = base.clone();
+            m.heaters = 7;
+            m
+        }),
+        ("separators 9", {
+            let mut m = base.clone();
+            m.separators = 9;
+            m
+        }),
+        ("sensors 5", {
+            let mut m = base.clone();
+            m.sensors = 5;
+            m
+        }),
+    ]
+}
+
+#[test]
+fn every_machine_field_changes_the_cache_key() {
+    let dag = sensitive_assay();
+    let weights = HashMap::new();
+    let base_key = canonicalize(&dag, &weights, &Machine::paper_default())
+        .expect("canon")
+        .key;
+    for (what, machine) in machine_variants() {
+        let key = canonicalize(&dag, &weights, &machine).expect("canon").key;
+        assert_ne!(key, base_key, "changing {what} did not change the key");
+    }
+}
+
+#[test]
+fn stale_plan_is_never_served_after_spec_change() {
+    // Prime the cache with machine A's plan, then request the same
+    // assay for machine B: the response must be B's cold compile, not
+    // A's cached plan.
+    let dag = sensitive_assay();
+    let weights = HashMap::new();
+    let machine_a = Machine::paper_default();
+    // Halving the capacity halves every solved volume, so B's plan must
+    // differ in content, not just key.
+    let machine_b = Machine::new(Ratio::from_int(50), machine_a.least_count_nl()).expect("valid");
+
+    let service = Service::new(ServiceConfig::default());
+    let plan_a = service
+        .submit_dag(&dag, &weights, &machine_a, None)
+        .expect("compiles for A");
+    let plan_b = service
+        .submit_dag(&dag, &weights, &machine_b, None)
+        .expect("compiles for B");
+    assert_ne!(plan_a.key, plan_b.key, "spec change must change the key");
+    assert_ne!(
+        plan_a.plan, plan_b.plan,
+        "a halved capacity must visibly change this plan"
+    );
+
+    let fresh = Service::new(ServiceConfig::default());
+    let cold_b = fresh
+        .submit_dag(&dag, &weights, &machine_b, None)
+        .expect("cold compiles for B");
+    assert_eq!(
+        plan_b.plan, cold_b.plan,
+        "B's response through the warm service must equal B's cold compile"
+    );
+
+    // And A's entry is still intact (no cross-contamination).
+    let again_a = service
+        .submit_dag(&dag, &weights, &machine_a, None)
+        .expect("still cached for A");
+    assert_eq!(again_a.plan, plan_a.plan);
+}
+
+#[test]
+fn protocol_machine_overrides_are_isolated_per_request() {
+    // The same `src` with different machine overrides must produce
+    // different keys through the wire protocol too.
+    let src = "
+ASSAY iso START
+fluid A, B, m;
+VAR Result[1];
+m = MIX A AND B IN RATIOS 1 : 9 FOR 10;
+SENSE OPTICAL it INTO Result[1];
+END
+";
+    let service = Service::new(ServiceConfig::default());
+    let quoted = aqua_serve::json::quote(src);
+    let base = service.handle_line(&format!("{{\"id\":1,\"src\":{quoted}}}"));
+    let coarse = service.handle_line(&format!(
+        "{{\"id\":2,\"src\":{quoted},\"machine\":{{\"least_count_nl\":\"1/2\"}}}}"
+    ));
+    let key_of = |resp: &str| {
+        aqua_serve::json::parse(resp)
+            .expect("valid response")
+            .get("key")
+            .and_then(|k| k.as_str().map(str::to_owned))
+            .expect("has key")
+    };
+    assert_ne!(key_of(&base), key_of(&coarse));
+    // Replaying the base request still returns the base plan.
+    let replay = service.handle_line(&format!("{{\"id\":3,\"src\":{quoted}}}"));
+    assert_eq!(key_of(&base), key_of(&replay));
+}

@@ -10,10 +10,15 @@
 #   6. LP backend smoke test (bench_lp --quick: sparse/dense agreement)
 #      + obs smoke: --obs must produce a non-empty Chrome trace
 #   7. fault-recovery smoke  (fault_sweep --quick: 100% recovery at rate 0)
+#   8. serve stress suite    (8 threads x 200 requests, deadlock-guarded
+#      by `timeout`: a hang is a bug, not a slow test)
+#   9. serve bench smoke     (bench_serve --quick: warm >= 10x cold and
+#      warm plans byte-identical to cold, enforced by the binary itself)
 #
 # The smoke runs write their JSON to target/ so they never clobber the
-# committed BENCH_lp.json / BENCH_fault.json (regenerate those with a
-# full `cargo run --release -p aqua-bench --bin bench_lp` / `fault_sweep`).
+# committed BENCH_lp.json / BENCH_fault.json / BENCH_serve.json
+# (regenerate those with a full `cargo run --release -p aqua-bench
+# --bin bench_lp` / `fault_sweep` / `bench_serve`).
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -48,7 +53,22 @@ grep -q '"lp.solve"' target/obs_trace.quick.json
 echo "==> fault_sweep --quick (recovery ladder smoke test)"
 cargo run --release -p aqua-bench --bin fault_sweep -- --quick --out target/BENCH_fault.quick.json
 
-echo "==> fault_sweep --quick (recovery ladder smoke test)"
-cargo run --release -p aqua-bench --bin fault_sweep -- --quick --out target/BENCH_fault.quick.json
+echo "==> serve stress suite (timeout-guarded: a hang is a deadlock)"
+timeout 300 cargo test -q --release -p aqua-serve --test stress -- --test-threads=1
+
+echo "==> bench_serve --quick (cold vs warm smoke test)"
+cargo run --release -p aqua-bench --bin bench_serve -- --quick \
+  --out target/BENCH_serve.quick.json
+# The binary already exits nonzero when warm plans diverge from cold or
+# the speedup floor is missed; the greps guard the JSON contract that
+# downstream tooling (EXPERIMENTS.md tables) reads.
+test -s target/BENCH_serve.quick.json
+for field in '"schema": "bench_serve/v1"' '"warm_over_cold"' '"cold_rps"' \
+             '"warm_src_rps"' '"warm_key_rps"' '"warm_equals_cold": true'; do
+  if ! grep -q "$field" target/BENCH_serve.quick.json; then
+    echo "error: BENCH_serve.quick.json is missing $field" >&2
+    exit 1
+  fi
+done
 
 echo "==> ci.sh: all green"

@@ -4,13 +4,20 @@
 //! aquac compile <assay-file> [--emit ais|dot|volumes|log] [--machine CAP,LC]
 //! aquac run     <assay-file> [--machine CAP,LC] [--yield FRACTION]
 //! aquac check   <assay-file>
+//! aquac serve   [--tcp ADDR] [--machine CAP,LC] [--cache-cap N]
+//!               [--shards N] [--workers N] [--queue-cap N]
+//!               [--max-batch N] [--deadline-ms N] [--obs]
 //! ```
 //!
 //! * `compile` prints the requested artifact (default: AIS assembly);
 //! * `run` compiles and executes on the simulated chip, reporting
 //!   sensor readings and any constraint violations;
 //! * `check` parses, lowers, and runs volume management, reporting how
-//!   volumes were resolved (exit code 1 on compile errors).
+//!   volumes were resolved (exit code 1 on compile errors);
+//! * `serve` starts the plan-compilation service: one JSON request per
+//!   stdin line, one JSON response per stdout line (and the same
+//!   protocol on `--tcp ADDR`), with content-addressed plan caching.
+//!   `--obs` prints an observability summary at EOF.
 //!
 //! `--machine CAP,LC` sets capacity and least count in nanoliters
 //! (default `100,0.1` — the paper's hardware).
@@ -36,6 +43,10 @@ fn main() -> ExitCode {
 fn real_main() -> Result<(), String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (cmd, rest) = args.split_first().ok_or_else(usage)?;
+    if cmd == "serve" {
+        // `serve` takes no assay file; it reads requests from stdin.
+        return serve_main(rest);
+    }
     let mut file = None;
     let mut emit = "ais".to_owned();
     let mut machine_spec = "100,0.1".to_owned();
@@ -158,6 +169,59 @@ fn real_main() -> Result<(), String> {
     Ok(())
 }
 
+/// Runs `aquac serve`: NDJSON plan service on stdin (+ optional TCP).
+fn serve_main(rest: &[String]) -> Result<(), String> {
+    use aqua_serve::{serve_stdin, spawn_tcp, Service, ServiceConfig};
+
+    let mut config = ServiceConfig::default();
+    let mut tcp_addr: Option<String> = None;
+    let mut with_obs = false;
+    let mut it = rest.iter();
+    let next_usize = |it: &mut std::slice::Iter<String>, flag: &str| -> Result<usize, String> {
+        it.next()
+            .ok_or(format!("{flag} needs a value"))?
+            .parse()
+            .map_err(|_| format!("{flag} must be a non-negative integer"))
+    };
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--tcp" => tcp_addr = Some(it.next().ok_or("--tcp needs an address")?.clone()),
+            "--machine" => {
+                config.machine = parse_machine(it.next().ok_or("--machine needs a value")?)?;
+            }
+            "--cache-cap" => config.cache_capacity = next_usize(&mut it, "--cache-cap")?,
+            "--shards" => config.cache_shards = next_usize(&mut it, "--shards")?,
+            "--workers" => config.solver_threads = next_usize(&mut it, "--workers")?,
+            "--queue-cap" => config.queue_capacity = next_usize(&mut it, "--queue-cap")?,
+            "--max-batch" => config.max_batch = next_usize(&mut it, "--max-batch")?,
+            "--deadline-ms" => {
+                config.default_deadline_ms = next_usize(&mut it, "--deadline-ms")? as u64;
+            }
+            "--obs" => with_obs = true,
+            other => return Err(format!("unknown argument `{other}`\n{}", usage())),
+        }
+    }
+    let obs_sink = if with_obs {
+        let (obs, sink) = aqua_obs::Obs::recording();
+        config.obs = obs;
+        Some(sink)
+    } else {
+        None
+    };
+
+    let service = std::sync::Arc::new(Service::new(config));
+    if let Some(addr) = tcp_addr {
+        let (local, _accept) =
+            spawn_tcp(std::sync::Arc::clone(&service), &addr).map_err(|e| e.to_string())?;
+        eprintln!("aquac serve: listening on {local}");
+    }
+    serve_stdin(&service).map_err(|e| e.to_string())?;
+    if let Some(sink) = obs_sink {
+        eprintln!("{}", aqua_obs::export::text_summary(&sink));
+    }
+    Ok(())
+}
+
 fn parse_machine(spec: &str) -> Result<Machine, String> {
     let (cap, lc) = spec
         .split_once(',')
@@ -175,6 +239,9 @@ fn parse_machine(spec: &str) -> Result<Machine, String> {
 
 fn usage() -> String {
     "usage: aquac <compile|run|check> <assay-file> \
-     [--emit ais|dot|volumes|log] [--machine CAP,LC] [--yield F]"
+     [--emit ais|dot|volumes|log] [--machine CAP,LC] [--yield F]\n   \
+     or: aquac serve [--tcp ADDR] [--machine CAP,LC] [--cache-cap N] \
+     [--shards N] [--workers N] [--queue-cap N] [--max-batch N] \
+     [--deadline-ms N] [--obs]"
         .to_owned()
 }
