@@ -1,6 +1,7 @@
 //! Times the LP solver's sparse (revised simplex) backend against the
-//! dense tableau backend on the paper's assays and writes the results
-//! to `BENCH_lp.json` at the repo root.
+//! dense tableau backend — and the `Auto` dispatcher against both — on
+//! the paper's assays, and writes the results to `BENCH_lp.json` at the
+//! repo root.
 //!
 //! Usage: `cargo run --release --bin bench_lp [--quick] [--out PATH]
 //! [--obs TRACE_PATH]`
@@ -17,17 +18,33 @@
 //! check agreement (identical status, |Δobjective| <= 1e-6), then
 //! timed with warmup + N iterations (median/p95, see `harness`).
 //!
+//! The `bench_lp/v2` schema adds per-case `*_backend_chosen` (what
+//! `SolverBackend::Auto` resolved to), `*_pivots` (simplex iterations
+//! under the default devex pricing), an `*_auto_within_floor` check
+//! (Auto's median within 1.1x of the better concrete backend — the
+//! no-regression floor `scripts/ci.sh` enforces), and an `ilp_par_*`
+//! section timing the deterministic parallel branch-and-bound at 1
+//! vs 8 threads. `enzyme10_lp_status` (formerly `enzyme10_status`)
+//! records that the raw enzyme10 RVol LP is *expectedly* infeasible:
+//! the extreme dilution chain outruns the machine span, which is
+//! exactly what triggers the paper's Fig. 6 cascade/replication
+//! escalation (pinned in tests/paper_numbers.rs).
+//!
 //! `--quick` drops iteration counts to a smoke-test level for CI; use
 //! the default mode to regenerate the committed `BENCH_lp.json`.
 
 use aqua_bench::harness::{self, Extra, Measurement};
 use aqua_bench::{benchmark_dag, Benchmark};
-use aqua_lp::{solve_with, Model, SimplexConfig, SolverBackend, Status};
+use aqua_lp::{solve_ilp, solve_with, IlpConfig, Model, SimplexConfig, SolverBackend, Status};
 use aqua_volume::lpform::{self, LpOptions};
 use aqua_volume::{unknown, Machine};
 
 /// Objective agreement tolerance between the two backends.
 const OBJ_TOL: f64 = 1e-6;
+
+/// Auto must land within this factor of the better concrete backend
+/// (`scripts/ci.sh` re-checks the recorded booleans).
+const AUTO_FLOOR: f64 = 1.1;
 
 struct Case {
     name: &'static str,
@@ -60,6 +77,26 @@ fn solve_case(
             Status::IterationLimit => ("iteration-limit", f64::NAN),
         })
         .collect()
+}
+
+/// One untimed Auto pass: which backend each model resolved to (distinct
+/// values, comma-joined) and total simplex pivots under devex pricing.
+fn auto_probe(case: &Case, obs: &aqua_obs::Obs) -> (String, u64) {
+    let config = config(SolverBackend::Auto, obs);
+    let mut chosen: Vec<&'static str> = Vec::new();
+    let mut pivots = 0u64;
+    for m in &case.models {
+        let out = solve_with(m, &config);
+        pivots += out.stats.iterations;
+        let name = match out.stats.backend_chosen {
+            SolverBackend::Sparse => "sparse",
+            _ => "dense",
+        };
+        if !chosen.contains(&name) {
+            chosen.push(name);
+        }
+    }
+    (chosen.join(","), pivots)
 }
 
 /// Largest |Δobjective| across a case's models, or None if the two
@@ -123,6 +160,7 @@ fn main() {
     let mut measurements: Vec<Measurement> = Vec::new();
     let mut extras: Vec<(String, Extra)> = vec![("quick".into(), Extra::Bool(quick))];
     let mut agree_all = true;
+    let mut auto_floor_ok = true;
 
     for case in &cases {
         // Reference solves (untimed) for the agreement check.
@@ -149,38 +187,171 @@ fn main() {
                 Extra::Num(format!("{d:e}")),
             ));
         }
+        // `*_lp_status` (v2 rename from `*_status`): the status of the
+        // *raw LP formulation*. Enzyme10's is expectedly "infeasible" —
+        // the signal that sends the hierarchy into the Fig. 6
+        // cascade/replication escalation, not a solver failure.
         extras.push((
-            format!("{}_status", case.name),
+            format!("{}_lp_status", case.name),
             Extra::Str(ref_sparse.iter().map(|s| s.0).collect::<Vec<_>>().join(",")),
         ));
+        let (chosen, pivots) = auto_probe(case, &obs);
+        extras.push((format!("{}_backend_chosen", case.name), Extra::Str(chosen)));
+        extras.push((
+            format!("{}_pivots", case.name),
+            Extra::Num(pivots.to_string()),
+        ));
 
-        let mut case_medians = [0u128; 2];
-        for (slot, backend) in [(0, SolverBackend::Sparse), (1, SolverBackend::Dense)] {
+        // Auto is timed before dense on purpose: the dense enzyme10
+        // tableau is hundreds of MB, and timing Auto right after it
+        // would charge the cache-refill cost to Auto.
+        let mut case_medians = [0u128; 3];
+        let mut case_mins = [0u128; 3];
+        for (slot, backend, bname) in [
+            (0usize, SolverBackend::Sparse, "sparse"),
+            (2, SolverBackend::Auto, "auto"),
+            (1, SolverBackend::Dense, "dense"),
+        ] {
             let (warmup, iters) = iteration_plan(case.name, backend, quick);
-            let label = format!(
-                "{}/{}",
-                case.name,
-                if backend == SolverBackend::Sparse {
-                    "sparse"
-                } else {
-                    "dense"
+            // The small cases solve in single-digit microseconds —
+            // below the resolution a busy host can time one call at.
+            // Batch `reps` solves per timed iteration and normalize, so
+            // each sample is comfortably above timer/scheduler noise;
+            // backend ratios are unaffected (all share the batching).
+            let reps: u128 = if case.name == "enzyme10" { 1 } else { 32 };
+            let label = format!("{}/{bname}", case.name);
+            let mut m = harness::time(&label, warmup, iters, || {
+                for _ in 1..reps {
+                    std::hint::black_box(solve_case(case, backend, &obs));
                 }
-            );
-            let m = harness::time(&label, warmup, iters, || solve_case(case, backend, &obs));
+                solve_case(case, backend, &obs)
+            });
+            m.min_ns /= reps;
+            m.mean_ns /= reps;
+            m.median_ns /= reps;
+            m.p95_ns /= reps;
             harness::report(&m);
             case_medians[slot] = m.median_ns;
+            case_mins[slot] = m.min_ns;
             measurements.push(m);
         }
         let speedup = case_medians[1] as f64 / case_medians[0].max(1) as f64;
-        println!("{:<12} sparse speedup: {speedup:.2}x\n", case.name);
+        // The floor check is a *paired* measurement: alternate the
+        // better concrete backend and Auto back-to-back and take the
+        // median of per-pair ratios. Slow host phases (this often runs
+        // on a busy single-core container) hit both sides of a pair
+        // equally and cancel, which block timing cannot do — block
+        // minima were observed to jitter past the 10% margin even
+        // though Auto runs the identical solve.
+        let better_backend = if case_mins[0] <= case_mins[1] {
+            SolverBackend::Sparse
+        } else {
+            SolverBackend::Dense
+        };
+        let reps = if case.name == "enzyme10" { 1 } else { 16 };
+        let pairs = if quick { 11 } else { 21 };
+        let timed = |backend: SolverBackend| {
+            let t = std::time::Instant::now();
+            for _ in 0..reps {
+                std::hint::black_box(solve_case(case, backend, &obs));
+            }
+            t.elapsed().as_nanos().max(1)
+        };
+        let mut ratios: Vec<f64> = (0..pairs)
+            .map(|_| {
+                let base = timed(better_backend);
+                let auto = timed(SolverBackend::Auto);
+                auto as f64 / base as f64
+            })
+            .collect();
+        ratios.sort_by(f64::total_cmp);
+        let auto_ratio = ratios[pairs / 2];
+        let within = auto_ratio <= AUTO_FLOOR;
+        auto_floor_ok &= within;
+        println!(
+            "{:<12} sparse speedup: {speedup:.2}x, auto/better: {auto_ratio:.2}x ({})\n",
+            case.name,
+            if within { "within floor" } else { "FLOOR MISS" }
+        );
         extras.push((
             format!("{}_speedup", case.name),
             Extra::Num(format!("{speedup:.3}")),
         ));
+        extras.push((
+            format!("{}_auto_ratio", case.name),
+            Extra::Num(format!("{auto_ratio:.3}")),
+        ));
+        extras.push((
+            format!("{}_auto_within_floor", case.name),
+            Extra::Bool(within),
+        ));
     }
 
+    // Deterministic parallel branch-and-bound: the same budgeted IVol
+    // search at 1 vs 8 threads (fixed sync width, so the searches are
+    // node-for-node identical) — the speedup is pure relaxation-solve
+    // parallelism. `host_cpus` qualifies the number: on a single-core
+    // host the 8-thread run can only measure scheduling overhead, so
+    // the enforced invariant is node-count agreement, never speedup.
+    let host_cpus = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    extras.push(("host_cpus".into(), Extra::Num(host_cpus.to_string())));
+    let ivol = lpform::build(
+        &benchmark_dag(Benchmark::Glucose),
+        &machine,
+        &LpOptions::ivol(),
+    );
+    let ilp_cfg = |threads: usize| IlpConfig {
+        max_nodes: if quick { 200 } else { 2_000 },
+        time_budget: std::time::Duration::from_secs(if quick { 2 } else { 20 }),
+        threads,
+        sync_width: 8,
+        simplex: SimplexConfig {
+            obs: obs.clone(),
+            ..SimplexConfig::default()
+        },
+        ..IlpConfig::default()
+    };
+    let (ilp_warm, ilp_iters) = if quick { (0, 1) } else { (1, 3) };
+    let mut nodes_by_threads = Vec::new();
+    let mut ilp_medians = Vec::new();
+    for threads in [1usize, 8] {
+        let cfg = ilp_cfg(threads);
+        let m = harness::time(&format!("ilp_par/t{threads}"), ilp_warm, ilp_iters, || {
+            solve_ilp(&ivol.model, &cfg)
+        });
+        harness::report(&m);
+        let probe = solve_ilp(&ivol.model, &cfg);
+        nodes_by_threads.push(probe.stats.nodes);
+        ilp_medians.push(m.median_ns);
+        measurements.push(m);
+    }
+    let nodes_agree = nodes_by_threads.windows(2).all(|w| w[0] == w[1]);
+    agree_all &= nodes_agree;
+    let ilp_speedup = ilp_medians[0] as f64 / ilp_medians[1].max(1) as f64;
+    println!(
+        "ilp_par       nodes {} ({}), 8-thread speedup: {ilp_speedup:.2}x\n",
+        nodes_by_threads[0],
+        if nodes_agree {
+            "thread-invariant"
+        } else {
+            "NODE COUNT DIVERGES"
+        }
+    );
+    extras.push((
+        "ilp_par_nodes".into(),
+        Extra::Num(nodes_by_threads[0].to_string()),
+    ));
+    extras.push(("ilp_par_nodes_agree".into(), Extra::Bool(nodes_agree)));
+    extras.push((
+        "ilp_par_speedup".into(),
+        Extra::Num(format!("{ilp_speedup:.3}")),
+    ));
+
     extras.push(("agree_all".into(), Extra::Bool(agree_all)));
-    let json = harness::to_json("bench_lp/v1", &measurements, &extras);
+    extras.push(("auto_floor_ok".into(), Extra::Bool(auto_floor_ok)));
+    let json = harness::to_json("bench_lp/v2", &measurements, &extras);
     std::fs::write(&out_path, &json).expect("write BENCH_lp.json");
     println!("wrote {out_path}");
     if let Some((path, sink)) = obs_out {
@@ -201,10 +372,14 @@ fn main() {
 fn iteration_plan(case: &str, backend: SolverBackend, quick: bool) -> (usize, usize) {
     let slow = case == "enzyme10";
     match (slow, backend, quick) {
-        (true, _, true) => (0, 1),
+        (true, SolverBackend::Dense, true) => (0, 1),
+        (true, _, true) => (0, 2),
         (true, SolverBackend::Dense, false) => (1, 3),
-        (true, SolverBackend::Sparse, false) => (1, 5),
-        (false, _, true) => (0, 2),
-        (false, _, false) => (1, 9),
+        // Auto resolves enzyme10 to sparse; give both the sparse plan.
+        (true, _, false) => (1, 5),
+        // The small cases are microseconds each: lots of iterations are
+        // nearly free and keep the min/median stable on noisy hosts.
+        (false, _, true) => (2, 25),
+        (false, _, false) => (3, 51),
     }
 }

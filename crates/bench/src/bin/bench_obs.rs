@@ -14,7 +14,10 @@
 //!    `lp.pivots` / `lp.eta_refactors`; per partition when volumes are
 //!    unknown, like the paper's glycomics runs),
 //! 3. a budgeted ILP solve on the small assays (`ilp.solve` span,
-//!    `ilp.nodes`),
+//!    `ilp.nodes`), run in deterministic parallel rounds so the
+//!    `ilp.par.{workers,steals,sync}` probes are populated; LP solves
+//!    also record `lp.backend_chosen.{dense,sparse}` and the
+//!    `lp.pricing.*` devex bookkeeping counters,
 //! 4. a fault-free execution plus a few faulty executions with the
 //!    recovery ladder on (`sim.run` span, `sim.instructions`,
 //!    `sim.faults`, `sim.recover.*` tier counters).
@@ -72,6 +75,11 @@ fn ilp_solve(dag: &aqua_dag::Dag, machine: &Machine, obs: &aqua_obs::Obs, quick:
     let config = IlpConfig {
         max_nodes: if quick { 200 } else { 2_000 },
         time_budget: std::time::Duration::from_secs(if quick { 2 } else { 10 }),
+        // Parallel rounds so the `ilp.par.{workers,steals,sync}` probes
+        // are exercised; results are thread-count independent, so this
+        // only changes who solves each relaxation.
+        threads: 2,
+        sync_width: 8,
         simplex: SimplexConfig {
             obs: obs.clone(),
             ..SimplexConfig::default()
@@ -145,9 +153,13 @@ fn run_case(spec: &CaseSpec, quick: bool) -> ObsReport {
     ObsReport::from_sink(&sink)
 }
 
-/// Counters the ISSUE's acceptance criteria require per case; missing
-/// ones fail the run loudly rather than shipping a hollow report.
+/// Counters the acceptance criteria require per case; missing ones
+/// fail the run loudly rather than shipping a hollow report.
 const REQUIRED_COUNTERS: &[&str] = &["lp.pivots", "vol.vnorm_passes", "sim.instructions"];
+
+/// At least one counter with this prefix must be positive per case:
+/// every LP solve now records which backend `Auto` dispatched to.
+const REQUIRED_PREFIXES: &[&str] = &["lp.backend_chosen."];
 
 fn check_report(name: &str, report: &ObsReport) {
     assert!(!report.is_empty(), "{name}: empty obs report");
@@ -155,6 +167,15 @@ fn check_report(name: &str, report: &ObsReport) {
         assert!(
             report.counters.iter().any(|(k, v)| k == c && *v > 0),
             "{name}: required counter {c} missing or zero"
+        );
+    }
+    for p in REQUIRED_PREFIXES {
+        assert!(
+            report
+                .counters
+                .iter()
+                .any(|(k, v)| k.starts_with(p) && *v > 0),
+            "{name}: no positive counter under {p}"
         );
     }
     assert!(

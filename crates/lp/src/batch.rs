@@ -38,6 +38,7 @@
 //! ```
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, PoisonError};
 
 use crate::ilp::{solve_ilp, IlpConfig, IlpOutcome};
@@ -70,12 +71,43 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    run_parallel_threads_counted(n, threads, f).0
+}
+
+/// Scheduling statistics from one pool run. Observability only: steal
+/// counts depend on OS scheduling and vary run to run, but the results
+/// they accompany never do.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PoolStats {
+    /// Worker threads actually spawned (after clamping to `[1, n]`).
+    pub workers: usize,
+    /// Tasks a worker took from another worker's deque rather than its
+    /// own. Zero on the sequential (`threads <= 1`) path.
+    pub steals: u64,
+}
+
+/// [`run_parallel_threads`] that also reports pool scheduling
+/// statistics. The parallel branch-and-bound rounds in
+/// [`solve_ilp`] use this to expose
+/// `ilp.par.steals` without perturbing results.
+pub fn run_parallel_threads_counted<T, F>(n: usize, threads: usize, f: F) -> (Vec<T>, PoolStats)
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
     if n == 0 {
-        return Vec::new();
+        return (Vec::new(), PoolStats::default());
     }
     let threads = threads.clamp(1, n);
     if threads <= 1 {
-        return (0..n).map(f).collect();
+        let out = (0..n).map(f).collect();
+        return (
+            out,
+            PoolStats {
+                workers: 1,
+                steals: 0,
+            },
+        );
     }
 
     // Per-worker deques, seeded round-robin.
@@ -83,12 +115,14 @@ where
         .map(|w| Mutex::new((0..n).filter(|i| i % threads == w).collect()))
         .collect();
     let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let steals = AtomicU64::new(0);
 
     std::thread::scope(|scope| {
         for w in 0..threads {
             let queues = &queues;
             let slots = &slots;
             let f = &f;
+            let steals = &steals;
             scope.spawn(move || loop {
                 // Own deque first (LIFO), then steal (FIFO) round-robin
                 // starting from the next worker.
@@ -96,6 +130,9 @@ where
                     (1..threads)
                         .map(|k| (w + k) % threads)
                         .find_map(|v| lock(&queues[v]).pop_front())
+                        .inspect(|_| {
+                            steals.fetch_add(1, Ordering::Relaxed);
+                        })
                 });
                 match task {
                     Some(i) => {
@@ -110,14 +147,21 @@ where
         }
     });
 
-    slots
+    let out = slots
         .into_iter()
         .map(|s| {
             s.into_inner()
                 .unwrap_or_else(PoisonError::into_inner)
                 .expect("every task index was queued exactly once")
         })
-        .collect()
+        .collect();
+    (
+        out,
+        PoolStats {
+            workers: threads,
+            steals: steals.into_inner(),
+        },
+    )
 }
 
 /// Poison-proof lock: a panicking worker must not turn every later

@@ -12,10 +12,28 @@
 //! variable with ties broken by smallest variable index. On the sparse
 //! simplex backend, each child's relaxation is warm-started from its
 //! parent's optimal basis (see [`crate::solve_with_warm`]).
+//!
+//! # Deterministic parallel search
+//!
+//! With [`IlpConfig::threads`] > 1 the search runs in batch-synchronous
+//! rounds: each round selects the best [`IlpConfig::sync_width`] open
+//! nodes by `(bound, seq)`, solves their relaxations concurrently on
+//! the [`crate::batch`] work-stealing pool, then processes the results
+//! *sequentially in selection order* — re-checking each against the
+//! incumbent as it stood when its turn comes (incumbent
+//! reconciliation). Node selection, branching, and incumbent updates
+//! therefore depend only on `sync_width`, never on `threads` or on OS
+//! scheduling: the same model solved with 1, 2, or 8 threads at a fixed
+//! width returns bit-identical incumbents, node counts, and iteration
+//! counts. `sync_width == 1` degenerates to the classic sequential
+//! best-first loop (and is the default, so single-threaded behavior is
+//! unchanged). Warm starts still flow parent to child: each selected
+//! node carries its parent's optimal basis into its relaxation solve.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use crate::batch::run_parallel_threads_counted;
 use crate::model::{Model, Sense};
 use crate::simplex::{solve_with_warm, SimplexConfig, Status};
 use crate::solution::Solution;
@@ -26,12 +44,24 @@ use crate::sparse::WarmStart;
 pub struct IlpConfig {
     /// Maximum branch-and-bound nodes to expand.
     pub max_nodes: u64,
-    /// Wall-clock budget.
+    /// Wall-clock budget, checked at round boundaries.
     pub time_budget: Duration,
     /// A value within this distance of an integer counts as integral.
     pub int_tol: f64,
     /// Configuration for the relaxation solves.
     pub simplex: SimplexConfig,
+    /// Worker threads for the relaxation solves within one round
+    /// (clamped to at least 1). Results are identical for every value;
+    /// only wall time changes.
+    pub threads: usize,
+    /// Open nodes expanded per synchronization round (clamped to at
+    /// least 1). This — not `threads` — determines the search tree:
+    /// widths above 1 solve speculative nodes that a width-1 search
+    /// might have pruned first, so node counts are comparable only at
+    /// equal widths. Keep it thread-count independent (it is not
+    /// derived from `threads`) so determinism across thread counts
+    /// holds by construction.
+    pub sync_width: usize,
 }
 
 impl Default for IlpConfig {
@@ -41,6 +71,8 @@ impl Default for IlpConfig {
             time_budget: Duration::from_secs(60),
             int_tol: 1e-6,
             simplex: SimplexConfig::default(),
+            threads: 1,
+            sync_width: 1,
         }
     }
 }
@@ -54,6 +86,11 @@ pub struct IlpStats {
     pub simplex_iterations: u64,
     /// Wall-clock time spent.
     pub elapsed: Duration,
+    /// Synchronization rounds (equals `nodes` when `sync_width` is 1).
+    pub rounds: u64,
+    /// Work-stealing pool steals across all rounds. Scheduling noise —
+    /// varies run to run, unlike every other field.
+    pub steals: u64,
 }
 
 /// Terminal status of an ILP solve.
@@ -110,6 +147,8 @@ pub fn solve_ilp(model: &Model, config: &IlpConfig) -> IlpOutcome {
     let start = Instant::now();
     let mut stats = IlpStats::default();
     let int_vars = model.integer_vars();
+    let threads = config.threads.max(1);
+    let width = config.sync_width.max(1);
 
     // Each open node is a set of tightened bounds plus the parent's
     // relaxation bound (best-first ordering), a creation sequence number
@@ -149,85 +188,123 @@ pub fn solve_ilp(model: &Model, config: &IlpConfig) -> IlpOutcome {
             .map(|(i, _)| i)
     };
 
-    while let Some(pos) = best_node(&open) {
+    // Batch-synchronous rounds. Width 1 replays the classic sequential
+    // best-first loop move for move; wider rounds solve the top-`width`
+    // open nodes concurrently and reconcile sequentially.
+    while !open.is_empty() {
         if stats.nodes >= config.max_nodes || start.elapsed() >= config.time_budget {
             saw_budget_stop = true;
             break;
         }
-        let node = open.swap_remove(pos);
-        if node.bound >= incumbent_internal - 1e-9 {
-            continue; // pruned by bound
+        // Select the round's nodes: repeatedly pull the best open node,
+        // discarding any the current incumbent already dominates (they
+        // can never revive — the incumbent only improves). Clamped so a
+        // round can never blow through the node budget.
+        let take = width.min((config.max_nodes - stats.nodes) as usize);
+        let mut selected: Vec<Node> = Vec::with_capacity(take);
+        while selected.len() < take {
+            let Some(pos) = best_node(&open) else { break };
+            let node = open.swap_remove(pos);
+            if node.bound >= incumbent_internal - 1e-9 {
+                continue; // pruned by bound
+            }
+            selected.push(node);
         }
-        let mut sub = model.clone();
-        for &(vi, lb, ub) in &node.bounds {
-            sub.tighten_bounds(crate::model::VarId(vi), lb, ub);
+        if selected.is_empty() {
+            break;
         }
-        let (out, warm_out) = solve_with_warm(&sub, &config.simplex, node.warm.as_deref());
-        stats.nodes += 1;
-        stats.simplex_iterations += out.stats.iterations;
-        let sol = match out.status {
-            Status::Optimal(s) => s,
-            Status::Infeasible => continue,
-            Status::Unbounded => {
-                // Root unbounded => ILP unbounded (or ill-posed); child
-                // unbounded cannot happen if root was bounded.
-                if stats.nodes == 1 {
-                    stats.elapsed = start.elapsed();
-                    return IlpOutcome {
-                        status: IlpStatus::Unbounded,
-                        stats,
-                    };
+        stats.rounds += 1;
+
+        // Solve every selected relaxation on the work-stealing pool.
+        // Each solve is a pure function of (model, node bounds, warm
+        // start), so thread count and steal order cannot perturb the
+        // per-slot results.
+        let (results, pool) = run_parallel_threads_counted(selected.len(), threads, |i| {
+            let node = &selected[i];
+            let mut sub = model.clone();
+            for &(vi, lb, ub) in &node.bounds {
+                sub.tighten_bounds(crate::model::VarId(vi), lb, ub);
+            }
+            solve_with_warm(&sub, &config.simplex, node.warm.as_deref())
+        });
+        stats.steals += pool.steals;
+
+        // Reconcile sequentially in selection order: each result sees
+        // the incumbent exactly as a width-1 search over this same
+        // selection would have, so acceptance decisions are
+        // deterministic no matter which thread solved what.
+        for (node, (out, warm_out)) in selected.into_iter().zip(results) {
+            stats.nodes += 1;
+            stats.simplex_iterations += out.stats.iterations;
+            let sol = match out.status {
+                Status::Optimal(s) => s,
+                Status::Infeasible => continue,
+                Status::Unbounded => {
+                    // Root unbounded => ILP unbounded (or ill-posed);
+                    // child unbounded cannot happen if root was bounded.
+                    if stats.nodes == 1 {
+                        stats.elapsed = start.elapsed();
+                        return IlpOutcome {
+                            status: IlpStatus::Unbounded,
+                            stats,
+                        };
+                    }
+                    continue;
                 }
-                continue;
+                Status::IterationLimit => continue,
+            };
+            let internal_obj = to_internal(sol.objective);
+            if internal_obj >= incumbent_internal - 1e-9 {
+                continue; // cannot beat the (possibly this-round) incumbent
             }
-            Status::IterationLimit => continue,
-        };
-        let internal_obj = to_internal(sol.objective);
-        if internal_obj >= incumbent_internal - 1e-9 {
-            continue; // cannot beat incumbent
-        }
-        // Branch on the most fractional integer variable; the strict `>`
-        // keeps the smallest variable index on exact fractionality ties.
-        let mut branch: Option<(usize, f64)> = None;
-        let mut best_frac = config.int_tol;
-        for v in &int_vars {
-            let val = sol.values[v.index()];
-            let frac = (val - val.round()).abs();
-            if frac > best_frac {
-                best_frac = frac;
-                branch = Some((v.index(), val));
+            // Branch on the most fractional integer variable; the strict
+            // `>` keeps the smallest variable index on exact
+            // fractionality ties.
+            let mut branch: Option<(usize, f64)> = None;
+            let mut best_frac = config.int_tol;
+            for v in &int_vars {
+                let val = sol.values[v.index()];
+                let frac = (val - val.round()).abs();
+                if frac > best_frac {
+                    best_frac = frac;
+                    branch = Some((v.index(), val));
+                }
             }
-        }
-        match branch {
-            None => {
-                // Integer feasible: new incumbent.
-                incumbent_internal = internal_obj;
-                incumbent = Some(sol);
-            }
-            Some((vi, val)) => {
-                // Children inherit this node's optimal basis: tightening
-                // a bound keeps it dual feasible, so the child re-solve
-                // is a short dual-simplex run instead of a cold start.
-                let warm = warm_out.map(Arc::new);
-                open.push(Node {
-                    bounds: with_bound(&node.bounds, vi, f64::NEG_INFINITY, val.floor()),
-                    bound: internal_obj,
-                    seq: next_seq,
-                    warm: warm.clone(),
-                });
-                open.push(Node {
-                    bounds: with_bound(&node.bounds, vi, val.ceil(), f64::INFINITY),
-                    bound: internal_obj,
-                    seq: next_seq + 1,
-                    warm,
-                });
-                next_seq += 2;
+            match branch {
+                None => {
+                    // Integer feasible: new incumbent.
+                    incumbent_internal = internal_obj;
+                    incumbent = Some(sol);
+                }
+                Some((vi, val)) => {
+                    // Children inherit this node's optimal basis:
+                    // tightening a bound keeps it dual feasible, so the
+                    // child re-solve is a short dual-simplex run instead
+                    // of a cold start.
+                    let warm = warm_out.map(Arc::new);
+                    open.push(Node {
+                        bounds: with_bound(&node.bounds, vi, f64::NEG_INFINITY, val.floor()),
+                        bound: internal_obj,
+                        seq: next_seq,
+                        warm: warm.clone(),
+                    });
+                    open.push(Node {
+                        bounds: with_bound(&node.bounds, vi, val.ceil(), f64::INFINITY),
+                        bound: internal_obj,
+                        seq: next_seq + 1,
+                        warm,
+                    });
+                    next_seq += 2;
+                }
             }
         }
     }
 
     stats.elapsed = start.elapsed();
     config.simplex.obs.add("ilp.nodes", stats.nodes);
+    config.simplex.obs.add("ilp.par.workers", threads as u64);
+    config.simplex.obs.add("ilp.par.sync", stats.rounds);
+    config.simplex.obs.add("ilp.par.steals", stats.steals);
     let status = if saw_budget_stop {
         IlpStatus::BudgetExhausted { incumbent }
     } else if let Some(s) = incumbent {
@@ -373,6 +450,105 @@ mod tests {
                 assert!((sd.objective - sa.objective).abs() < 1e-6)
             }
             other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    /// A maximize model with many integer variables, deliberate ties,
+    /// and a non-trivial search tree — enough rounds that width-8
+    /// batches actually mix speculative and accepted nodes.
+    fn bushy_model() -> Model {
+        let mut m = Model::new(Sense::Maximize);
+        let vars: Vec<_> = (0..8)
+            .map(|i| m.add_int_var(format!("x{i}"), 0.0, 5.0))
+            .collect();
+        m.set_objective(
+            vars.iter()
+                .enumerate()
+                .map(|(i, &v)| (v, 3.0 + (i % 3) as f64)),
+        );
+        m.add_le("caps", vars.iter().map(|&v| (v, 2.0)), 17.0);
+        m.add_le(
+            "odd",
+            vars.iter()
+                .enumerate()
+                .map(|(i, &v)| (v, 1.0 + (i % 2) as f64)),
+            11.5,
+        );
+        m.add_ge("floor", vars.iter().map(|&v| (v, 1.0)), 2.5);
+        m
+    }
+
+    /// The tentpole determinism guarantee: at a fixed `sync_width`, the
+    /// thread count must not perturb anything observable — incumbent
+    /// values bit for bit, node counts, simplex iterations, rounds.
+    #[test]
+    fn parallel_bnb_bit_identical_across_thread_counts() {
+        let m = bushy_model();
+        let outs: Vec<IlpOutcome> = [1usize, 2, 8]
+            .iter()
+            .map(|&t| {
+                solve_ilp(
+                    &m,
+                    &IlpConfig {
+                        threads: t,
+                        sync_width: 8,
+                        ..IlpConfig::default()
+                    },
+                )
+            })
+            .collect();
+        let base = match &outs[0].status {
+            IlpStatus::Optimal(s) => s,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert!(
+            outs[0].stats.rounds > 1,
+            "model too easy to exercise rounds"
+        );
+        for out in &outs[1..] {
+            assert_eq!(out.stats.nodes, outs[0].stats.nodes);
+            assert_eq!(
+                out.stats.simplex_iterations,
+                outs[0].stats.simplex_iterations
+            );
+            assert_eq!(out.stats.rounds, outs[0].stats.rounds);
+            let s = match &out.status {
+                IlpStatus::Optimal(s) => s,
+                other => panic!("unexpected {other:?}"),
+            };
+            assert_eq!(s.objective.to_bits(), base.objective.to_bits());
+            assert_eq!(s.values.len(), base.values.len());
+            for (a, b) in s.values.iter().zip(&base.values) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    /// Wider rounds may expand speculative nodes, so node counts are
+    /// only comparable at equal widths — but the proven optimum never
+    /// moves, and width 1 must replay the sequential search exactly.
+    #[test]
+    fn sync_width_preserves_optimum() {
+        let m = bushy_model();
+        let solve_w = |width: usize| {
+            solve_ilp(
+                &m,
+                &IlpConfig {
+                    sync_width: width,
+                    ..IlpConfig::default()
+                },
+            )
+        };
+        let seq = solve_w(1);
+        let default = solve_ilp(&m, &IlpConfig::default());
+        assert_eq!(seq.stats.nodes, default.stats.nodes);
+        assert_eq!(seq.stats.rounds, seq.stats.nodes);
+        let obj = |o: &IlpOutcome| match &o.status {
+            IlpStatus::Optimal(s) => s.objective,
+            other => panic!("unexpected {other:?}"),
+        };
+        for width in [2usize, 8, 64] {
+            assert!((obj(&solve_w(width)) - obj(&seq)).abs() < 1e-9);
         }
     }
 

@@ -56,8 +56,8 @@ pub use expr::LinExpr;
 pub use ilp::{solve_ilp, IlpConfig, IlpOutcome, IlpStats, IlpStatus};
 pub use model::{Constraint, ConstraintSense, Model, ModelError, Sense, VarId};
 pub use simplex::{
-    solve, solve_with, solve_with_warm, SimplexConfig, SolveOutput, SolveStats, SolverBackend,
-    Status,
+    solve, solve_with, solve_with_warm, PricingRule, SimplexConfig, SolveOutput, SolveStats,
+    SolverBackend, Status,
 };
 pub use solution::Solution;
 pub use sparse::WarmStart;

@@ -1,12 +1,16 @@
 //! Two-phase primal simplex with bounded variables.
 //!
-//! Two interchangeable backends share one standardization pipeline:
+//! Two interchangeable backends share one standardization pipeline;
+//! the default [`SolverBackend::Auto`] picks between them per model
+//! from the would-be tableau size (see
+//! [`SolverBackend::DENSE_CELL_LIMIT`]):
 //!
-//! * [`SolverBackend::Sparse`] (default) — the revised simplex of
+//! * [`SolverBackend::Sparse`] — the revised simplex of
 //!   [`crate::sparse`]: CSC column storage, a product-form eta basis
-//!   with periodic refactorization, and warm starts for branch-and-
-//!   bound. Work per iteration is proportional to the basis/eta sizes
-//!   rather than to `rows x cols`.
+//!   with periodic refactorization, devex pricing
+//!   ([`PricingRule::Devex`]), and warm starts for branch-and-bound.
+//!   Work per iteration is proportional to the basis/eta sizes rather
+//!   than to `rows x cols`.
 //! * [`SolverBackend::Dense`] — the original dense-tableau
 //!   implementation, kept as a fallback and as the differential-testing
 //!   oracle for the sparse backend.
@@ -41,12 +45,73 @@ use crate::sparse::WarmStart;
 /// Which simplex implementation [`solve_with`] runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum SolverBackend {
-    /// Sparse revised simplex (CSC storage + product-form eta basis).
+    /// Pick per model: dense for small tableaus (where the revised
+    /// method's eta/BTRAN overhead loses to a cache-friendly dense
+    /// sweep), sparse beyond [`SolverBackend::DENSE_CELL_LIMIT`]
+    /// tableau cells. The decision is a pure function of the model, so
+    /// solves stay deterministic.
     #[default]
+    Auto,
+    /// Sparse revised simplex (CSC storage + product-form eta basis).
     Sparse,
     /// Dense tableau; the original implementation, kept as a fallback
     /// and differential-testing oracle.
     Dense,
+}
+
+impl SolverBackend {
+    /// `Auto` switches to sparse when the dense tableau would exceed
+    /// this many cells (`rows x (structural + slack)` after the cheap
+    /// row scan; presolve-folded single-variable rows excluded).
+    ///
+    /// Calibrated on the enzyme cascade family (see EXPERIMENTS.md):
+    /// enzyme1 (~600 cells) and enzyme2 (~10k cells) solve 1.4-2x
+    /// faster dense, enzyme3 (~82k cells) is already 1.5x faster
+    /// sparse, and the gap widens monotonically from there (enzyme6,
+    /// ~4.2M cells, is 3.4x; enzyme10, ~86M cells, is >10x and beyond
+    /// dense memory comfort). The paper's small assays (fig2 ~84
+    /// cells, glucose ~2.1k, glycomics partitions of similar size) all
+    /// land safely on the dense side.
+    pub const DENSE_CELL_LIMIT: usize = 32_768;
+
+    /// Resolves `Auto` against a concrete model; `Sparse`/`Dense` pass
+    /// through unchanged.
+    pub fn resolve_for(self, model: &Model) -> SolverBackend {
+        match self {
+            SolverBackend::Auto => {
+                let mut rows = 0usize;
+                for c in model.constraints() {
+                    // Single-variable rows fold into bounds in presolve
+                    // and never reach either backend.
+                    if c.expr.terms().len() >= 2 {
+                        rows += 1;
+                    }
+                }
+                let cols = model.num_vars() + rows;
+                if rows.saturating_mul(cols) > SolverBackend::DENSE_CELL_LIMIT {
+                    SolverBackend::Sparse
+                } else {
+                    SolverBackend::Dense
+                }
+            }
+            other => other,
+        }
+    }
+}
+
+/// Entering-variable pricing rule for the sparse backend. The dense
+/// backend always prices by Dantzig's rule — it is the differential
+/// oracle, so its pivot sequence stays put.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PricingRule {
+    /// Devex reference weights (Forrest-Goldfarb) with candidate-list
+    /// partial pricing; reduced costs are maintained incrementally and
+    /// the reference framework resets on each refactorization.
+    #[default]
+    Devex,
+    /// Classic most-negative-reduced-cost pricing with a full sweep per
+    /// iteration; kept as the pricing differential oracle.
+    Dantzig,
 }
 
 /// Tuning knobs for [`solve_with`].
@@ -62,9 +127,12 @@ pub struct SimplexConfig {
     pub stall_limit: u64,
     /// Which simplex implementation to run.
     pub backend: SolverBackend,
+    /// Entering-variable pricing for the sparse backend.
+    pub pricing: PricingRule,
     /// Instrumentation handle: spans (`lp.solve`, `lp.phase1`,
-    /// `lp.phase2`) and counters (`lp.pivots`, `lp.eta_refactors`).
-    /// Off by default — the default handle records nothing.
+    /// `lp.phase2`) and counters (`lp.pivots`, `lp.eta_refactors`,
+    /// `lp.backend_chosen.*`, `lp.pricing.*`). Off by default — the
+    /// default handle records nothing.
     pub obs: aqua_obs::Obs,
 }
 
@@ -75,6 +143,7 @@ impl Default for SimplexConfig {
             max_iters: None,
             stall_limit: 256,
             backend: SolverBackend::default(),
+            pricing: PricingRule::default(),
             obs: aqua_obs::Obs::default(),
         }
     }
@@ -100,6 +169,10 @@ pub struct SolveStats {
     pub cols: usize,
     /// Single-variable constraints folded into bounds by presolve.
     pub folded_constraints: usize,
+    /// The backend that actually ran (`Auto` resolved per model).
+    /// Stays `Auto` on early exits that never reach a backend
+    /// (validation failures).
+    pub backend_chosen: SolverBackend,
 }
 
 /// Termination status of the LP solver.
@@ -184,10 +257,20 @@ pub fn solve_with_warm(
         return (out, None);
     }
     let span = config.obs.span("lp.solve");
-    let (out, ws) = match config.backend {
+    let resolved = config.backend.resolve_for(model);
+    let (mut out, ws) = match resolved {
         SolverBackend::Sparse => crate::sparse::solve_sparse(model, config, warm),
         SolverBackend::Dense => (solve_dense(model, config), None),
+        SolverBackend::Auto => unreachable!("resolve_for never returns Auto"),
     };
+    out.stats.backend_chosen = resolved;
+    config.obs.add(
+        match resolved {
+            SolverBackend::Sparse => "lp.backend_chosen.sparse",
+            _ => "lp.backend_chosen.dense",
+        },
+        1,
+    );
     config.obs.add("lp.pivots", out.stats.iterations);
     span.end();
     (out, ws)
@@ -481,6 +564,7 @@ impl Tableau {
             rows: m_rows,
             cols: pre_art_cols,
             folded_constraints: folded,
+            backend_chosen: SolverBackend::Dense,
         };
 
         Ok(Tableau {

@@ -30,7 +30,7 @@ use crate::basis::EtaBasis;
 use crate::model::{ConstraintSense, Model};
 use crate::simplex::{
     better_leaving, build_var_maps, internal_costs, presolve, BuildVerdict, ColStatus, IterEnd,
-    SimplexConfig, SolveOutput, SolveStats, Status, VarMap,
+    PricingRule, SimplexConfig, SolveOutput, SolveStats, SolverBackend, Status, VarMap,
 };
 use crate::solution::Solution;
 
@@ -261,6 +261,7 @@ impl<'a> Revised<'a> {
             rows: m,
             cols: art_start,
             folded_constraints: std.folded,
+            backend_chosen: SolverBackend::Sparse,
         };
         Revised {
             std,
@@ -306,14 +307,14 @@ impl<'a> Revised<'a> {
         self.config.obs.add("lp.eta_refactors", 1);
         let std = &self.std;
         let art_sign = &self.art_sign;
-        let scatter = |j: usize, x: &mut [f64]| {
+        let col = |j: usize, f: &mut dyn FnMut(usize, f64)| {
             if j < std.art_start {
                 for (i, v) in std.csc.col(j) {
-                    x[i] += v;
+                    f(i, v);
                 }
             } else {
                 let r = j - std.art_start;
-                x[r] += art_sign[r];
+                f(r, art_sign[r]);
             }
         };
         let nnz = |j: usize| {
@@ -324,7 +325,7 @@ impl<'a> Revised<'a> {
             }
         };
         self.basis
-            .refactor(&mut self.basic, scatter, nnz)
+            .refactor(&mut self.basic, col, nnz)
             .map_err(|_| ())?;
         self.recompute_beta();
         Ok(())
@@ -376,6 +377,13 @@ impl<'a> Revised<'a> {
     // --- primal simplex (mirrors the dense backend's pivoting rules) ---
 
     fn iterate(&mut self, costs: &[f64], phase1: bool) -> IterEnd {
+        match self.config.pricing {
+            PricingRule::Dantzig => self.iterate_dantzig(costs, phase1),
+            PricingRule::Devex => self.iterate_devex(costs, phase1),
+        }
+    }
+
+    fn iterate_dantzig(&mut self, costs: &[f64], phase1: bool) -> IterEnd {
         let tol = self.config.tol;
         let cap = self.iteration_cap();
         let mut local_iters: u64 = 0;
@@ -518,6 +526,294 @@ impl<'a> Revised<'a> {
                 stall += 1;
                 if stall > self.config.stall_limit {
                     bland = true;
+                }
+            }
+        }
+    }
+
+    // --- devex pricing (Forrest-Goldfarb reference weights) ---
+
+    /// Reduced costs `d = c - c_B^T B^-1 A` for every column, computed
+    /// from scratch through one BTRAN plus a full column sweep.
+    fn compute_reduced_costs(&self, costs: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; self.m];
+        for r in 0..self.m {
+            y[r] = costs[self.basic[r]];
+        }
+        self.basis.btran(&mut y);
+        (0..self.ncols)
+            .map(|j| costs[j] - self.col_dot(j, &y))
+            .collect()
+    }
+
+    /// Improving-direction score of nonbasic column `j` under reduced
+    /// costs `d`, or `None` when the column is not eligible to enter.
+    fn price_eligible(&self, j: usize, d: &[f64], phase1: bool, tol: f64) -> Option<f64> {
+        if self.status[j] == ColStatus::Basic || self.upper[j] <= 0.0 {
+            return None;
+        }
+        if phase1 && j >= self.std.art_start {
+            // Nonbasic artificials never re-enter in phase 1.
+            return None;
+        }
+        let score = match self.status[j] {
+            ColStatus::AtLower => -d[j],
+            ColStatus::AtUpper => d[j],
+            ColStatus::Basic => unreachable!(),
+        };
+        (score > tol).then_some(score)
+    }
+
+    /// Picks the entering column. Under Bland's rule: the smallest
+    /// eligible index (full scan). Otherwise: the best devex merit
+    /// `d_j^2 / w_j` within the candidate list, rebuilding the list by a
+    /// cyclic sectional scan when it runs dry — partial pricing stops at
+    /// the first section that yields any candidate (or at the list cap),
+    /// and `cursor` carries the scan position across rebuilds so every
+    /// column is revisited fairly. Fully deterministic.
+    fn price_next(
+        &self,
+        d: &[f64],
+        weights: &[f64],
+        cands: &mut Vec<usize>,
+        cursor: &mut usize,
+        phase1: bool,
+        bland: bool,
+    ) -> Option<usize> {
+        let tol = self.config.tol;
+        if bland {
+            return (0..self.ncols).find(|&j| self.price_eligible(j, d, phase1, tol).is_some());
+        }
+        let best_of = |list: &[usize]| -> Option<usize> {
+            let mut best: Option<(usize, f64)> = None;
+            for &j in list {
+                if let Some(score) = self.price_eligible(j, d, phase1, tol) {
+                    let merit = score * score / weights[j];
+                    if best.is_none_or(|(_, bm)| merit > bm) {
+                        best = Some((j, merit));
+                    }
+                }
+            }
+            best.map(|(j, _)| j)
+        };
+        if let Some(j) = best_of(cands) {
+            return Some(j);
+        }
+        cands.clear();
+        self.config.obs.add("lp.pricing.candidate_rebuilds", 1);
+        let n = self.ncols;
+        let section = (n / 8).clamp(64, 4096).min(n);
+        const CAND_LIMIT: usize = 64;
+        let start = *cursor % n;
+        let mut k = 0usize;
+        while k < n {
+            let j = (start + k) % n;
+            k += 1;
+            if self.price_eligible(j, d, phase1, tol).is_some() {
+                cands.push(j);
+                if cands.len() >= CAND_LIMIT {
+                    break;
+                }
+            }
+            if k.is_multiple_of(section) && !cands.is_empty() {
+                break;
+            }
+        }
+        *cursor = (start + k) % n;
+        best_of(cands)
+    }
+
+    /// Primal simplex with devex pricing: reduced costs are maintained
+    /// incrementally (one BTRAN of the pivot row per pivot replaces the
+    /// per-iteration BTRAN-plus-full-sweep of Dantzig pricing), devex
+    /// reference weights steer the entering choice, and the reference
+    /// framework resets on every refactorization. Because maintained
+    /// reduced costs drift, optimality and unboundedness are always
+    /// re-verified against freshly computed ones before returning.
+    fn iterate_devex(&mut self, costs: &[f64], phase1: bool) -> IterEnd {
+        let tol = self.config.tol;
+        let cap = self.iteration_cap();
+        let mut local_iters: u64 = 0;
+        let mut bland = false;
+        let mut stall: u64 = 0;
+        let mut best_obj = f64::INFINITY;
+        let mut w = vec![0.0; self.m];
+        let mut rho = vec![0.0; self.m];
+        let mut d = self.compute_reduced_costs(costs);
+        let mut weights = vec![1.0f64; self.ncols];
+        let mut cands: Vec<usize> = Vec::new();
+        let mut cursor = 0usize;
+        loop {
+            if local_iters >= cap {
+                return IterEnd::IterationLimit;
+            }
+            // --- Pricing ---
+            let picked = self.price_next(&d, &weights, &mut cands, &mut cursor, phase1, bland);
+            let Some(jin) = picked else {
+                // No candidate under the maintained reduced costs:
+                // confirm against fresh ones before declaring optimal.
+                let fresh = self.compute_reduced_costs(costs);
+                let drifted =
+                    (0..self.ncols).any(|j| self.price_eligible(j, &fresh, phase1, tol).is_some());
+                d = fresh;
+                cands.clear();
+                if !drifted {
+                    return IterEnd::Optimal;
+                }
+                self.config.obs.add("lp.pricing.drift_rescans", 1);
+                continue;
+            };
+            let sigma = if self.status[jin] == ColStatus::AtLower {
+                1.0
+            } else {
+                -1.0
+            };
+
+            // --- FTRAN the entering column ---
+            w.iter_mut().for_each(|v| *v = 0.0);
+            self.scatter_col(jin, &mut w);
+            self.basis.ftran(&mut w);
+
+            // --- Ratio test (identical rules to the dense backend) ---
+            let mut tmax = self.upper[jin];
+            let mut leaving: Option<(usize, ColStatus)> = None;
+            let mut leave_pivot = 0.0f64;
+            for (r, &arj) in w.iter().enumerate() {
+                let change = sigma * arj;
+                if change > tol {
+                    let limit = (self.beta[r].max(0.0)) / change;
+                    if limit < tmax - 1e-12
+                        || (limit < tmax + 1e-12 && better_leaving(arj, leave_pivot, bland))
+                    {
+                        tmax = limit.max(0.0);
+                        leaving = Some((r, ColStatus::AtLower));
+                        leave_pivot = arj;
+                    }
+                } else if change < -tol {
+                    let ub = self.upper[self.basic[r]];
+                    if ub.is_finite() {
+                        let limit = (ub - self.beta[r]).max(0.0) / (-change);
+                        if limit < tmax - 1e-12
+                            || (limit < tmax + 1e-12 && better_leaving(arj, leave_pivot, bland))
+                        {
+                            tmax = limit.max(0.0);
+                            leaving = Some((r, ColStatus::AtUpper));
+                            leave_pivot = arj;
+                        }
+                    }
+                }
+            }
+            if tmax.is_infinite() {
+                // A drifted reduced cost can make a non-improving column
+                // look like an unbounded ray; re-verify before giving up.
+                let fresh = self.compute_reduced_costs(costs);
+                if self.price_eligible(jin, &fresh, phase1, tol).is_some() {
+                    return IterEnd::Unbounded;
+                }
+                d = fresh;
+                cands.clear();
+                self.config.obs.add("lp.pricing.drift_rescans", 1);
+                continue;
+            }
+
+            local_iters += 1;
+            self.stats.iterations += 1;
+
+            match leaving {
+                None => {
+                    // Bound flip: basis, duals, and weights unchanged.
+                    let t = self.upper[jin];
+                    for (b, &wr) in self.beta.iter_mut().zip(&w) {
+                        if wr != 0.0 {
+                            *b -= sigma * t * wr;
+                        }
+                    }
+                    self.status[jin] = match self.status[jin] {
+                        ColStatus::AtLower => ColStatus::AtUpper,
+                        ColStatus::AtUpper => ColStatus::AtLower,
+                        ColStatus::Basic => unreachable!(),
+                    };
+                }
+                Some((r, hit_bound)) => {
+                    // Row r of B^-1 A *before* the basis changes:
+                    // rho = B^-T e_r, alpha_j = rho . a_j. One sweep
+                    // updates every reduced cost exactly (d_j -=
+                    // theta_d * alpha_j) and every devex weight
+                    // (w_j = max(w_j, (alpha_j/alpha_q)^2 w_q)).
+                    rho.iter_mut().for_each(|v| *v = 0.0);
+                    rho[r] = 1.0;
+                    self.basis.btran(&mut rho);
+                    let alpha_q = w[r];
+                    let theta_d = d[jin] / alpha_q;
+                    let wq = weights[jin];
+                    for j in 0..self.ncols {
+                        if j == jin {
+                            continue;
+                        }
+                        let alpha = self.col_dot(j, &rho);
+                        if alpha == 0.0 {
+                            continue;
+                        }
+                        d[j] -= theta_d * alpha;
+                        if self.status[j] != ColStatus::Basic {
+                            let grow = (alpha / alpha_q) * (alpha / alpha_q) * wq;
+                            if grow > weights[j] {
+                                weights[j] = grow;
+                            }
+                        }
+                    }
+                    d[jin] = 0.0;
+
+                    let t = tmax;
+                    let entering_value = match self.status[jin] {
+                        ColStatus::AtLower => sigma * t,
+                        ColStatus::AtUpper => self.upper[jin] + sigma * t,
+                        ColStatus::Basic => unreachable!(),
+                    };
+                    for (i, (b, &wi)) in self.beta.iter_mut().zip(&w).enumerate() {
+                        if i != r && wi != 0.0 {
+                            *b -= sigma * t * wi;
+                        }
+                    }
+                    let jout = self.basic[r];
+                    self.beta[r] = entering_value;
+                    self.status[jout] = hit_bound;
+                    self.status[jin] = ColStatus::Basic;
+                    self.basic[r] = jin;
+                    // The leaving variable joins the nonbasic frame with
+                    // the devex weight transferred through the pivot.
+                    weights[jout] = (wq / (alpha_q * alpha_q)).max(1.0);
+                    self.basis.push(r, &w);
+                    if self.basis.updates_since_refactor() >= EtaBasis::REFACTOR_LIMIT {
+                        if self.refactor().is_err() {
+                            return IterEnd::IterationLimit; // numerically singular
+                        }
+                        // Reference-framework reset: weights back to 1,
+                        // reduced costs recomputed against the fresh
+                        // factorization (this is also what keeps the
+                        // incremental d numerically honest).
+                        d = self.compute_reduced_costs(costs);
+                        weights.iter_mut().for_each(|v| *v = 1.0);
+                        cands.clear();
+                        self.config.obs.add("lp.pricing.devex_resets", 1);
+                    }
+                }
+            }
+
+            // --- Stall detection -> Bland's rule ---
+            let obj = self.phase_objective(costs);
+            if obj < best_obj - 1e-10 * (1.0 + best_obj.abs()) {
+                best_obj = obj;
+                stall = 0;
+            } else {
+                stall += 1;
+                if stall > self.config.stall_limit && !bland {
+                    bland = true;
+                    // Bland's anti-cycling argument needs trustworthy
+                    // reduced-cost signs; refresh once at the switch.
+                    d = self.compute_reduced_costs(costs);
+                    cands.clear();
+                    self.config.obs.add("lp.pricing.bland_switches", 1);
                 }
             }
         }

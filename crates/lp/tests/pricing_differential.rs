@@ -1,0 +1,204 @@
+//! Seeded differential tests for the pricing rules and the automatic
+//! backend dispatch.
+//!
+//! The sparse revised simplex defaults to devex pricing with a
+//! candidate-list scan; the dense tableau keeps pure Dantzig pricing as
+//! the differential oracle. Pricing picks the *path* across vertices,
+//! not the destination: every rule must land on the same optimal
+//! objective (alternative optima permitting, which is why comparisons
+//! are on objectives within 1e-6 and on status classes, never on raw
+//! vertex coordinates). The generator is a fixed-seed xorshift so every
+//! run and every machine sees the same model family.
+
+use aqua_lp::{
+    solve_with, Model, PricingRule, Sense, SimplexConfig, SolveOutput, SolverBackend, Status,
+};
+
+/// Deterministic xorshift64* — no external RNG crates in this tree.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform in [0, 1).
+    fn f64(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform integer in [0, n).
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+/// A random bounded LP: finite variable bounds guarantee the objective
+/// is bounded, so the only status split is Optimal vs Infeasible — and
+/// both backends must agree on which.
+fn random_model(seed: u64) -> Model {
+    let mut rng = Rng(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1);
+    let nvars = 4 + rng.below(12);
+    let ncons = 3 + rng.below(10);
+    let sense = if rng.f64() < 0.5 {
+        Sense::Maximize
+    } else {
+        Sense::Minimize
+    };
+    let mut m = Model::new(sense);
+    let vars: Vec<_> = (0..nvars)
+        .map(|i| {
+            let lb = if rng.f64() < 0.25 {
+                -(rng.f64() * 5.0)
+            } else {
+                0.0
+            };
+            m.add_var(format!("x{i}"), lb, lb + 1.0 + rng.f64() * 9.0)
+        })
+        .collect();
+    let mut obj = Vec::new();
+    for &v in &vars {
+        if rng.f64() < 0.8 {
+            obj.push((v, (rng.f64() - 0.4) * 10.0));
+        }
+    }
+    m.set_objective(obj);
+    for c in 0..ncons {
+        let mut terms = Vec::new();
+        for &v in &vars {
+            if rng.f64() < 0.5 {
+                terms.push((v, (rng.f64() - 0.3) * 4.0));
+            }
+        }
+        if terms.is_empty() {
+            continue;
+        }
+        let rhs = (rng.f64() - 0.2) * 20.0;
+        match rng.below(4) {
+            0 => m.add_ge(format!("c{c}"), terms, rhs),
+            1 => m.add_eq(format!("c{c}"), terms, rhs * 0.3),
+            _ => m.add_le(format!("c{c}"), terms, rhs),
+        };
+    }
+    m
+}
+
+fn solve(m: &Model, backend: SolverBackend, pricing: PricingRule) -> SolveOutput {
+    solve_with(
+        m,
+        &SimplexConfig {
+            backend,
+            pricing,
+            ..SimplexConfig::default()
+        },
+    )
+}
+
+/// Statuses must match by class; optimal objectives within `tol`.
+fn assert_agree(seed: u64, label: &str, a: &SolveOutput, b: &SolveOutput, tol: f64) {
+    match (&a.status, &b.status) {
+        (Status::Optimal(sa), Status::Optimal(sb)) => {
+            let scale = 1.0 + sa.objective.abs();
+            assert!(
+                (sa.objective - sb.objective).abs() / scale < tol,
+                "seed {seed} {label}: objectives diverge: {} vs {}",
+                sa.objective,
+                sb.objective
+            );
+        }
+        (Status::Infeasible, Status::Infeasible) => {}
+        other => panic!("seed {seed} {label}: status split {other:?}"),
+    }
+}
+
+/// Devex + candidate-list pricing must reach the same optimum as the
+/// Dantzig rule on the same (sparse) backend, across a seeded family.
+#[test]
+fn devex_matches_dantzig_on_sparse() {
+    for seed in 0..120u64 {
+        let m = random_model(seed);
+        let devex = solve(&m, SolverBackend::Sparse, PricingRule::Devex);
+        let dantzig = solve(&m, SolverBackend::Sparse, PricingRule::Dantzig);
+        assert_agree(seed, "devex vs dantzig", &devex, &dantzig, 1e-6);
+    }
+}
+
+/// The default configuration (Auto backend, devex pricing) must agree
+/// with the dense Dantzig tableau — the end-to-end oracle check.
+#[test]
+fn default_config_matches_dense_oracle() {
+    for seed in 0..120u64 {
+        let m = random_model(seed);
+        let auto = solve_with(&m, &SimplexConfig::default());
+        let dense = solve(&m, SolverBackend::Dense, PricingRule::Dantzig);
+        assert_agree(seed, "auto vs dense", &auto, &dense, 1e-6);
+    }
+}
+
+/// Auto is pure dispatch: its result must be byte-identical to whichever
+/// concrete backend it resolves to, and the resolution must be recorded
+/// in the stats.
+#[test]
+fn auto_is_identical_to_resolved_backend() {
+    for seed in 0..60u64 {
+        let m = random_model(seed);
+        let auto = solve_with(&m, &SimplexConfig::default());
+        let resolved = SolverBackend::Auto.resolve_for(&m);
+        assert_eq!(auto.stats.backend_chosen, resolved, "seed {seed}");
+        let direct = solve_with(
+            &m,
+            &SimplexConfig {
+                backend: resolved,
+                ..SimplexConfig::default()
+            },
+        );
+        match (&auto.status, &direct.status) {
+            (Status::Optimal(a), Status::Optimal(b)) => {
+                assert_eq!(a.objective.to_bits(), b.objective.to_bits(), "seed {seed}");
+                for (va, vb) in a.values.iter().zip(&b.values) {
+                    assert_eq!(va.to_bits(), vb.to_bits(), "seed {seed}");
+                }
+            }
+            (Status::Infeasible, Status::Infeasible) => {}
+            other => panic!("seed {seed}: {other:?}"),
+        }
+        assert_eq!(
+            auto.stats.iterations, direct.stats.iterations,
+            "seed {seed}"
+        );
+    }
+}
+
+/// Models big enough to cross [`SolverBackend::DENSE_CELL_LIMIT`] must
+/// resolve to the sparse backend, small ones to dense — and both sides
+/// of the threshold still agree with a forced dense solve.
+#[test]
+fn auto_threshold_picks_both_backends() {
+    // Small: a handful of rows/cols lands well under the cell limit.
+    let small = random_model(7);
+    assert_eq!(
+        SolverBackend::Auto.resolve_for(&small),
+        SolverBackend::Dense
+    );
+
+    // Large: a block-diagonal chain with enough rows x cols to exceed
+    // the dense cell limit while staying quick to solve.
+    let mut big = Model::new(Sense::Maximize);
+    let vars: Vec<_> = (0..260)
+        .map(|i| big.add_var(format!("x{i}"), 0.0, 4.0))
+        .collect();
+    big.set_objective(vars.iter().map(|&v| (v, 1.0)));
+    for (i, w) in vars.windows(2).enumerate() {
+        big.add_le(format!("pair{i}"), [(w[0], 1.0), (w[1], 1.0)], 5.0);
+    }
+    assert_eq!(SolverBackend::Auto.resolve_for(&big), SolverBackend::Sparse);
+
+    let auto = solve_with(&big, &SimplexConfig::default());
+    let dense = solve(&big, SolverBackend::Dense, PricingRule::Dantzig);
+    assert_agree(0, "threshold big model", &auto, &dense, 1e-6);
+}

@@ -1,0 +1,175 @@
+//! Differential tests for the LP stack on real assay formulations: the
+//! default configuration (Auto backend selection + devex pricing) must
+//! reproduce exactly what the dense Dantzig tableau — the differential
+//! oracle — computes on the four paper assays and on seeded synthetic
+//! DAGs. Objectives are compared within 1e-6 (alternative optima can
+//! legitimately move vertex coordinates; the optimum value cannot).
+
+use aqua_assays::synthetic::{layered_dag, LayeredConfig};
+use aqua_assays::{figure2, Benchmark};
+use aqua_lp::{PricingRule, SimplexConfig, SolverBackend, Status};
+use aqua_volume::lpform::{self, LpOptions};
+use aqua_volume::unknown;
+use aqua_volume::Machine;
+
+fn dag_of(b: Benchmark) -> aqua_dag::Dag {
+    let flat = aqua_lang::compile_to_flat(&b.source()).unwrap();
+    aqua_compiler::lower_to_dag(&flat).unwrap().0
+}
+
+fn config(backend: SolverBackend, pricing: PricingRule) -> SimplexConfig {
+    SimplexConfig {
+        backend,
+        pricing,
+        ..SimplexConfig::default()
+    }
+}
+
+/// Solves the model under every (backend, pricing) combination and
+/// checks they agree with the dense Dantzig oracle; returns the oracle
+/// objective if optimal, `None` if all agree the model is infeasible.
+fn assert_all_rules_agree(label: &str, model: &aqua_lp::Model) -> Option<f64> {
+    let oracle = aqua_lp::solve_with(model, &config(SolverBackend::Dense, PricingRule::Dantzig));
+    let candidates = [
+        (
+            "auto-devex",
+            config(SolverBackend::Auto, PricingRule::Devex),
+        ),
+        (
+            "sparse-devex",
+            config(SolverBackend::Sparse, PricingRule::Devex),
+        ),
+        (
+            "sparse-dantzig",
+            config(SolverBackend::Sparse, PricingRule::Dantzig),
+        ),
+    ];
+    match oracle.status {
+        Status::Optimal(ref sol) => {
+            let expect = sol.objective;
+            let scale = 1.0 + expect.abs();
+            for (name, cfg) in candidates {
+                match aqua_lp::solve_with(model, &cfg).status {
+                    Status::Optimal(s) => assert!(
+                        (s.objective - expect).abs() / scale < 1e-6,
+                        "{label}/{name}: {} vs oracle {expect}",
+                        s.objective
+                    ),
+                    other => panic!("{label}/{name}: expected optimal, got {other:?}"),
+                }
+            }
+            Some(expect)
+        }
+        Status::Infeasible => {
+            for (name, cfg) in candidates {
+                assert!(
+                    matches!(aqua_lp::solve_with(model, &cfg).status, Status::Infeasible),
+                    "{label}/{name}: oracle says infeasible"
+                );
+            }
+            None
+        }
+        other => panic!("{label}: oracle status {other:?}"),
+    }
+}
+
+/// The four paper assays, solved under every pricing/backend rule. The
+/// objectives double as goldens (they also live in BENCH_lp.json and
+/// tests/paper_numbers.rs); the point here is that the *default* path
+/// the hierarchy now takes — Auto dispatch, devex pricing — cannot
+/// drift from the oracle on the exact models the paper cares about.
+#[test]
+fn paper_assays_agree_across_rules() {
+    let machine = Machine::paper_default();
+    let opts = LpOptions::rvol();
+
+    let (fig2, _) = figure2::dag();
+    let form = lpform::build(&fig2, &machine, &opts);
+    let obj = assert_all_rules_agree("fig2", &form.model).expect("fig2 is feasible");
+    assert!((obj - 1970.588235294118).abs() < 1e-6);
+
+    let form = lpform::build(&dag_of(Benchmark::Glucose), &machine, &opts);
+    let obj = assert_all_rules_agree("glucose", &form.model).expect("glucose is feasible");
+    assert!((obj - 1514.195583596214).abs() < 1e-6);
+
+    // Glycomics has unknown volumes: solve per partition.
+    let plan = unknown::partition(&dag_of(Benchmark::Glycomics), &machine).unwrap();
+    assert_eq!(plan.partitions.len(), 4);
+    for (i, part) in plan.partitions.iter().enumerate() {
+        let form = lpform::build(&part.dag, &machine, &opts);
+        let obj = assert_all_rules_agree(&format!("glycomics[{i}]"), &form.model)
+            .expect("partition is feasible");
+        assert!((obj - 1000.0).abs() < 1e-6);
+    }
+
+    // Enzyme10's raw RVol LP is expectedly infeasible (see
+    // tests/paper_numbers.rs); every rule must agree on that verdict
+    // too — phase 1 also runs under devex pricing.
+    let form = lpform::build(&dag_of(Benchmark::EnzymeN(10)), &machine, &opts);
+    assert!(assert_all_rules_agree("enzyme10", &form.model).is_none());
+}
+
+/// Auto must resolve to the calibrated backend on the paper assays:
+/// small formulations stay on the dense tableau, enzyme10-sized ones go
+/// sparse.
+#[test]
+fn paper_assays_resolve_to_expected_backend() {
+    let machine = Machine::paper_default();
+    let opts = LpOptions::rvol();
+    let resolve = |dag: &aqua_dag::Dag| {
+        let form = lpform::build(dag, &machine, &opts);
+        SolverBackend::Auto.resolve_for(&form.model)
+    };
+    let (fig2, _) = figure2::dag();
+    assert_eq!(resolve(&fig2), SolverBackend::Dense);
+    assert_eq!(resolve(&dag_of(Benchmark::Glucose)), SolverBackend::Dense);
+    assert_eq!(
+        resolve(&dag_of(Benchmark::EnzymeN(10))),
+        SolverBackend::Sparse
+    );
+}
+
+/// Seeded synthetic assays: layered random DAGs of two sizes, plus the
+/// stress generators, formulated as RVol LPs and solved under every
+/// rule. Covers shapes the paper assays don't (wide fan-in layers,
+/// replication-heavy, extreme ratios).
+#[test]
+fn synthetic_assays_agree_across_rules() {
+    let machine = Machine::paper_default();
+    let opts = LpOptions::rvol();
+    let mut optimal = 0usize;
+
+    for seed in 0..12u64 {
+        let dag = layered_dag(seed, &LayeredConfig::default());
+        let form = lpform::build(&dag, &machine, &opts);
+        if assert_all_rules_agree(&format!("layered[{seed}]"), &form.model).is_some() {
+            optimal += 1;
+        }
+    }
+    // Bigger instances cross into sparse territory.
+    let big = LayeredConfig {
+        inputs: 6,
+        layers: 5,
+        width: 6,
+        fanin: 3,
+        ..LayeredConfig::default()
+    };
+    for seed in 0..4u64 {
+        let dag = layered_dag(seed, &big);
+        let form = lpform::build(&dag, &machine, &opts);
+        if assert_all_rules_agree(&format!("layered-big[{seed}]"), &form.model).is_some() {
+            optimal += 1;
+        }
+    }
+    for (label, dag) in [
+        ("many-uses", aqua_assays::synthetic::many_uses_dag(40)),
+        ("extreme", aqua_assays::synthetic::extreme_ratio_dag(120)),
+    ] {
+        let form = lpform::build(&dag, &machine, &opts);
+        if assert_all_rules_agree(label, &form.model).is_some() {
+            optimal += 1;
+        }
+    }
+    // The suite is vacuous if everything came out infeasible.
+    assert!(optimal >= 10, "only {optimal} feasible instances");
+}

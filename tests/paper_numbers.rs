@@ -230,6 +230,67 @@ fn golden_lp_objectives_match_bench_lp_json() {
     ));
 }
 
+/// Enzyme10's raw RVol LP is *expectedly* infeasible on the paper's
+/// default machine — the 1:5000-grade dilution chains outrun the
+/// machine span — and that infeasibility is precisely what drives the
+/// Fig. 6 escalation. This pins the whole path: round 0 DAGSolve
+/// underflows and the LP agrees (infeasible), cascading rewrites all 21
+/// extreme mixes (7 stages each for Inhibitor/Enzyme/Substrate), round
+/// 1 still underflows, and replication is blocked by the 32-reservoir
+/// budget, so compilation ends in ResourcesExceeded. Any drift here
+/// means the escalation logic — not just a solver — changed.
+#[test]
+fn enzyme10_escalation_path_is_pinned() {
+    use aqua_volume::{manage_volumes, ManagedOutcome, VolumeManagerOptions};
+    let machine = Machine::paper_default();
+    let dag = dag_of(Benchmark::EnzymeN(10));
+    let (obs, sink) = aqua_obs::Obs::recording();
+    let out = manage_volumes(
+        &dag,
+        &machine,
+        &VolumeManagerOptions {
+            obs,
+            ..Default::default()
+        },
+    );
+    let log = match &out {
+        ManagedOutcome::ResourcesExceeded { reason, log } => {
+            assert!(
+                reason.contains("reservoirs"),
+                "expected a reservoir-budget failure, got: {reason}"
+            );
+            log
+        }
+        other => panic!("expected ResourcesExceeded, got {other:?}"),
+    };
+    // The LP verdict appears in both rounds: infeasible is the signal
+    // that escalates, not an error.
+    assert!(log.iter().any(|l| l == "round 0: LP infeasible"), "{log:?}");
+    assert!(log.iter().any(|l| l == "round 1: LP infeasible"), "{log:?}");
+    assert!(
+        log.iter().any(|l| l.contains("replication blocked")),
+        "{log:?}"
+    );
+
+    let report = aqua_obs::export::ObsReport::from_sink(&sink);
+    let counter = |name: &str| {
+        report
+            .counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    };
+    // 21 cascades: Diluted_{Inhibitor,Enzyme,Substrate}[4..=10].
+    assert_eq!(counter("vol.cascade_rewrites"), 21);
+    // Two LP fallback attempts (round 0 and round 1), both dispatched
+    // to the sparse backend by Auto (the formulations are far past the
+    // dense cell limit).
+    assert_eq!(counter("vol.lp_fallbacks"), 2);
+    assert_eq!(counter("lp.backend_chosen.sparse"), 2);
+    assert_eq!(counter("lp.backend_chosen.dense"), 0);
+}
+
 /// §4.3: DAGSolve is significantly faster than LP on every benchmark,
 /// and the gap grows with problem size (the paper's ~80x at Enzyme
 /// scale, more at Enzyme10 scale).
