@@ -205,6 +205,41 @@ impl Instr {
             Instr::Dry { .. } | Instr::Comment(_) | Instr::Sense { .. }
         )
     }
+
+    /// Simulated wet duration in seconds: the explicit duration for
+    /// timed operations, one second per fluid transfer, zero for
+    /// controller work and sensing. Summing this over a program gives
+    /// exactly the sequential executor's `wet_seconds`.
+    pub fn wet_duration_s(&self) -> u64 {
+        match self {
+            Instr::Mix { seconds, .. }
+            | Instr::Incubate { seconds, .. }
+            | Instr::Concentrate { seconds, .. }
+            | Instr::Separate { seconds, .. } => *seconds,
+            Instr::Dry { .. } | Instr::Comment(_) | Instr::Sense { .. } => 0,
+            Instr::Input { .. } | Instr::Output { .. } | Instr::Move { .. } => 1,
+            Instr::MoveAbs { .. } => 1,
+        }
+    }
+
+    /// Wet locations this instruction touches (reads, writes, or
+    /// operates on), in operand order — the instruction's resource
+    /// footprint for scheduling. Separator operations implicitly touch
+    /// their matrix/pusher/out sub-ports, but those share the unit's
+    /// allocation, so listing the named operand suffices.
+    pub fn touched_locs(&self) -> Vec<WetLoc> {
+        match self {
+            Instr::Input { dst, port } => vec![*dst, *port],
+            Instr::Output { port, src } => vec![*port, *src],
+            Instr::Move { dst, src, .. } | Instr::MoveAbs { dst, src, .. } => vec![*dst, *src],
+            Instr::Mix { unit, .. }
+            | Instr::Incubate { unit, .. }
+            | Instr::Concentrate { unit, .. }
+            | Instr::Separate { unit, .. }
+            | Instr::Sense { unit, .. } => vec![*unit],
+            Instr::Dry { .. } | Instr::Comment(_) => Vec::new(),
+        }
+    }
 }
 
 impl fmt::Display for Instr {

@@ -48,7 +48,7 @@ mod parse;
 mod program;
 
 pub use instr::{DryOp, DrySrc, Instr, SenseKind, SeparateKind};
-pub use loc::{DryReg, SepPort, WetLoc};
+pub use loc::{DryReg, ResourceClass, SepPort, WetLoc};
 pub use parse::ParseAisError;
 pub use program::Program;
 

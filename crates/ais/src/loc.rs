@@ -71,6 +71,45 @@ pub enum WetLoc {
     OutputPort(u32),
 }
 
+/// The allocatable resource class of a wet location — the scheduler's
+/// analogue of a register class. Every location of one class is
+/// interchangeable hardware (any mixer can run any mix), so a schedule
+/// may *rename* a program's virtual unit indices onto whichever
+/// physical slot of the class is free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum ResourceClass {
+    /// Storage reservoirs (`sN`).
+    Reservoir,
+    /// Mixers.
+    Mixer,
+    /// Heaters.
+    Heater,
+    /// Separators (all sub-ports of `separatorN` move together).
+    Separator,
+    /// Sensors.
+    Sensor,
+    /// Chip input ports.
+    InputPort,
+    /// Chip output ports.
+    OutputPort,
+}
+
+impl fmt::Display for ResourceClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            ResourceClass::Reservoir => "reservoir",
+            ResourceClass::Mixer => "mixer",
+            ResourceClass::Heater => "heater",
+            ResourceClass::Separator => "separator",
+            ResourceClass::Sensor => "sensor",
+            ResourceClass::InputPort => "input-port",
+            ResourceClass::OutputPort => "output-port",
+        };
+        write!(f, "{name}")
+    }
+}
+
 impl WetLoc {
     /// Whether this location is a functional unit (not storage or port).
     pub fn is_functional_unit(self) -> bool {
@@ -78,6 +117,47 @@ impl WetLoc {
             self,
             WetLoc::Mixer(_) | WetLoc::Heater(_) | WetLoc::Separator(..) | WetLoc::Sensor(_)
         )
+    }
+
+    /// The resource class this location allocates from.
+    pub fn class(self) -> ResourceClass {
+        match self {
+            WetLoc::Reservoir(_) => ResourceClass::Reservoir,
+            WetLoc::Mixer(_) => ResourceClass::Mixer,
+            WetLoc::Heater(_) => ResourceClass::Heater,
+            WetLoc::Separator(..) => ResourceClass::Separator,
+            WetLoc::Sensor(_) => ResourceClass::Sensor,
+            WetLoc::InputPort(_) => ResourceClass::InputPort,
+            WetLoc::OutputPort(_) => ResourceClass::OutputPort,
+        }
+    }
+
+    /// The unit index within the class (`mixer2` → 2). Separator
+    /// sub-ports share their unit's index.
+    pub fn unit_index(self) -> u32 {
+        match self {
+            WetLoc::Reservoir(n)
+            | WetLoc::Mixer(n)
+            | WetLoc::Heater(n)
+            | WetLoc::Separator(n, _)
+            | WetLoc::Sensor(n)
+            | WetLoc::InputPort(n)
+            | WetLoc::OutputPort(n) => n,
+        }
+    }
+
+    /// This location re-indexed onto another unit of the same class
+    /// (sub-ports are preserved) — the renaming primitive.
+    pub fn with_unit_index(self, n: u32) -> WetLoc {
+        match self {
+            WetLoc::Reservoir(_) => WetLoc::Reservoir(n),
+            WetLoc::Mixer(_) => WetLoc::Mixer(n),
+            WetLoc::Heater(_) => WetLoc::Heater(n),
+            WetLoc::Separator(_, port) => WetLoc::Separator(n, port),
+            WetLoc::Sensor(_) => WetLoc::Sensor(n),
+            WetLoc::InputPort(_) => WetLoc::InputPort(n),
+            WetLoc::OutputPort(_) => WetLoc::OutputPort(n),
+        }
     }
 }
 
@@ -144,5 +224,24 @@ mod tests {
         assert!(WetLoc::Separator(1, SepPort::Main).is_functional_unit());
         assert!(!WetLoc::Reservoir(1).is_functional_unit());
         assert!(!WetLoc::InputPort(1).is_functional_unit());
+    }
+
+    #[test]
+    fn resource_class_and_reindexing() {
+        assert_eq!(WetLoc::Mixer(1).class(), ResourceClass::Mixer);
+        assert_eq!(
+            WetLoc::Separator(2, SepPort::Out1).class(),
+            ResourceClass::Separator
+        );
+        assert_eq!(WetLoc::Separator(2, SepPort::Out1).unit_index(), 2);
+        // Renaming preserves the class and any sub-port.
+        assert_eq!(
+            WetLoc::Separator(2, SepPort::Out1).with_unit_index(5),
+            WetLoc::Separator(5, SepPort::Out1)
+        );
+        assert_eq!(
+            WetLoc::Reservoir(3).with_unit_index(7),
+            WetLoc::Reservoir(7)
+        );
     }
 }

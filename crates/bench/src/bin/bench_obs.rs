@@ -234,6 +234,12 @@ fn main() {
     let mut out = String::new();
     out.push_str("{\n  \"schema\": \"bench_obs/v1\",\n");
     let _ = writeln!(out, "  \"quick\": {quick},");
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let _ = writeln!(out, "  \"host_cpus\": {host_cpus},");
+    // The ILP case solves relaxations on two workers (see `ilp_solve`).
+    out.push_str("  \"ilp_threads\": 2,\n");
     out.push_str("  \"cases\": {\n");
     for (i, spec) in specs.iter().enumerate() {
         let report = run_case(spec, quick);

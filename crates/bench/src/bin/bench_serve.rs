@@ -253,6 +253,7 @@ fn main() {
         Extra::Num(format!("{warm_src_over_cold:.2}")),
     ));
     extras.push(("warm_equals_cold".into(), Extra::Bool(identical)));
+    harness::push_host_extras(&mut extras, &[]);
 
     let json = harness::to_json("bench_serve/v1", &measurements, &extras);
     std::fs::write(&out_path, &json).expect("write BENCH_serve.json");

@@ -211,6 +211,7 @@ fn main() {
         Extra::Num(format!("{upto10:.2}")),
     ));
 
+    harness::push_host_extras(&mut extras, &[]);
     let json = harness::to_json("bench_fault/v1", &measurements, &extras);
     std::fs::write(&out_path, &json).expect("write BENCH_fault.json");
     println!("wrote {out_path}");

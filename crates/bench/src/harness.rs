@@ -98,6 +98,21 @@ pub fn fmt_ns(ns: u128) -> String {
     }
 }
 
+/// Appends the standard host-context extras every BENCH file carries:
+/// `host_cpus` (hardware parallelism of the machine that produced the
+/// numbers — wall-clock rows are incomparable across hosts without it)
+/// and, when the benchmark itself ran worker threads, `*_threads`
+/// entries naming each thread count used.
+pub fn push_host_extras(extras: &mut Vec<(String, Extra)>, threads: &[(&str, usize)]) {
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    extras.push(("host_cpus".into(), Extra::Num(host_cpus.to_string())));
+    for &(name, n) in threads {
+        extras.push((format!("{name}_threads"), Extra::Num(n.to_string())));
+    }
+}
+
 /// A `name -> JSON value` pair for [`to_json`] extras.
 #[derive(Debug, Clone)]
 pub enum Extra {

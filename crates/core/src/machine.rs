@@ -102,6 +102,35 @@ impl Machine {
         self
     }
 
+    /// Returns this machine with a different mixer count
+    /// (builder-style). More mixers widen the schedulable parallelism
+    /// of independent mixes.
+    pub fn with_mixers(mut self, mixers: usize) -> Machine {
+        self.mixers = mixers;
+        self
+    }
+
+    /// Returns this machine with a different heater count
+    /// (builder-style).
+    pub fn with_heaters(mut self, heaters: usize) -> Machine {
+        self.heaters = heaters;
+        self
+    }
+
+    /// Returns this machine with a different separator count
+    /// (builder-style).
+    pub fn with_separators(mut self, separators: usize) -> Machine {
+        self.separators = separators;
+        self
+    }
+
+    /// Returns this machine with a different sensor count
+    /// (builder-style).
+    pub fn with_sensors(mut self, sensors: usize) -> Machine {
+        self.sensors = sensors;
+        self
+    }
+
     /// Maximum volume a reservoir or functional unit can hold, in nl.
     pub fn max_capacity_nl(&self) -> Ratio {
         self.max_capacity_nl
@@ -166,9 +195,17 @@ mod tests {
     fn builder_methods_adjust_inventory() {
         let m = Machine::paper_default()
             .with_reservoirs(4)
-            .with_input_ports(2);
+            .with_input_ports(2)
+            .with_mixers(8)
+            .with_heaters(3)
+            .with_separators(1)
+            .with_sensors(5);
         assert_eq!(m.reservoirs, 4);
         assert_eq!(m.input_ports, 2);
+        assert_eq!(m.mixers, 8);
+        assert_eq!(m.heaters, 3);
+        assert_eq!(m.separators, 1);
+        assert_eq!(m.sensors, 5);
         // Volume parameters are untouched.
         assert_eq!(m.span(), Ratio::from_int(1000));
     }

@@ -13,39 +13,16 @@
 use aqua_lp::{
     solve_with, Model, PricingRule, Sense, SimplexConfig, SolveOutput, SolverBackend, Status,
 };
-
-/// Deterministic xorshift64* — no external RNG crates in this tree.
-struct Rng(u64);
-
-impl Rng {
-    fn next(&mut self) -> u64 {
-        let mut x = self.0;
-        x ^= x >> 12;
-        x ^= x << 25;
-        x ^= x >> 27;
-        self.0 = x;
-        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
-    }
-
-    /// Uniform in [0, 1).
-    fn f64(&mut self) -> f64 {
-        (self.next() >> 11) as f64 / (1u64 << 53) as f64
-    }
-
-    /// Uniform integer in [0, n).
-    fn below(&mut self, n: usize) -> usize {
-        (self.next() % n as u64) as usize
-    }
-}
+use aqua_rational::rng::XorShift64Star;
 
 /// A random bounded LP: finite variable bounds guarantee the objective
 /// is bounded, so the only status split is Optimal vs Infeasible — and
 /// both backends must agree on which.
 fn random_model(seed: u64) -> Model {
-    let mut rng = Rng(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1);
-    let nvars = 4 + rng.below(12);
-    let ncons = 3 + rng.below(10);
-    let sense = if rng.f64() < 0.5 {
+    let mut rng = XorShift64Star::new(seed);
+    let nvars = 4 + rng.index(12);
+    let ncons = 3 + rng.index(10);
+    let sense = if rng.next_f64() < 0.5 {
         Sense::Maximize
     } else {
         Sense::Minimize
@@ -53,33 +30,33 @@ fn random_model(seed: u64) -> Model {
     let mut m = Model::new(sense);
     let vars: Vec<_> = (0..nvars)
         .map(|i| {
-            let lb = if rng.f64() < 0.25 {
-                -(rng.f64() * 5.0)
+            let lb = if rng.next_f64() < 0.25 {
+                -(rng.next_f64() * 5.0)
             } else {
                 0.0
             };
-            m.add_var(format!("x{i}"), lb, lb + 1.0 + rng.f64() * 9.0)
+            m.add_var(format!("x{i}"), lb, lb + 1.0 + rng.next_f64() * 9.0)
         })
         .collect();
     let mut obj = Vec::new();
     for &v in &vars {
-        if rng.f64() < 0.8 {
-            obj.push((v, (rng.f64() - 0.4) * 10.0));
+        if rng.next_f64() < 0.8 {
+            obj.push((v, (rng.next_f64() - 0.4) * 10.0));
         }
     }
     m.set_objective(obj);
     for c in 0..ncons {
         let mut terms = Vec::new();
         for &v in &vars {
-            if rng.f64() < 0.5 {
-                terms.push((v, (rng.f64() - 0.3) * 4.0));
+            if rng.next_f64() < 0.5 {
+                terms.push((v, (rng.next_f64() - 0.3) * 4.0));
             }
         }
         if terms.is_empty() {
             continue;
         }
-        let rhs = (rng.f64() - 0.2) * 20.0;
-        match rng.below(4) {
+        let rhs = (rng.next_f64() - 0.2) * 20.0;
+        match rng.index(4) {
             0 => m.add_ge(format!("c{c}"), terms, rhs),
             1 => m.add_eq(format!("c{c}"), terms, rhs * 0.3),
             _ => m.add_le(format!("c{c}"), terms, rhs),

@@ -1,0 +1,285 @@
+//! The batch assay executor: many instances, one chip.
+//!
+//! Interleaves a fleet of compiled assay instances on one simulated
+//! chip. Instances tagged with the same canonical key (computed by the
+//! caller, e.g. `aqua-serve`'s content-addressed plan keys) share one
+//! dependency-DAG analysis; the scheduler then renames all instances'
+//! episodes onto the shared slot inventory in a single union schedule.
+//!
+//! Execution runs each instance's program-order replay on a worker
+//! pool. Replays are independent (each instance owns its chip-state
+//! view — the union schedule proves their physical slot windows are
+//! disjoint), and results land in per-instance slots, so the batch
+//! report is **bit-identical at any thread count**: 1, 2, and 8
+//! workers produce the same digest.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use aqua_compiler::CompileOutput;
+use aqua_volume::Machine;
+
+use crate::exec::{ExecConfig, ExecError, ExecReport, Executor};
+use crate::sched::{plan_jobs, InstrDag, SchedOptions, Schedule};
+
+/// One assay instance in a batch.
+#[derive(Debug)]
+pub struct BatchJob<'a> {
+    /// The compiled program this instance runs.
+    pub out: &'a CompileOutput,
+    /// Canonical plan key: instances with equal keys are isomorphic
+    /// and share one DAG analysis. Callers with `aqua-serve` use its
+    /// canonical plan key; any collision-free tag works.
+    pub key: u128,
+    /// Per-instance execution config (fault seed, recovery, …).
+    pub config: ExecConfig,
+}
+
+/// Batch execution options.
+#[derive(Debug, Clone)]
+pub struct BatchOptions {
+    /// Worker threads for the replay phase (0 = 1). Thread count
+    /// affects wall time only, never results.
+    pub threads: usize,
+    /// Observability handle for `sim.batch.*` counters.
+    pub obs: aqua_obs::Obs,
+}
+
+impl Default for BatchOptions {
+    fn default() -> BatchOptions {
+        BatchOptions {
+            threads: 1,
+            obs: aqua_obs::Obs::off(),
+        }
+    }
+}
+
+/// The outcome of a batch run.
+#[derive(Debug)]
+pub struct BatchReport {
+    /// The union schedule across all instances.
+    pub schedule: Schedule,
+    /// Per-instance execution reports, in job order.
+    pub reports: Vec<ExecReport>,
+    /// Fault-free makespan of the batch, seconds.
+    pub makespan_s: u64,
+    /// Back-to-back sequential baseline, seconds.
+    pub sequential_s: u64,
+    /// Makespan after splicing every instance's observed repairs back
+    /// into the schedule, seconds.
+    pub realized_makespan_s: u64,
+    /// Instructions whose start time the splice moved.
+    pub shifted_instrs: u64,
+    /// Instances that reused a previously built DAG analysis.
+    pub dag_cache_hits: u64,
+    /// Distinct canonical keys in the batch.
+    pub unique_keys: usize,
+    /// FNV-1a digest over the schedule timing and every instance's
+    /// sense set — the thread-invariance witness.
+    pub digest: u64,
+}
+
+fn fnv1a(h: &mut u64, v: u64) {
+    for b in v.to_le_bytes() {
+        *h ^= u64::from(b);
+        *h = h.wrapping_mul(0x100_0000_01b3);
+    }
+}
+
+/// Runs a fleet of assay instances as one scheduled batch.
+///
+/// # Errors
+///
+/// Returns the first instance's [`ExecError`] (by job index) if any
+/// replay fails structurally.
+pub fn run_batch(
+    machine: &Machine,
+    jobs: &[BatchJob<'_>],
+    opts: &BatchOptions,
+) -> Result<BatchReport, ExecError> {
+    // Share one DAG analysis per canonical key.
+    let mut dags: Vec<InstrDag> = Vec::new();
+    let mut by_key: HashMap<u128, usize> = HashMap::new();
+    let mut job_dag: Vec<usize> = Vec::with_capacity(jobs.len());
+    let mut hits = 0u64;
+    for job in jobs {
+        let ix = match by_key.get(&job.key) {
+            Some(&ix) => {
+                hits += 1;
+                ix
+            }
+            None => {
+                let ix = dags.len();
+                dags.push(InstrDag::build(job.out));
+                by_key.insert(job.key, ix);
+                ix
+            }
+        };
+        job_dag.push(ix);
+    }
+    let refs: Vec<&InstrDag> = job_dag.iter().map(|&i| &dags[i]).collect();
+    let schedule = plan_jobs(
+        &refs,
+        machine,
+        &SchedOptions {
+            obs: opts.obs.clone(),
+        },
+    );
+
+    // Replay every instance on the worker pool. Each worker claims the
+    // next job index and writes its own result slot — no cross-thread
+    // data dependence, so the outcome is independent of thread count.
+    let n = jobs.len();
+    let slots: Vec<Mutex<Option<Result<ExecReport, ExecError>>>> =
+        (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let workers = opts.threads.max(1).min(n.max(1));
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let exec = Executor::new(machine, jobs[i].config.clone());
+                let result = exec.run_job(jobs[i].out, &schedule.jobs[i]);
+                match slots[i].lock() {
+                    Ok(mut slot) => *slot = Some(result),
+                    Err(poisoned) => *poisoned.into_inner() = Some(result),
+                }
+            });
+        }
+    });
+    let mut reports = Vec::with_capacity(n);
+    for slot in slots {
+        let result = slot
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .ok_or_else(|| ExecError::Structural("batch worker left a job unexecuted".into()))?;
+        reports.push(result?);
+    }
+
+    // Splice all observed repairs back into the union schedule.
+    let repairs: Vec<&HashMap<usize, u64>> = reports.iter().map(|r| &r.repair_s).collect();
+    let splice = schedule.splice(&repairs);
+
+    // The thread-invariance witness: schedule timing + chemistry.
+    let mut digest = 0xcbf2_9ce4_8422_2325u64;
+    for js in &schedule.jobs {
+        for e in &js.entries {
+            fnv1a(&mut digest, e.start_s);
+            fnv1a(&mut digest, e.dur_s);
+        }
+        for sp in &js.spills {
+            fnv1a(&mut digest, u64::from(sp.before_instr));
+            fnv1a(&mut digest, sp.start_s);
+        }
+    }
+    for r in &reports {
+        for s in &r.sense_results {
+            fnv1a(&mut digest, s.volume_pl);
+        }
+        fnv1a(&mut digest, r.recovery.total_recovered());
+        fnv1a(&mut digest, r.conservation_delta_pl() as u64);
+    }
+
+    let obs = &opts.obs;
+    if obs.enabled() {
+        obs.add("sim.batch.instances", n as u64);
+        obs.add("sim.batch.dag_cache_hits", hits);
+    }
+    Ok(BatchReport {
+        makespan_s: schedule.makespan_s,
+        sequential_s: schedule.sequential_s,
+        realized_makespan_s: splice.makespan_s,
+        shifted_instrs: splice.shifted,
+        dag_cache_hits: hits,
+        unique_keys: by_key.len(),
+        digest,
+        schedule,
+        reports,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqua_compiler::{compile, CompileOptions};
+
+    fn compiled(src: &str, machine: &Machine) -> CompileOutput {
+        compile(src, machine, &CompileOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn batch_shares_dags_and_matches_sequential_chemistry() {
+        let machine = Machine::paper_default();
+        let out = compiled(
+            "
+ASSAY t START
+fluid A, B;
+MIX A AND B IN RATIOS 1 : 4 FOR 10;
+SENSE OPTICAL it INTO R;
+END",
+            &machine,
+        );
+        let jobs: Vec<BatchJob> = (0..4)
+            .map(|_| BatchJob {
+                out: &out,
+                key: 7,
+                config: ExecConfig::default(),
+            })
+            .collect();
+        let report = run_batch(&machine, &jobs, &BatchOptions::default()).unwrap();
+        assert_eq!(report.unique_keys, 1);
+        assert_eq!(report.dag_cache_hits, 3);
+        assert_eq!(report.reports.len(), 4);
+        let seq = Executor::new(&machine, ExecConfig::default())
+            .run(&out)
+            .unwrap();
+        for r in &report.reports {
+            assert_eq!(r.sense_results.len(), seq.sense_results.len());
+            assert_eq!(r.sense_results[0].volume_pl, seq.sense_results[0].volume_pl);
+            assert_eq!(r.conservation_delta_pl(), 0);
+        }
+        assert!(report.makespan_s <= report.sequential_s);
+        report.schedule.validate().unwrap();
+    }
+
+    #[test]
+    fn digest_is_thread_invariant() {
+        let machine = Machine::paper_default();
+        let out = compiled(
+            "
+ASSAY t START
+fluid A, B, C;
+fluid x, y;
+x = MIX A AND B IN RATIOS 1 : 2 FOR 10;
+y = MIX x AND C IN RATIOS 1 : 1 FOR 10;
+SENSE OPTICAL it INTO R;
+END",
+            &machine,
+        );
+        let make_jobs = || -> Vec<BatchJob> {
+            (0..6)
+                .map(|_| BatchJob {
+                    out: &out,
+                    key: 1,
+                    config: ExecConfig::default(),
+                })
+                .collect()
+        };
+        let digests: Vec<u64> = [1usize, 2, 8]
+            .iter()
+            .map(|&threads| {
+                let opts = BatchOptions {
+                    threads,
+                    ..BatchOptions::default()
+                };
+                run_batch(&machine, &make_jobs(), &opts).unwrap().digest
+            })
+            .collect();
+        assert_eq!(digests[0], digests[1]);
+        assert_eq!(digests[0], digests[2]);
+    }
+}

@@ -29,6 +29,7 @@ use aqua_volume::{Machine, ManagedOutcome, VolumeManagerOptions};
 use crate::fault::{
     FaultCounters, FaultKind, FaultPlan, FaultState, RecoveryCounters, RecoveryTier,
 };
+use crate::sched::{rename_instr, JobSchedule, Schedule};
 use crate::state::{ChipState, Contents};
 use crate::trace::{TraceEvent, TraceKind};
 
@@ -188,6 +189,26 @@ pub struct ExecReport {
     pub input_pl: Picoliters,
     /// Matrix/pusher volume flushed through separator columns, in pl.
     pub flushed_pl: Picoliters,
+    /// Extra wet seconds spent on recovery, per instruction index:
+    /// one second per top-up dispense and per overflow trim, the
+    /// backward-slice step count per regeneration, zero for electronic
+    /// re-solves. [`crate::sched::Schedule::splice`] consumes this map
+    /// to re-time a schedule around observed repairs.
+    pub repair_s: HashMap<usize, u64>,
+}
+
+/// Result of a scheduled execution ([`Executor::run_scheduled`]).
+#[derive(Debug)]
+pub struct ScheduledRun {
+    /// The replay's report — bit-identical to sequential execution.
+    pub report: ExecReport,
+    /// The schedule's fault-free makespan, seconds.
+    pub makespan_s: u64,
+    /// Makespan after splicing the observed repairs back in, seconds.
+    pub realized_makespan_s: u64,
+    /// Instructions whose start time moved in the splice — faults
+    /// quiesce only their dependence/occupancy cone.
+    pub shifted_instrs: u64,
 }
 
 /// Execution error (structural problems; constraint violations are
@@ -284,6 +305,52 @@ impl Executor {
     /// cannot resolve (compiler bug) — never for fluidic constraint
     /// violations, which are collected in the report.
     pub fn run(&self, out: &CompileOutput) -> Result<ExecReport, ExecError> {
+        self.run_with(out, None)
+    }
+
+    /// Runs a compiled assay under a plan schedule: the replay order is
+    /// still original program order (so faults, recovery, sense sets,
+    /// and conservation are bit-identical to [`Executor::run`]), but
+    /// every instruction executes at its renamed physical location and
+    /// scheduled storage spills relocate parked products. Afterwards,
+    /// the repairs observed during the replay are spliced back into the
+    /// schedule to re-time it.
+    ///
+    /// Uses the schedule's first job — for multi-instance schedules,
+    /// replay each instance with [`Executor::run_job`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Executor::run`].
+    pub fn run_scheduled(
+        &self,
+        out: &CompileOutput,
+        schedule: &Schedule,
+    ) -> Result<ScheduledRun, ExecError> {
+        let report = self.run_with(out, schedule.jobs.first())?;
+        let splice = schedule.splice(&[&report.repair_s]);
+        Ok(ScheduledRun {
+            report,
+            makespan_s: schedule.makespan_s,
+            realized_makespan_s: splice.makespan_s,
+            shifted_instrs: splice.shifted,
+        })
+    }
+
+    /// Replays one job (assay instance) of a multi-instance schedule.
+    ///
+    /// # Errors
+    ///
+    /// As [`Executor::run`].
+    pub fn run_job(&self, out: &CompileOutput, job: &JobSchedule) -> Result<ExecReport, ExecError> {
+        self.run_with(out, Some(job))
+    }
+
+    fn run_with(
+        &self,
+        out: &CompileOutput,
+        sched: Option<&JobSchedule>,
+    ) -> Result<ExecReport, ExecError> {
         let _run_span = self.config.obs.span("sim.run");
         let lc_pl = (self.machine.least_count_nl() * Ratio::from_int(1000)).round() as u64;
         let cap_pl = (self.machine.max_capacity_nl() * Ratio::from_int(1000)).round() as u64;
@@ -305,19 +372,37 @@ impl Executor {
             cap_pl,
         };
 
-        for (idx, instr) in out.program.instrs().iter().enumerate() {
+        let mut spill_ptr = 0usize;
+        for (idx, orig) in out.program.instrs().iter().enumerate() {
+            // Scheduled relocations due before this instruction (stall
+            // spills and leftover carries): unmetered moves of parked
+            // fluid (no fault draw — the seeded per-dispense PRNG
+            // stream stays untouched). Carries are zero-volume no-ops
+            // unless a fault left a remainder at a metered full drain.
+            if let Some(js) = sched {
+                while let Some(sp) = js.spills.get(spill_ptr) {
+                    if sp.before_instr as usize != idx {
+                        break;
+                    }
+                    let parked = st.chip.take_all(sp.from);
+                    st.chip.deposit(sp.to, parked);
+                    spill_ptr += 1;
+                }
+            }
+            let renamed;
+            let instr = match sched {
+                Some(js) if !js.renames[idx].is_empty() => {
+                    renamed = rename_instr(orig, &js.renames[idx]);
+                    &renamed
+                }
+                _ => orig,
+            };
             // Controller-side (simulation) time per instruction — only
             // sampled when a sink is attached.
             let instr_start = self.config.obs.enabled().then(std::time::Instant::now);
             if instr.is_wet() {
                 st.report.wet_instructions += 1;
-                st.report.wet_seconds += match instr {
-                    Instr::Mix { seconds, .. }
-                    | Instr::Separate { seconds, .. }
-                    | Instr::Incubate { seconds, .. }
-                    | Instr::Concentrate { seconds, .. } => *seconds,
-                    _ => 1, // transfers: order of a second each
-                };
+                st.report.wet_seconds += instr.wet_duration_s();
             }
             match instr {
                 Instr::Comment(_) => {}
@@ -521,6 +606,7 @@ impl Executor {
                     if got > 0 {
                         amount += got;
                         st.report.recovery.redispense += 1;
+                        self.add_repair(st, idx, 1);
                         self.trace_recovery(
                             st,
                             idx,
@@ -551,6 +637,7 @@ impl Executor {
             let trimmed = st.chip.take(dst, excess);
             *st.report.collected_pl.entry(1).or_insert(0) += trimmed.volume_pl;
             st.report.recovery.overflow_trims += 1;
+            self.add_repair(st, idx, 1);
             self.trace_recovery(st, idx, RecoveryTier::OverflowTrim, dst, excess, true);
         } else {
             st.report.violations.push(Violation::Overflow {
@@ -706,6 +793,7 @@ impl Executor {
             }
             gathered.merge(st.chip.take(src, take));
             st.report.recovery.redispense += 1;
+            self.add_repair(st, idx, 1);
             self.trace_recovery(
                 st,
                 idx,
@@ -777,7 +865,11 @@ impl Executor {
             };
             st.chip.deposit(src, refill);
             st.report.recovery.regenerate += 1;
-            st.report.recovery.regen_steps += crate::regen::backward_slice_steps(&out.dag, node);
+            let slice_steps = crate::regen::backward_slice_steps(&out.dag, node);
+            st.report.recovery.regen_steps += slice_steps;
+            // Re-executing the backward slice costs wet time in
+            // proportion to its length.
+            self.add_repair(st, idx, slice_steps);
             st.report.recovery.extra_volume_pl += amount;
             let regens = {
                 let r = st.node_regens.entry(node).or_insert(0);
@@ -860,6 +952,16 @@ impl Executor {
             st.report.recovery.replan += 1;
             self.trace_recovery(st, idx, RecoveryTier::Replan, src, 0, true);
         }
+    }
+
+    /// Charges `seconds` of wet repair time to an instruction — the
+    /// currency [`crate::sched::Schedule::splice`] re-times with.
+    fn add_repair(&self, st: &mut RunState, idx: usize, seconds: u64) {
+        if seconds == 0 {
+            return;
+        }
+        *st.report.repair_s.entry(idx).or_insert(0) += seconds;
+        st.report.recovery.repair_s += seconds;
     }
 
     fn trace_fault(

@@ -243,6 +243,11 @@ pub struct RecoveryCounters {
     pub failures: u64,
     /// Extra volume synthesized/consumed by recovery, in pl.
     pub extra_volume_pl: Picoliters,
+    /// Extra wet seconds recovery cost: one per top-up dispense and
+    /// overflow trim, the backward-slice step count per regeneration,
+    /// zero for electronic re-solves. The plan scheduler splices this
+    /// back into its timeline to re-time faulted runs.
+    pub repair_s: u64,
 }
 
 impl RecoveryCounters {

@@ -25,7 +25,19 @@
 //!   [`exec::ExecConfig::recover`] on, the executor walks the paper's
 //!   Fig. 6 hierarchy *at run time* — re-dispense, regenerate the
 //!   starved backward slice, re-solve with observed volumes — and
-//!   reports what it did in [`exec::ExecReport::recovery`].
+//!   reports what it did in [`exec::ExecReport::recovery`];
+//! * [`sched`] / [`alloc`] — the chip-as-CPU plan scheduler: lifts a
+//!   compiled program into a dependency DAG, renames virtual unit
+//!   episodes onto the machine's physical slot inventory
+//!   (RegisterPool-style free lists), and produces a deterministic
+//!   cycle-accurate schedule with a makespan objective. The scheduled
+//!   executor ([`exec::Executor::run_scheduled`]) replays instructions
+//!   in program order under the renames, so sense sets, faults, and
+//!   recovery stay bit-identical to sequential execution;
+//! * [`batch_exec`] — interleaves many assay instances on one
+//!   simulated chip, sharing DAGs across isomorphic instances and
+//!   executing on worker threads with bit-identical results at any
+//!   thread count.
 //!
 //! # Examples
 //!
@@ -59,15 +71,21 @@
 // Test code (cfg(test)) is exempt — asserting via unwrap is idiomatic.
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
+pub mod alloc;
+pub mod batch_exec;
 pub mod exec;
 pub mod fault;
 pub mod regen;
+pub mod sched;
 pub mod state;
 pub mod trace;
 
+pub use alloc::{ClassPool, SlotGrant, SlotPool};
+pub use batch_exec::{run_batch, BatchJob, BatchOptions, BatchReport};
 pub use exec::{ExecConfig, ExecError, ExecReport, Executor, SenseResult, Violation};
 pub use fault::{
     FaultCounters, FaultKind, FaultPlan, RecoveryCounters, RecoveryTier, ScriptedFault,
     ScriptedKind,
 };
 pub use regen::{count_regenerations, ProductionPolicy, RegenConfig, RegenReport};
+pub use sched::{InstrDag, SchedError, SchedOptions, Schedule};

@@ -19,11 +19,20 @@
 #   9. serve bench smoke     (bench_serve --quick: warm >= 10x cold and
 #      warm plans byte-identical to cold, enforced by the binary itself;
 #      plus the cold-path field contract the perf trajectory reads)
+#  10. scheduler differential suite (scheduled executor bit-identical
+#      to sequential on paper assays + seeded synthetics, fault-free
+#      and faulted)
+#  11. exec bench smoke      (bench_exec --quick: makespan-floor gate —
+#      scheduled <= sequential on enzyme10 and the batch — plus
+#      thread-invariant batch digests and full fault recovery; the
+#      floor is retried once like the auto-floor gate since the run
+#      shares the host with whatever else CI is doing)
 #
 # The smoke runs write their JSON to target/ so they never clobber the
-# committed BENCH_lp.json / BENCH_fault.json / BENCH_serve.json
-# (regenerate those with a full `cargo run --release -p aqua-bench
-# --bin bench_lp` / `fault_sweep` / `bench_serve`).
+# committed BENCH_lp.json / BENCH_fault.json / BENCH_serve.json /
+# BENCH_exec.json (regenerate those with a full `cargo run --release
+# -p aqua-bench --bin bench_lp` / `fault_sweep` / `bench_serve` /
+# `bench_exec`).
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -93,5 +102,31 @@ for field in '"schema": "bench_serve/v1"' '"warm_over_cold"' '"cold_rps"' \
     exit 1
   fi
 done
+
+echo "==> scheduler differential suite (scheduled == sequential, faulted too)"
+timeout 600 cargo test -q --release -p aqua-sim --test sched_differential
+
+echo "==> bench_exec --quick (makespan floor + thread-invariant digests)"
+# The binary exits nonzero when a scheduled makespan exceeds its
+# sequential baseline, batch digests differ across 1/2/8 threads, or a
+# faulted instance is left unrecovered. The makespan floor is
+# deterministic (simulated seconds), but the run itself shares the host
+# with the rest of CI, so like the auto-floor gate it gets one retry
+# before failing the build.
+run_bench_exec() {
+  timeout 600 cargo run --release -p aqua-bench --bin bench_exec -- --quick \
+    --out target/BENCH_exec.quick.json
+}
+if ! run_bench_exec; then
+  echo "warn: bench_exec smoke failed; retrying once" >&2
+  run_bench_exec
+fi
+grep -q '"makespan_floor_ok": true' target/BENCH_exec.quick.json || {
+  echo "error: a scheduled makespan exceeded its sequential baseline" >&2
+  exit 1
+}
+grep -q '"threads_agree": true' target/BENCH_exec.quick.json
+grep -q '"fault_recovered": true' target/BENCH_exec.quick.json
+grep -q '"host_cpus"' target/BENCH_exec.quick.json
 
 echo "==> ci.sh: all green"

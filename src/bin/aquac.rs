@@ -4,6 +4,8 @@
 //! aquac compile <assay-file> [--emit ais|dot|volumes|log] [--machine CAP,LC]
 //! aquac run     <assay-file> [--machine CAP,LC] [--yield FRACTION]
 //! aquac check   <assay-file>
+//! aquac exec    <assay-file> [--machine CAP,LC] [--yield FRACTION]
+//!               [--parallel] [--instances N] [--threads N]
 //! aquac serve   [--tcp ADDR] [--machine CAP,LC] [--cache-cap N]
 //!               [--shards N] [--workers N] [--queue-cap N]
 //!               [--max-batch N] [--deadline-ms N] [--obs]
@@ -14,6 +16,12 @@
 //!   sensor readings and any constraint violations;
 //! * `check` parses, lowers, and runs volume management, reporting how
 //!   volumes were resolved (exit code 1 on compile errors);
+//! * `exec` reports simulated wet time: sequentially by default, or
+//!   under the plan schedule with `--parallel` (the chip gets extra
+//!   storage for renaming; results are bit-identical to sequential).
+//!   `--instances N` interleaves N copies of the assay on one chip
+//!   (`--threads` workers replay them; thread count never changes
+//!   results);
 //! * `serve` starts the plan-compilation service: one JSON request per
 //!   stdin line, one JSON response per stdout line (and the same
 //!   protocol on `--tcp ADDR`), with content-addressed plan caching.
@@ -46,6 +54,9 @@ fn real_main() -> Result<(), String> {
     if cmd == "serve" {
         // `serve` takes no assay file; it reads requests from stdin.
         return serve_main(rest);
+    }
+    if cmd == "exec" {
+        return exec_main(rest);
     }
     let mut file = None;
     let mut emit = "ais".to_owned();
@@ -169,6 +180,165 @@ fn real_main() -> Result<(), String> {
     Ok(())
 }
 
+/// Runs `aquac exec`: simulated wet-time reporting, sequential or
+/// under the plan schedule (`--parallel`), optionally as a batch of
+/// identical instances (`--instances N` on `--threads` workers).
+fn exec_main(rest: &[String]) -> Result<(), String> {
+    use aqua_serve::canon;
+    use aqua_sim::batch_exec::{run_batch, BatchJob, BatchOptions};
+    use aqua_sim::sched::{plan, SchedOptions};
+
+    let mut file = None;
+    let mut machine_spec = "100,0.1".to_owned();
+    let mut yield_frac = 0.5f64;
+    let mut parallel = false;
+    let mut instances = 1usize;
+    let mut threads = 1usize;
+    let mut it = rest.iter();
+    let next_usize = |it: &mut std::slice::Iter<String>, flag: &str| -> Result<usize, String> {
+        it.next()
+            .ok_or(format!("{flag} needs a value"))?
+            .parse()
+            .map_err(|_| format!("{flag} must be a positive integer"))
+    };
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--machine" => machine_spec = it.next().ok_or("--machine needs a value")?.clone(),
+            "--yield" => {
+                yield_frac = it
+                    .next()
+                    .ok_or("--yield needs a value")?
+                    .parse()
+                    .map_err(|_| "--yield must be a number in (0,1]")?
+            }
+            "--parallel" => parallel = true,
+            "--instances" => instances = next_usize(&mut it, "--instances")?.max(1),
+            "--threads" => threads = next_usize(&mut it, "--threads")?.max(1),
+            other if !other.starts_with('-') && file.is_none() => file = Some(other.to_owned()),
+            other => return Err(format!("unknown argument `{other}`\n{}", usage())),
+        }
+    }
+    let file = file.ok_or_else(usage)?;
+    let src = std::fs::read_to_string(&file).map_err(|e| format!("cannot read {file}: {e}"))?;
+    // Renaming needs storage headroom: physical units stay at the
+    // machine's counts, but reservoirs/ports are scaled so episodes of
+    // the one virtual unit per class can live side by side.
+    let machine = if parallel || instances > 1 {
+        parse_machine(&machine_spec)?
+            .with_reservoirs(128.max(32 * instances))
+            .with_input_ports(64.max(8 * instances))
+    } else {
+        parse_machine(&machine_spec)?
+    };
+    let out = compile(&src, &machine, &CompileOptions::default()).map_err(|e| e.to_string())?;
+    let config = ExecConfig {
+        unknown_separation_yield: yield_frac,
+        ..ExecConfig::default()
+    };
+
+    if instances > 1 {
+        let key = canon::canonicalize(&out.dag, &std::collections::HashMap::new(), &machine)
+            .map_err(|e| e.to_string())?
+            .key;
+        let jobs: Vec<BatchJob> = (0..instances)
+            .map(|_| BatchJob {
+                out: &out,
+                key,
+                config: config.clone(),
+            })
+            .collect();
+        let batch = run_batch(
+            &machine,
+            &jobs,
+            &BatchOptions {
+                threads,
+                ..BatchOptions::default()
+            },
+        )
+        .map_err(|e| e.to_string())?;
+        let violations: usize = batch.reports.iter().map(|r| r.violations.len()).sum();
+        println!(
+            "{} x{instances}: sequential {}s, scheduled {}s ({:.2}x) on {threads} thread(s)",
+            out.program.name(),
+            batch.sequential_s,
+            batch.makespan_s,
+            batch.sequential_s as f64 / batch.makespan_s.max(1) as f64,
+        );
+        println!(
+            "schedule: {} unique DAG(s), {} cache hits, {} spills, {} carries, digest {:016x}{}",
+            batch.unique_keys,
+            batch.dag_cache_hits,
+            batch.schedule.stats.spills,
+            batch.schedule.stats.carries,
+            batch.digest,
+            if batch.schedule.stats.fallback {
+                " (sequential fallback)"
+            } else {
+                ""
+            }
+        );
+        if violations > 0 {
+            return Err(format!("{violations} violations across instances"));
+        }
+        println!("ok: {instances} instances, no violations");
+        return Ok(());
+    }
+
+    if parallel {
+        let sched = plan(&out, &machine, &SchedOptions::default());
+        let run = Executor::new(&machine, config)
+            .run_scheduled(&out, &sched)
+            .map_err(|e| e.to_string())?;
+        println!(
+            "{}: sequential {}s, scheduled {}s ({:.2}x), critical path {}s{}",
+            out.program.name(),
+            sched.sequential_s,
+            sched.makespan_s,
+            sched.sequential_s as f64 / sched.makespan_s.max(1) as f64,
+            sched.critical_path_s,
+            if sched.stats.fallback {
+                " (sequential fallback)"
+            } else {
+                ""
+            }
+        );
+        for u in &sched.utilization {
+            if u.slots > 0 && u.busy_slot_s > 0 {
+                println!(
+                    "  {}: {}/{} slots peak, {:.1}% busy",
+                    u.class,
+                    u.peak,
+                    u.slots,
+                    u.util_permille as f64 / 10.0
+                );
+            }
+        }
+        report_exec(&run.report)
+    } else {
+        let report = Executor::new(&machine, config)
+            .run(&out)
+            .map_err(|e| e.to_string())?;
+        println!("{}: {}s wet time", out.program.name(), report.wet_seconds);
+        report_exec(&report)
+    }
+}
+
+/// Prints an execution report's sense set and violation status.
+fn report_exec(report: &aqua_sim::exec::ExecReport) -> Result<(), String> {
+    for s in &report.sense_results {
+        println!("{}: {:.2} nl", s.target, s.volume_pl as f64 / 1000.0);
+    }
+    if report.violations.is_empty() {
+        println!("ok: no underflow, no overflow, no deficits");
+        Ok(())
+    } else {
+        for v in &report.violations {
+            eprintln!("violation: {v}");
+        }
+        Err(format!("{} violations", report.violations.len()))
+    }
+}
+
 /// Runs `aquac serve`: NDJSON plan service on stdin (+ optional TCP).
 fn serve_main(rest: &[String]) -> Result<(), String> {
     use aqua_serve::{serve_stdin, spawn_tcp, Service, ServiceConfig};
@@ -240,6 +410,8 @@ fn parse_machine(spec: &str) -> Result<Machine, String> {
 fn usage() -> String {
     "usage: aquac <compile|run|check> <assay-file> \
      [--emit ais|dot|volumes|log] [--machine CAP,LC] [--yield F]\n   \
+     or: aquac exec <assay-file> [--machine CAP,LC] [--yield F] \
+     [--parallel] [--instances N] [--threads N]\n   \
      or: aquac serve [--tcp ADDR] [--machine CAP,LC] [--cache-cap N] \
      [--shards N] [--workers N] [--queue-cap N] [--max-batch N] \
      [--deadline-ms N] [--obs]"
