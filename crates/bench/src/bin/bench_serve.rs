@@ -1,5 +1,8 @@
 //! Times the plan-compilation service's cold, warm-src, and warm-key
-//! paths on the four paper assays and writes the results to
+//! paths on the four paper assays, drives a million-request mixed
+//! multi-tenant traffic phase through the sharded tier, proves
+//! warm-equals-cold byte-identity survives a kill-and-restart through
+//! the persistent plan store, and writes everything to
 //! `BENCH_serve.json` at the repo root.
 //!
 //! Usage: `cargo run --release --bin bench_serve [--quick] [--out PATH]
@@ -15,18 +18,36 @@
 //! * `warm-key` — the cache stays hot and requests arrive as a bare
 //!   content key (hash probe + Arc clone, the steady-state hot path).
 //!
+//! Then two service-level phases:
+//!
+//! * **traffic** — 8 client threads fire ~85% warm-key / ~14% warm-src
+//!   / ~1% cold-unique requests (1M total; 20k with `--quick`) across
+//!   five tenants, one of which is a quota-starved "noisy" tenant whose
+//!   cold misses get shed; reports `traffic_p50/p99/p999_ns` and
+//!   `traffic_shed_rate`;
+//! * **restart** — a store-backed service cold-compiles the suite, is
+//!   dropped (the "kill"), reopened on the same directory, and must
+//!   serve every plan byte-identical to the cold reference *without a
+//!   single recompile* (`restart_equals_cold`, `restart_no_recompiles`);
+//!   rehydrated warm p50 must stay within 10x of in-memory warm p50.
+//!
 //! Warm responses are checked byte-identical to cold compiles before
-//! anything is timed; the binary exits nonzero on a mismatch or if the
+//! anything is timed; the binary exits nonzero on a mismatch, if the
 //! headline `warm_over_cold` (cold median / warm-key median, pooled
-//! over the suite) drops below 10x.
+//! over the suite) drops below 10x, or if a restart gate fails.
 //!
 //! `--quick` drops iteration counts to a smoke-test level for CI; use
 //! the default mode to regenerate the committed `BENCH_serve.json`.
 
 use aqua_bench::harness::{self, Extra, Measurement};
 use aqua_bench::Benchmark;
-use aqua_serve::{Served, Service, ServiceConfig};
+use aqua_dag::Dag;
+use aqua_obs::Obs;
+use aqua_rational::rng::XorShift64Star;
+use aqua_serve::store::StoreConfig;
+use aqua_serve::{canonicalize, ServeError, Served, Service, ServiceConfig};
 use aqua_volume::Machine;
+use std::collections::HashMap;
 use std::time::Instant;
 
 /// A named request generator for one timing mode.
@@ -76,6 +97,202 @@ fn measurement(name: &str, sorted_ns: &[u128]) -> Measurement {
         mean_ns: sorted_ns.iter().sum::<u128>() / iters as u128,
         median_ns: percentile(sorted_ns, 0.50),
         p95_ns: percentile(sorted_ns, 0.95),
+    }
+}
+
+/// Client threads in the traffic phase.
+const TRAFFIC_THREADS: usize = 8;
+/// Acceptance ceiling: rehydrated warm p50 over in-memory warm p50.
+const MAX_RESTART_OVER_WARM: f64 = 10.0;
+
+/// A unique tiny assay per `n`: distinct mix ratios → distinct key, so
+/// the traffic phase's cold slice never hits the cache.
+fn unique_assay(n: u64) -> Dag {
+    let mut d = Dag::new();
+    let a = d.add_input("A");
+    let b = d.add_input("B");
+    let m = d
+        .add_mix("m", &[(a, 1), (b, n + 2)], 10)
+        .expect("valid mix");
+    d.add_process("s", "sense.OD", m);
+    d
+}
+
+struct TrafficOutcome {
+    /// Sorted latencies of successful requests, ns.
+    latencies_ns: Vec<u128>,
+    total: usize,
+    sheds: usize,
+    rejects: usize,
+    cold_unique: usize,
+    wall_ns: u128,
+    identical: bool,
+}
+
+/// Mixed hot/cold multi-tenant traffic against a quota-bounded sharded
+/// service: ~85% warm-key, ~14% warm-src (across four steady tenants),
+/// ~1% cold-unique compiles from a quota-starved "noisy" tenant whose
+/// misses shed under burst.
+fn run_traffic(cases: &[Case], machine: &Machine, total: usize) -> TrafficOutcome {
+    let service = Service::new(ServiceConfig {
+        cache_capacity: 4096,
+        worker_shards: 4,
+        queue_capacity: 512,
+        tenant_max_inflight: 2,
+        tenant_max_queued: 2,
+        ..ServiceConfig::default()
+    });
+    let mut identical = true;
+    for case in cases {
+        let warm = service
+            .submit_src(&case.src, machine, None)
+            .expect("traffic warm-up");
+        identical &= warm.plan == case.plan;
+    }
+    let weights: HashMap<aqua_dag::NodeId, u64> = HashMap::new();
+    let per_thread = total / TRAFFIC_THREADS;
+    let start = Instant::now();
+    let per_thread_results: Vec<(Vec<u128>, usize, usize, usize, bool)> =
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..TRAFFIC_THREADS)
+                .map(|t| {
+                    let service = &service;
+                    let weights = &weights;
+                    scope.spawn(move || {
+                        let mut rng = XorShift64Star::new(0xBEEF + t as u64 * 0x9E37_79B9);
+                        let mut lat: Vec<u128> = Vec::with_capacity(per_thread);
+                        let (mut sheds, mut rejects, mut colds) = (0usize, 0usize, 0usize);
+                        let mut ok = true;
+                        let tenant = format!("tenant-{}", t % 4);
+                        for i in 0..per_thread {
+                            let dice = rng.range_u64(0, 99);
+                            let begin = Instant::now();
+                            if dice == 0 {
+                                // Cold-unique compile from the noisy tenant.
+                                colds += 1;
+                                let n = (t * per_thread + i) as u64;
+                                let canon = canonicalize(&unique_assay(n), weights, machine)
+                                    .expect("canon");
+                                match service.submit_canon_tenant(
+                                    canon,
+                                    machine.clone(),
+                                    None,
+                                    "noisy",
+                                ) {
+                                    Ok(_) => lat.push(begin.elapsed().as_nanos()),
+                                    Err(ServeError::Shedding) => sheds += 1,
+                                    Err(ServeError::Overloaded | ServeError::Timeout) => {
+                                        rejects += 1
+                                    }
+                                    Err(e) => panic!("unexpected traffic error: {e}"),
+                                }
+                            } else if dice < 15 {
+                                // Warm by source, under this thread's tenant.
+                                let case = &cases[rng.index(cases.len())];
+                                let canon =
+                                    Service::canon_src(&case.src, machine).expect("canon src");
+                                let served = service
+                                    .submit_canon_tenant(canon, machine.clone(), None, &tenant)
+                                    .expect("warm src");
+                                lat.push(begin.elapsed().as_nanos());
+                                ok &= served.plan == case.plan;
+                            } else {
+                                // Warm by key: the steady-state hot path.
+                                let case = &cases[rng.index(cases.len())];
+                                let served = service.submit_key(case.key).expect("warm key");
+                                lat.push(begin.elapsed().as_nanos());
+                                ok &= served.plan == case.plan;
+                            }
+                        }
+                        (lat, sheds, rejects, colds, ok)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("traffic thread"))
+                .collect()
+        });
+    let wall_ns = start.elapsed().as_nanos();
+    let mut latencies_ns = Vec::with_capacity(total);
+    let (mut sheds, mut rejects, mut cold_unique) = (0, 0, 0);
+    for (lat, s, r, c, ok) in per_thread_results {
+        latencies_ns.extend(lat);
+        sheds += s;
+        rejects += r;
+        cold_unique += c;
+        identical &= ok;
+    }
+    latencies_ns.sort_unstable();
+    TrafficOutcome {
+        latencies_ns,
+        total: per_thread * TRAFFIC_THREADS,
+        sheds,
+        rejects,
+        cold_unique,
+        wall_ns,
+        identical,
+    }
+}
+
+struct RestartOutcome {
+    /// Sorted warm-src latencies on the rehydrated service, ns.
+    samples_ns: Vec<u128>,
+    equals_cold: bool,
+    no_recompiles: bool,
+}
+
+/// Kill-and-restart: a store-backed service cold-compiles the suite, is
+/// dropped, and a new process-equivalent (fresh `Service`, same
+/// directory) must serve every plan byte-identical to the cold
+/// reference without recompiling anything.
+fn run_restart(cases: &[Case], machine: &Machine, iters: usize, warmup: usize) -> RestartOutcome {
+    let dir = std::env::temp_dir().join(format!("aqua-bench-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    {
+        let svc = Service::new(ServiceConfig {
+            store: Some(StoreConfig::at(&dir)),
+            ..ServiceConfig::default()
+        });
+        for case in cases {
+            svc.submit_src(&case.src, machine, None)
+                .expect("cold compile into store");
+        }
+        // svc dropped here: the "kill".
+    }
+    let (obs, sink) = Obs::recording();
+    let svc = Service::try_new(ServiceConfig {
+        store: Some(StoreConfig::at(&dir)),
+        obs,
+        ..ServiceConfig::default()
+    })
+    .expect("reopen plan store");
+    let mut equals_cold = true;
+    for case in cases {
+        let warm = svc
+            .submit_src(&case.src, machine, None)
+            .expect("rehydrated warm hit");
+        equals_cold &= warm.key == case.key && warm.plan == case.plan;
+        equals_cold &= svc
+            .submit_key(case.key)
+            .map(|s| s.plan == case.plan)
+            .unwrap_or(false);
+    }
+    let mut samples_ns: Vec<u128> = Vec::new();
+    for case in cases {
+        samples_ns.extend(sample(warmup, iters, || {
+            svc.submit_src(&case.src, machine, None)
+                .expect("warm after restart")
+        }));
+    }
+    samples_ns.sort_unstable();
+    let no_recompiles = sink.counter("serve.plan.compiles") == 0;
+    drop(svc);
+    let _ = std::fs::remove_dir_all(&dir);
+    RestartOutcome {
+        samples_ns,
+        equals_cold,
+        no_recompiles,
     }
 }
 
@@ -252,10 +469,106 @@ fn main() {
         "warm_src_over_cold".into(),
         Extra::Num(format!("{warm_src_over_cold:.2}")),
     ));
+    // ---- traffic phase: mixed hot/cold multi-tenant load ----
+    let traffic_total = if quick { 20_000 } else { 1_000_000 };
+    println!("\ntraffic: {traffic_total} mixed multi-tenant requests on {TRAFFIC_THREADS} threads");
+    let traffic = run_traffic(&cases, &machine, traffic_total);
+    identical &= traffic.identical;
+    let m = measurement("traffic/mixed", &traffic.latencies_ns);
+    harness::report(&m);
+    measurements.push(m);
+    let traffic_p50 = percentile(&traffic.latencies_ns, 0.50);
+    let traffic_p99 = percentile(&traffic.latencies_ns, 0.99);
+    let traffic_p999 = percentile(&traffic.latencies_ns, 0.999);
+    let shed_rate = traffic.sheds as f64 / traffic.total as f64;
+    let traffic_rps = traffic.total as f64 / (traffic.wall_ns as f64 / 1e9);
+    println!(
+        "traffic: p50 {}  p99 {}  p999 {}  shed rate {:.4} ({} shed, {} rejected, {} cold-unique)  {:.0} rps",
+        harness::fmt_ns(traffic_p50),
+        harness::fmt_ns(traffic_p99),
+        harness::fmt_ns(traffic_p999),
+        shed_rate,
+        traffic.sheds,
+        traffic.rejects,
+        traffic.cold_unique,
+        traffic_rps
+    );
+    extras.push((
+        "traffic_requests".into(),
+        Extra::Num(traffic.total.to_string()),
+    ));
+    extras.push((
+        "traffic_threads".into(),
+        Extra::Num(TRAFFIC_THREADS.to_string()),
+    ));
+    extras.push(("traffic_p50_ns".into(), Extra::Num(traffic_p50.to_string())));
+    extras.push(("traffic_p99_ns".into(), Extra::Num(traffic_p99.to_string())));
+    extras.push((
+        "traffic_p999_ns".into(),
+        Extra::Num(traffic_p999.to_string()),
+    ));
+    extras.push((
+        "traffic_shed_rate".into(),
+        Extra::Num(format!("{shed_rate:.6}")),
+    ));
+    extras.push((
+        "traffic_sheds".into(),
+        Extra::Num(traffic.sheds.to_string()),
+    ));
+    extras.push((
+        "traffic_rejects".into(),
+        Extra::Num(traffic.rejects.to_string()),
+    ));
+    extras.push((
+        "traffic_cold_unique".into(),
+        Extra::Num(traffic.cold_unique.to_string()),
+    ));
+    extras.push((
+        "traffic_rps".into(),
+        Extra::Num(format!("{traffic_rps:.1}")),
+    ));
+
+    // ---- restart phase: durability through a kill ----
+    println!("\nrestart: kill-and-restart rehydration through the plan store");
+    let (restart_iters, restart_warmup) = if quick { (20, 0) } else { (200, 2) };
+    let restart = run_restart(&cases, &machine, restart_iters, restart_warmup);
+    let m = measurement("restart/warm-src", &restart.samples_ns);
+    harness::report(&m);
+    measurements.push(m);
+    let restart_warm_p50 = percentile(&restart.samples_ns, 0.50);
+    let restart_over_warm = restart_warm_p50 as f64 / warm_src_p50.max(1) as f64;
+    println!(
+        "restart: warm p50 {}  ({:.2}x in-memory warm-src p50)  byte-identical: {}  recompiles: {}",
+        harness::fmt_ns(restart_warm_p50),
+        restart_over_warm,
+        restart.equals_cold,
+        if restart.no_recompiles {
+            "none"
+        } else {
+            "SOME"
+        }
+    );
+    extras.push((
+        "restart_equals_cold".into(),
+        Extra::Bool(restart.equals_cold),
+    ));
+    extras.push((
+        "restart_no_recompiles".into(),
+        Extra::Bool(restart.no_recompiles),
+    ));
+    extras.push((
+        "restart_warm_p50_ns".into(),
+        Extra::Num(restart_warm_p50.to_string()),
+    ));
+    extras.push((
+        "restart_over_warm".into(),
+        Extra::Num(format!("{restart_over_warm:.2}")),
+    ));
+
     extras.push(("warm_equals_cold".into(), Extra::Bool(identical)));
     harness::push_host_extras(&mut extras, &[]);
 
-    let json = harness::to_json("bench_serve/v1", &measurements, &extras);
+    let json = harness::to_json("bench_serve/v2", &measurements, &extras);
     std::fs::write(&out_path, &json).expect("write BENCH_serve.json");
     println!("wrote {out_path}");
     if let Some((path, sink)) = obs_out {
@@ -268,6 +581,20 @@ fn main() {
     if warm_over_cold < MIN_WARM_OVER_COLD {
         eprintln!(
             "error: warm_over_cold {warm_over_cold:.2} < {MIN_WARM_OVER_COLD} acceptance floor"
+        );
+        std::process::exit(1);
+    }
+    if !restart.equals_cold {
+        eprintln!("error: a rehydrated plan differed from its cold compile");
+        std::process::exit(1);
+    }
+    if !restart.no_recompiles {
+        eprintln!("error: the rehydrated service recompiled a stored plan");
+        std::process::exit(1);
+    }
+    if restart_over_warm > MAX_RESTART_OVER_WARM {
+        eprintln!(
+            "error: restart_over_warm {restart_over_warm:.2} > {MAX_RESTART_OVER_WARM} acceptance ceiling"
         );
         std::process::exit(1);
     }

@@ -41,7 +41,7 @@ use aqua_volume::Machine;
 /// Version tag folded into every key: bump when the encoding, the plan
 /// format, or the solver semantics change incompatibly, so stale caches
 /// (in-process or persisted) can never serve plans from another era.
-const KEY_VERSION: &str = "aqua-serve-key/v1";
+pub(crate) const KEY_VERSION: &str = "aqua-serve-key/v1";
 
 /// Upper bound on WL refinement rounds; practical assay DAGs stabilize
 /// within (depth + 2) rounds, this is a safety valve for adversarial

@@ -53,6 +53,20 @@ impl Value {
             _ => None,
         }
     }
+
+    /// The value as a non-negative `u64`, if it is a whole number.
+    ///
+    /// Integer literals beyond `i64::MAX` parse as [`Value::Float`]
+    /// (e.g. a client sending `deadline_ms: 18446744073709551615`), so
+    /// whole floats in range are accepted too; the cast saturates at
+    /// `u64::MAX`. Negative numbers and fractions return `None`.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Int(n) if *n >= 0 => Some(*n as u64),
+            Value::Float(f) if *f >= 0.0 && f.fract() == 0.0 && f.is_finite() => Some(*f as u64),
+            _ => None,
+        }
+    }
 }
 
 /// Parses one complete JSON value; trailing non-whitespace is an error.

@@ -10,10 +10,18 @@
 //!   content-addressed cache key;
 //! * [`cache`] — a sharded LRU over compiled plans with exact-encoding
 //!   collision rejection;
-//! * [`service`] — single-flight admission, a bounded queue with typed
-//!   `Overloaded`/`Timeout` rejections, and a batcher feeding
-//!   `aqua_lp::batch`'s work-stealing pool;
-//! * [`server`] — NDJSON request/response fronts over stdin and TCP;
+//! * [`shard`] — consistent-hash routing of content keys onto worker
+//!   shards, each owning its own LRU + single-flight + batcher;
+//! * [`service`] — single-flight admission, bounded queues with typed
+//!   `Overloaded`/`Timeout`/`Shedding` rejections, per-tenant quotas,
+//!   and per-worker batchers feeding `aqua_lp::batch`'s work-stealing
+//!   pool;
+//! * [`store`] — a disk-backed content-addressed plan store (CRC-guarded
+//!   append-only segment log with torn-tail recovery and compaction)
+//!   that rehydrates the caches across restarts;
+//! * [`server`] — NDJSON request/response fronts over stdin and TCP,
+//!   with bounded line lengths and a transient-error-tolerant accept
+//!   loop;
 //! * [`plan`] / [`json`] — deterministic plan rendering and the
 //!   dependency-free JSON layer beneath the protocol.
 //!
@@ -53,8 +61,12 @@ pub mod json;
 pub mod plan;
 pub mod server;
 pub mod service;
+pub mod shard;
+pub mod store;
 
 pub use canon::{canonicalize, key_hex, parse_key_hex, Canon, CanonError};
 pub use plan::compile_plan;
 pub use server::{serve_stdin, spawn_tcp};
 pub use service::{ServeError, Served, Service, ServiceConfig};
+pub use shard::Ring;
+pub use store::{PlanStore, Record, RecoveryReport, StoreConfig};

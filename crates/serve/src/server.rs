@@ -6,36 +6,138 @@
 //! connection — connection counts for a plan-compilation service are
 //! tiny compared to its per-request compute, so thread-per-connection
 //! is the simple and sufficient choice.
+//!
+//! The fronts are hardened against hostile or broken clients:
+//!
+//! * request lines are read through a bounded reader — a line past
+//!   [`crate::ServiceConfig::max_line_bytes`] gets the typed
+//!   `too_large` rejection and the rest of the oversized line is
+//!   *streamed* to the trash (never buffered), so a client pouring
+//!   gigabytes with no newline cannot OOM the server;
+//! * invalid UTF-8 gets a `bad_request` parse error on that line and
+//!   the connection keeps serving — it no longer tears the whole
+//!   connection down;
+//! * the TCP accept loop survives transient `accept(2)` failures
+//!   (ECONNABORTED, EMFILE, …) with bounded exponential backoff and a
+//!   `serve.accept_errors` counter, exiting only on fatal errors.
 
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
-use crate::service::Service;
+use crate::service::{error_line, ServeError, Service};
+
+/// Outcome of one bounded line read.
+enum Line {
+    /// A complete line (without the trailing `\n`, `\r\n` stripped).
+    Full(Vec<u8>),
+    /// The line exceeded the cap; its tail was discarded unbuffered.
+    TooLong,
+    /// Input exhausted with no pending bytes.
+    Eof,
+}
+
+/// Reads one `\n`-terminated line, buffering at most `max_bytes` of it.
+/// The oversized remainder is consumed and dropped chunk-by-chunk
+/// straight out of the reader's internal buffer, so memory stays
+/// bounded no matter how long the client's "line" is.
+fn read_bounded_line(input: &mut impl BufRead, max_bytes: usize) -> io::Result<Line> {
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        let chunk = input.fill_buf()?;
+        if chunk.is_empty() {
+            return if line.is_empty() {
+                Ok(Line::Eof)
+            } else {
+                Ok(Line::Full(line))
+            };
+        }
+        match chunk.iter().position(|&b| b == b'\n') {
+            Some(nl) => {
+                if line.len() + nl > max_bytes {
+                    input.consume(nl + 1);
+                    return Ok(Line::TooLong);
+                }
+                line.extend_from_slice(&chunk[..nl]);
+                input.consume(nl + 1);
+                if line.last() == Some(&b'\r') {
+                    line.pop();
+                }
+                return Ok(Line::Full(line));
+            }
+            None => {
+                let len = chunk.len();
+                if line.len() + len > max_bytes {
+                    // Cap blown with no newline in sight: discard the
+                    // rest of this line without buffering it.
+                    input.consume(len);
+                    discard_until_newline(input)?;
+                    return Ok(Line::TooLong);
+                }
+                line.extend_from_slice(chunk);
+                input.consume(len);
+            }
+        }
+    }
+}
+
+/// Consumes input up to and including the next `\n` (or EOF) without
+/// retaining any of it.
+fn discard_until_newline(input: &mut impl BufRead) -> io::Result<()> {
+    loop {
+        let chunk = input.fill_buf()?;
+        if chunk.is_empty() {
+            return Ok(());
+        }
+        match chunk.iter().position(|&b| b == b'\n') {
+            Some(nl) => {
+                input.consume(nl + 1);
+                return Ok(());
+            }
+            None => {
+                let len = chunk.len();
+                input.consume(len);
+            }
+        }
+    }
+}
 
 /// Serves requests from `input` line-by-line, writing responses to
-/// `output`. Returns when the input is exhausted.
+/// `output`. Returns when the input is exhausted. Oversized lines get a
+/// `too_large` response, invalid UTF-8 a `bad_request` — both leave the
+/// stream in sync for the next line.
 ///
 /// # Errors
 ///
 /// Propagates I/O errors from either stream.
 pub fn serve_lines(
     service: &Service,
-    input: impl BufRead,
+    mut input: impl BufRead,
     mut output: impl Write,
 ) -> io::Result<()> {
-    for line in input.lines() {
-        let line = line?;
-        if line.trim().is_empty() {
-            continue;
-        }
-        let response = service.handle_line(&line);
+    let max_bytes = service.max_line_bytes();
+    loop {
+        let response = match read_bounded_line(&mut input, max_bytes)? {
+            Line::Eof => return Ok(()),
+            Line::TooLong => {
+                service.obs().add("serve.line.too_large", 1);
+                error_line("null", &ServeError::TooLarge { max_bytes })
+            }
+            Line::Full(bytes) => match std::str::from_utf8(&bytes) {
+                Err(e) => error_line(
+                    "null",
+                    &ServeError::BadRequest(format!("request line is not valid UTF-8: {e}")),
+                ),
+                Ok(line) if line.trim().is_empty() => continue,
+                Ok(line) => service.handle_line(line),
+            },
+        };
         output.write_all(response.as_bytes())?;
         output.write_all(b"\n")?;
         output.flush()?;
     }
-    Ok(())
 }
 
 /// Serves requests from stdin to stdout until EOF.
@@ -54,9 +156,38 @@ fn handle_conn(service: &Service, stream: TcpStream) -> io::Result<()> {
     serve_lines(service, reader, stream)
 }
 
+/// Whether an `accept(2)` error should stop the listener. Transient
+/// per-connection and resource-pressure failures (the client aborted
+/// mid-handshake, the process is briefly out of fds) are retried;
+/// anything else — the listener socket itself is broken — is fatal.
+pub fn accept_error_is_fatal(e: &io::Error) -> bool {
+    use io::ErrorKind;
+    match e.kind() {
+        ErrorKind::ConnectionAborted
+        | ErrorKind::ConnectionReset
+        | ErrorKind::Interrupted
+        | ErrorKind::WouldBlock
+        | ErrorKind::TimedOut => false,
+        _ => !matches!(
+            e.raw_os_error(),
+            // ENFILE(23) / EMFILE(24): fd exhaustion — ours or the
+            // system's — passes; ECONNABORTED(103) for kinds that
+            // didn't map.
+            Some(23) | Some(24) | Some(103)
+        ),
+    }
+}
+
+/// Backoff schedule for transient accept errors: exponential from 1 ms,
+/// capped at 1 s, reset by any successful accept.
+const ACCEPT_BACKOFF_START: Duration = Duration::from_millis(1);
+const ACCEPT_BACKOFF_CAP: Duration = Duration::from_secs(1);
+
 /// Binds `addr` and serves each connection on its own thread. Returns
-/// the bound address (useful with port 0) and the accept-loop handle;
-/// the loop runs until the process exits or the listener errors.
+/// the bound address (useful with port 0) and the accept-loop handle.
+/// Transient accept errors are retried with bounded backoff (counted
+/// under `serve.accept_errors`); the loop exits only on a fatal
+/// listener error or process exit.
 ///
 /// # Errors
 ///
@@ -68,9 +199,11 @@ pub fn spawn_tcp(service: Arc<Service>, addr: &str) -> io::Result<(SocketAddr, J
     let handle = std::thread::Builder::new()
         .name("aqua-serve-accept".into())
         .spawn(move || {
-            for conn in listener.incoming() {
-                match conn {
-                    Ok(stream) => {
+            let mut backoff = ACCEPT_BACKOFF_START;
+            loop {
+                match listener.accept() {
+                    Ok((stream, _peer)) => {
+                        backoff = ACCEPT_BACKOFF_START;
                         let service = Arc::clone(&service);
                         let spawned = std::thread::Builder::new()
                             .name("aqua-serve-conn".into())
@@ -84,8 +217,14 @@ pub fn spawn_tcp(service: Arc<Service>, addr: &str) -> io::Result<(SocketAddr, J
                         }
                     }
                     Err(e) => {
-                        eprintln!("aqua-serve: accept error: {e}");
-                        return;
+                        service.obs().add("serve.accept_errors", 1);
+                        if accept_error_is_fatal(&e) {
+                            eprintln!("aqua-serve: fatal accept error, stopping listener: {e}");
+                            return;
+                        }
+                        eprintln!("aqua-serve: transient accept error (retrying): {e}");
+                        std::thread::sleep(backoff);
+                        backoff = (backoff * 2).min(ACCEPT_BACKOFF_CAP);
                     }
                 }
             }
@@ -134,5 +273,39 @@ END
         let mut line = String::new();
         BufReader::new(conn).read_line(&mut line).unwrap();
         assert!(line.starts_with("{\"id\":\"t1\",\"ok\":true,"), "{line}");
+    }
+
+    #[test]
+    fn bounded_reader_handles_exact_and_overflow_lines() {
+        // max 8 bytes: "12345678\n" fits, "123456789\n" does not.
+        let mut input: &[u8] = b"12345678\n123456789\nok\n";
+        match read_bounded_line(&mut input, 8).unwrap() {
+            Line::Full(l) => assert_eq!(l, b"12345678"),
+            _ => panic!("exact-cap line must pass"),
+        }
+        assert!(matches!(
+            read_bounded_line(&mut input, 8).unwrap(),
+            Line::TooLong
+        ));
+        match read_bounded_line(&mut input, 8).unwrap() {
+            Line::Full(l) => assert_eq!(l, b"ok"),
+            _ => panic!("stream must resync after an oversized line"),
+        }
+        assert!(matches!(
+            read_bounded_line(&mut input, 8).unwrap(),
+            Line::Eof
+        ));
+    }
+
+    #[test]
+    fn accept_error_classification() {
+        use io::{Error, ErrorKind};
+        assert!(!accept_error_is_fatal(&Error::from(
+            ErrorKind::ConnectionAborted
+        )));
+        assert!(!accept_error_is_fatal(&Error::from_raw_os_error(24))); // EMFILE
+        assert!(!accept_error_is_fatal(&Error::from_raw_os_error(23))); // ENFILE
+        assert!(accept_error_is_fatal(&Error::from(ErrorKind::InvalidInput)));
+        assert!(accept_error_is_fatal(&Error::from_raw_os_error(9))); // EBADF
     }
 }

@@ -1,25 +1,43 @@
-//! The plan-compilation service: admission, single-flight, batching.
+//! The plan-compilation service: routing, admission, single-flight,
+//! batching, durability.
 //!
 //! Request lifecycle (every stage is spanned through `aqua-obs`):
 //!
 //! 1. **Canonicalize** — the request's DAG, output weights, and machine
 //!    are folded into a [`Canon`] whose key addresses the cache.
-//! 2. **Cache probe** — a hit (with encoding verification) returns the
-//!    cached plan bytes immediately.
-//! 3. **Single-flight admission** — concurrent misses for the *same*
+//! 2. **Route** — the key picks a worker shard on a consistent-hash
+//!    ring (see [`crate::shard`]). Each worker owns its own LRU,
+//!    single-flight table, queue, and batcher thread, so shards never
+//!    contend on one lock.
+//! 3. **Cache probe** — a hit (with encoding verification) returns the
+//!    cached plan bytes immediately. Hits bypass tenant admission:
+//!    they cost nanoseconds and shedding them would punish warm
+//!    tenants for cold ones.
+//! 4. **Tenant admission** — a miss is charged against its tenant's
+//!    concurrency quota, and a leader enqueue against the tenant's
+//!    queue quota; exceeding either sheds the request with the typed
+//!    [`ServeError::Shedding`] rejection (`serve.tenant.*` counters).
+//! 5. **Single-flight admission** — concurrent misses for the *same*
 //!    key coalesce onto one in-flight compile; only the first becomes a
 //!    queued job, the rest wait on its in-flight entry. Distinct misses
-//!    enter a bounded queue; a full queue rejects with
+//!    enter the worker's bounded queue; a full queue rejects with
 //!    [`ServeError::Overloaded`] instead of building unbounded backlog.
-//! 4. **Batched solve** — a batcher thread drains up to `max_batch`
-//!    queued jobs and fans them out on `aqua_lp::batch`'s work-stealing
-//!    pool (the same machinery as `solve_assays_parallel`), then
-//!    publishes results cache-first so later requests hit before the
-//!    in-flight entry is retired.
-//! 5. **Deadlines** — every request carries a deadline; waiting past it
+//! 6. **Batched solve** — each worker's batcher drains up to
+//!    `max_batch` queued jobs and fans them out on `aqua_lp::batch`'s
+//!    work-stealing pool, appends the results to the persistent plan
+//!    store (when configured), then publishes cache-first so later
+//!    requests hit before the in-flight entry is retired.
+//! 7. **Deadlines** — every request carries a deadline, clamped to
+//!    [`ServiceConfig::max_deadline_ms`] (a hostile `deadline_ms` can
+//!    therefore never overflow `Instant + Duration`); waiting past it
 //!    returns [`ServeError::Timeout`]. A request admitted with an
 //!    already-expired deadline times out deterministically *before*
 //!    enqueueing, which the golden protocol tests rely on.
+//!
+//! With a [`StoreConfig`] set, the service rehydrates every durable
+//! plan into the worker caches at startup, so warm-equals-cold
+//! byte-identity survives a process restart (proven end-to-end by
+//! `bench_serve`'s kill-and-restart phase).
 
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
@@ -38,27 +56,59 @@ use crate::cache::ShardedLru;
 use crate::canon::{self, Canon};
 use crate::json::{self, quote, Value};
 use crate::plan::compile_plan;
+use crate::shard::Ring;
+use crate::store::{PlanStore, StoreConfig};
+
+/// The tenant misses are charged to when a request names none.
+pub const DEFAULT_TENANT: &str = "default";
+
+/// Longest accepted tenant name on the wire (the tenant table is
+/// bounded by live requests, but a multi-megabyte tenant string would
+/// still be copied around).
+const MAX_TENANT_BYTES: usize = 128;
 
 /// Service tuning knobs. [`Default`] matches the paper machine and
 /// production-ish queue/cache sizes; tests shrink them to force the
-/// Overloaded/Timeout/eviction paths deterministically.
+/// Overloaded/Timeout/Shedding/eviction paths deterministically.
 #[derive(Clone)]
 pub struct ServiceConfig {
     /// Machine plans are compiled for unless the request overrides it.
     pub machine: Machine,
-    /// Total cached plans across all shards.
+    /// Total cached plans across all workers (each worker's LRU holds
+    /// `ceil(cache_capacity / worker_shards)`).
     pub cache_capacity: usize,
-    /// Number of independently locked cache shards.
+    /// Independently locked cache shards *per worker*.
     pub cache_shards: usize,
-    /// Bound on queued (admitted, not yet solved) jobs; `0` rejects
-    /// every miss with `Overloaded` (used by the golden tests).
+    /// Worker shards keys are consistently hashed over; each owns its
+    /// LRU + single-flight table + queue + batcher thread.
+    pub worker_shards: usize,
+    /// Bound on queued (admitted, not yet solved) jobs across the
+    /// service; each worker's queue holds `ceil(queue_capacity /
+    /// worker_shards)`. `0` rejects every miss with `Overloaded` (used
+    /// by the golden tests).
     pub queue_capacity: usize,
-    /// Worker threads for the batch solve; `0` = all available cores.
+    /// Worker threads for each batch solve; `0` = all available cores.
     pub solver_threads: usize,
     /// Most jobs drained per batch flush.
     pub max_batch: usize,
     /// Deadline applied to requests that don't carry one, in ms.
     pub default_deadline_ms: u64,
+    /// Hard cap on any request deadline, in ms. Wire requests above it
+    /// are rejected with [`ServeError::DeadlineTooLarge`]; programmatic
+    /// deadlines are clamped. Keeps a hostile `deadline_ms` from
+    /// overflowing `Instant + Duration` (which panics).
+    pub max_deadline_ms: u64,
+    /// Longest accepted NDJSON request line, in bytes; longer lines get
+    /// the typed [`ServeError::TooLarge`] response (see
+    /// [`crate::server::serve_lines`]).
+    pub max_line_bytes: usize,
+    /// Per-tenant cap on concurrent miss-path requests (compiles being
+    /// waited on). Exceeding it sheds with [`ServeError::Shedding`].
+    pub tenant_max_inflight: usize,
+    /// Per-tenant cap on queued (leader) compile jobs.
+    pub tenant_max_queued: usize,
+    /// Persistent plan store; `None` keeps the service memory-only.
+    pub store: Option<StoreConfig>,
     /// Observability handle threaded through admission → cache → solve.
     pub obs: Obs,
 }
@@ -69,17 +119,23 @@ impl Default for ServiceConfig {
             machine: Machine::paper_default(),
             cache_capacity: 1024,
             cache_shards: 8,
+            worker_shards: 4,
             queue_capacity: 256,
             solver_threads: 0,
             max_batch: 16,
             default_deadline_ms: 30_000,
+            max_deadline_ms: 600_000,
+            max_line_bytes: 1 << 20,
+            tenant_max_inflight: 64,
+            tenant_max_queued: 32,
+            store: None,
             obs: Obs::off(),
         }
     }
 }
 
 /// Typed request rejections (the wire `error` field is the lowercase
-/// variant name).
+/// tag in `error_line`).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ServeError {
     /// The request could not be parsed, lowered, or canonicalized.
@@ -90,6 +146,22 @@ pub enum ServeError {
     Timeout,
     /// A key-addressed lookup missed the cache.
     UnknownKey,
+    /// The tenant exceeded its concurrency or queue quota; the request
+    /// was shed to protect other tenants.
+    Shedding,
+    /// The request's `deadline_ms` exceeded the service cap.
+    DeadlineTooLarge {
+        /// The configured [`ServiceConfig::max_deadline_ms`].
+        max_ms: u64,
+    },
+    /// The request line exceeded the configured byte cap.
+    TooLarge {
+        /// The configured [`ServiceConfig::max_line_bytes`].
+        max_bytes: usize,
+    },
+    /// The persistent plan store failed to open (startup only; never a
+    /// wire response).
+    Store(String),
 }
 
 impl fmt::Display for ServeError {
@@ -99,6 +171,14 @@ impl fmt::Display for ServeError {
             ServeError::Overloaded => write!(f, "admission queue is full"),
             ServeError::Timeout => write!(f, "deadline expired before the plan was ready"),
             ServeError::UnknownKey => write!(f, "no cached plan under this key"),
+            ServeError::Shedding => write!(f, "tenant quota exceeded; request shed"),
+            ServeError::DeadlineTooLarge { max_ms } => {
+                write!(f, "`deadline_ms` exceeds the service cap of {max_ms} ms")
+            }
+            ServeError::TooLarge { max_bytes } => {
+                write!(f, "request line exceeds {max_bytes} bytes")
+            }
+            ServeError::Store(m) => write!(f, "plan store: {m}"),
         }
     }
 }
@@ -140,57 +220,169 @@ impl Flight {
 struct Job {
     canon: Canon,
     machine: Machine,
+    tenant: String,
     flight: Arc<Flight>,
 }
 
-struct Inner {
-    config: ServiceConfig,
+/// One worker shard: an LRU, a single-flight table, and a bounded
+/// queue its dedicated batcher drains. Workers share nothing but the
+/// tenant table and counters, so routing distributes lock pressure.
+struct Worker {
     cache: ShardedLru,
     inflight: Mutex<HashMap<u128, Arc<Flight>>>,
     queue: Mutex<VecDeque<Job>>,
     queue_cv: Condvar,
+}
+
+#[derive(Default)]
+struct TenantState {
+    inflight: usize,
+    queued: usize,
+}
+
+struct Inner {
+    config: ServiceConfig,
+    ring: Ring,
+    workers: Vec<Worker>,
+    store: Option<Mutex<PlanStore>>,
+    tenants: Mutex<HashMap<String, TenantState>>,
+    per_worker_queue: usize,
     shutdown: AtomicBool,
     dedups: AtomicU64,
     timeouts: AtomicU64,
     overloads: AtomicU64,
+    sheds: AtomicU64,
+}
+
+impl Inner {
+    fn worker(&self, key: u128) -> &Worker {
+        &self.workers[self.ring.route(key)]
+    }
+}
+
+/// Decrements a tenant's inflight count when a miss-path request
+/// leaves the service (any path: served, timed out, overloaded).
+struct TenantGuard<'a> {
+    inner: &'a Inner,
+    tenant: &'a str,
+}
+
+impl Drop for TenantGuard<'_> {
+    fn drop(&mut self) {
+        let mut tenants = self
+            .inner
+            .tenants
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        if let Some(state) = tenants.get_mut(self.tenant) {
+            state.inflight = state.inflight.saturating_sub(1);
+            if state.inflight == 0 && state.queued == 0 {
+                tenants.remove(self.tenant);
+            }
+        }
+    }
 }
 
 /// The multi-threaded plan-compilation service. Cheap to share behind
-/// an [`Arc`]; dropping the last handle shuts the batcher down after it
-/// drains the queue.
+/// an [`Arc`]; dropping the last handle shuts the batchers down after
+/// they drain their queues.
 pub struct Service {
     inner: Arc<Inner>,
-    worker: Option<JoinHandle<()>>,
+    batchers: Vec<JoinHandle<()>>,
 }
 
 impl Service {
-    /// Starts a service (and its batcher thread) with the given config.
+    /// Starts a service (and its per-worker batcher threads) with the
+    /// given config.
+    ///
+    /// # Panics
+    ///
+    /// If a persistent store is configured and fails to open; use
+    /// [`Service::try_new`] to handle that case.
     pub fn new(config: ServiceConfig) -> Service {
-        let cache = ShardedLru::new(
-            config.cache_capacity,
-            config.cache_shards,
-            config.obs.clone(),
-        );
+        Service::try_new(config).expect("service init")
+    }
+
+    /// Starts a service, opening (and rehydrating from) the persistent
+    /// plan store when one is configured.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Store`] if the store directory cannot be opened
+    /// or recovered. A memory-only config never fails.
+    pub fn try_new(config: ServiceConfig) -> Result<Service, ServeError> {
+        let worker_shards = config.worker_shards.max(1);
+        let per_worker_cache = config.cache_capacity.div_ceil(worker_shards).max(1);
+        let per_worker_queue = if config.queue_capacity == 0 {
+            0
+        } else {
+            config.queue_capacity.div_ceil(worker_shards)
+        };
+        let workers: Vec<Worker> = (0..worker_shards)
+            .map(|_| Worker {
+                cache: ShardedLru::new(per_worker_cache, config.cache_shards, config.obs.clone()),
+                inflight: Mutex::new(HashMap::new()),
+                queue: Mutex::new(VecDeque::new()),
+                queue_cv: Condvar::new(),
+            })
+            .collect();
+        let ring = Ring::new(worker_shards);
+
+        // Open the store and rehydrate the worker caches before any
+        // request can race the warm state.
+        let mut store = None;
+        if let Some(store_config) = config.store.clone() {
+            let (opened, records, report) =
+                PlanStore::open(store_config).map_err(|e| ServeError::Store(e.to_string()))?;
+            for record in records {
+                let worker = &workers[ring.route(record.key)];
+                worker.cache.insert(
+                    record.key,
+                    record.encoding,
+                    Served {
+                        key: record.key,
+                        plan: record.plan,
+                    },
+                );
+            }
+            config
+                .obs
+                .add("serve.store.rehydrated", report.records as u64);
+            if report.truncated_bytes > 0 || report.torn_records > 0 {
+                config
+                    .obs
+                    .add("serve.store.torn_records", report.torn_records as u64);
+                eprintln!(
+                    "aqua-serve: store recovery dropped {} torn record(s), truncated {} byte(s)",
+                    report.torn_records, report.truncated_bytes
+                );
+            }
+            store = Some(Mutex::new(opened));
+        }
+
         let inner = Arc::new(Inner {
-            cache,
+            ring,
+            workers,
+            store,
+            tenants: Mutex::new(HashMap::new()),
+            per_worker_queue,
             config,
-            inflight: Mutex::new(HashMap::new()),
-            queue: Mutex::new(VecDeque::new()),
-            queue_cv: Condvar::new(),
             shutdown: AtomicBool::new(false),
             dedups: AtomicU64::new(0),
             timeouts: AtomicU64::new(0),
             overloads: AtomicU64::new(0),
+            sheds: AtomicU64::new(0),
         });
-        let worker_inner = Arc::clone(&inner);
-        let worker = std::thread::Builder::new()
-            .name("aqua-serve-batcher".into())
-            .spawn(move || batch_loop(&worker_inner))
-            .expect("spawn batcher thread");
-        Service {
-            inner,
-            worker: Some(worker),
-        }
+        let batchers = (0..worker_shards)
+            .map(|w| {
+                let worker_inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("aqua-serve-batch-{w}"))
+                    .spawn(move || batch_loop(&worker_inner, w))
+                    .expect("spawn batcher thread")
+            })
+            .collect();
+        Ok(Service { inner, batchers })
     }
 
     /// Canonicalizes assay source text against `machine` without
@@ -251,12 +443,14 @@ impl Service {
     /// [`ServeError::UnknownKey`] if the key is not cached.
     pub fn submit_key(&self, key: u128) -> Result<Served, ServeError> {
         self.inner
+            .worker(key)
             .cache
             .get_by_key(key)
             .ok_or(ServeError::UnknownKey)
     }
 
-    /// Submits an already-canonicalized request.
+    /// Submits an already-canonicalized request under the default
+    /// tenant.
     ///
     /// # Errors
     ///
@@ -267,25 +461,53 @@ impl Service {
         machine: Machine,
         deadline: Option<Duration>,
     ) -> Result<Served, ServeError> {
+        self.submit_canon_tenant(canon, machine, deadline, DEFAULT_TENANT)
+    }
+
+    /// Submits an already-canonicalized request, charging any miss to
+    /// `tenant`'s admission quotas.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ServeError`]; see the module docs for the lifecycle.
+    pub fn submit_canon_tenant(
+        &self,
+        canon: Canon,
+        machine: Machine,
+        deadline: Option<Duration>,
+        tenant: &str,
+    ) -> Result<Served, ServeError> {
         let inner = &*self.inner;
         let obs = &inner.config.obs;
         let _span = obs.span("serve.submit");
+        // Clamp before the Instant addition: `now + huge Duration`
+        // panics, and a wire client controls `deadline_ms`.
+        let deadline_ms = deadline
+            .map(|d| u64::try_from(d.as_millis()).unwrap_or(u64::MAX))
+            .unwrap_or(inner.config.default_deadline_ms)
+            .min(inner.config.max_deadline_ms);
         let deadline_at = Instant::now()
-            + deadline.unwrap_or(Duration::from_millis(inner.config.default_deadline_ms));
+            .checked_add(Duration::from_millis(deadline_ms))
+            .unwrap_or_else(Instant::now);
         let key = canon.key;
+        let worker = inner.worker(key);
 
-        if let Some(hit) = inner.cache.get(key, &canon.encoding) {
+        if let Some(hit) = worker.cache.get(key, &canon.encoding) {
             return Ok(hit);
         }
 
+        // Miss path: charge the tenant's concurrency quota for the
+        // whole wait (the guard releases it on every exit path).
+        let _tenant_guard = inner.admit_tenant(tenant)?;
+
         let flight = {
-            let mut inflight = inner
+            let mut inflight = worker
                 .inflight
                 .lock()
                 .unwrap_or_else(PoisonError::into_inner);
             // Re-probe under the lock: the batcher publishes cache-first,
             // so a just-finished compile is visible here.
-            if let Some(hit) = inner.cache.get(key, &canon.encoding) {
+            if let Some(hit) = worker.cache.get(key, &canon.encoding) {
                 return Ok(hit);
             }
             if let Some(flight) = inflight.get(&key) {
@@ -300,10 +522,15 @@ impl Service {
                     obs.add("serve.timeout", 1);
                     return Err(ServeError::Timeout);
                 }
+                // A leader also holds a slot in the tenant's queue
+                // quota until the batcher drains its job.
+                inner.charge_tenant_queue(tenant)?;
                 let flight = Arc::new(Flight::new());
                 {
-                    let mut queue = inner.queue.lock().unwrap_or_else(PoisonError::into_inner);
-                    if queue.len() >= inner.config.queue_capacity {
+                    let mut queue = worker.queue.lock().unwrap_or_else(PoisonError::into_inner);
+                    if queue.len() >= inner.per_worker_queue {
+                        drop(queue);
+                        inner.release_tenant_queue(tenant);
                         inner.overloads.fetch_add(1, Ordering::Relaxed);
                         obs.add("serve.overloaded", 1);
                         return Err(ServeError::Overloaded);
@@ -311,10 +538,11 @@ impl Service {
                     queue.push_back(Job {
                         canon,
                         machine,
+                        tenant: tenant.to_owned(),
                         flight: Arc::clone(&flight),
                     });
                 }
-                inner.queue_cv.notify_one();
+                worker.queue_cv.notify_one();
                 inflight.insert(key, Arc::clone(&flight));
                 flight
             }
@@ -403,14 +631,36 @@ impl Service {
         };
         let deadline = match parsed.get("deadline_ms") {
             None => None,
-            Some(v) => match v.as_int() {
-                Some(ms) if ms >= 0 => Some(Duration::from_millis(ms as u64)),
-                _ => {
+            Some(v) => match v.as_u64() {
+                None => {
                     return error_line(
                         &id,
                         &ServeError::BadRequest(
                             "`deadline_ms` must be a non-negative integer".to_owned(),
                         ),
+                    )
+                }
+                Some(ms) if ms > self.inner.config.max_deadline_ms => {
+                    return error_line(
+                        &id,
+                        &ServeError::DeadlineTooLarge {
+                            max_ms: self.inner.config.max_deadline_ms,
+                        },
+                    )
+                }
+                Some(ms) => Some(Duration::from_millis(ms)),
+            },
+        };
+        let tenant = match parsed.get("tenant") {
+            None => DEFAULT_TENANT,
+            Some(v) => match v.as_str() {
+                Some(t) if t.len() <= MAX_TENANT_BYTES && !t.is_empty() => t,
+                _ => {
+                    return error_line(
+                        &id,
+                        &ServeError::BadRequest(format!(
+                        "`tenant` must be a non-empty string of at most {MAX_TENANT_BYTES} bytes"
+                    )),
                     )
                 }
             },
@@ -420,34 +670,70 @@ impl Service {
             Err(e) => return error_line(&id, &e),
         };
         let names = canon.names.clone();
-        match self.submit_canon(canon, machine, deadline) {
+        match self.submit_canon_tenant(canon, machine, deadline, tenant) {
             Ok(served) => success_line_named(&id, &served, &names),
             Err(e) => error_line(&id, &e),
         }
     }
 
-    /// Drops every cached plan (bench cold path; counters survive).
+    /// Drops every cached plan from memory (bench cold path; counters
+    /// and the persistent store survive — a restart would rehydrate).
     pub fn clear_cache(&self) {
-        self.inner.cache.clear();
+        for worker in &self.inner.workers {
+            worker.cache.clear();
+        }
     }
 
-    /// Current counters as a JSON object (fixed member order).
+    /// Number of plans held by the persistent store (`0` without one).
+    pub fn store_len(&self) -> usize {
+        match &self.inner.store {
+            None => 0,
+            Some(store) => store.lock().unwrap_or_else(PoisonError::into_inner).len(),
+        }
+    }
+
+    /// Compacts the persistent store's segments, if one is configured.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Store`] on I/O failure.
+    pub fn compact_store(&self) -> Result<usize, ServeError> {
+        match &self.inner.store {
+            None => Ok(0),
+            Some(store) => store
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .compact()
+                .map_err(|e| ServeError::Store(e.to_string())),
+        }
+    }
+
+    /// Current counters as a JSON object (fixed member order), summed
+    /// across all worker shards.
     pub fn stats_json(&self) -> String {
-        let c = &self.inner.cache.stats;
         let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        let sum = |f: fn(&crate::cache::CacheStats) -> &AtomicU64| -> u64 {
+            self.inner
+                .workers
+                .iter()
+                .map(|w| load(f(&w.cache.stats)))
+                .sum()
+        };
+        let cached: usize = self.inner.workers.iter().map(|w| w.cache.len()).sum();
         format!(
             "{{\"cached_plans\":{},\"hits\":{},\"misses\":{},\"inserts\":{},\
              \"evictions\":{},\"collisions\":{},\"singleflight_dedups\":{},\
-             \"timeouts\":{},\"overloads\":{}}}",
-            self.inner.cache.len(),
-            load(&c.hits),
-            load(&c.misses),
-            load(&c.inserts),
-            load(&c.evictions),
-            load(&c.collisions),
+             \"timeouts\":{},\"overloads\":{},\"sheds\":{}}}",
+            cached,
+            sum(|c| &c.hits),
+            sum(|c| &c.misses),
+            sum(|c| &c.inserts),
+            sum(|c| &c.evictions),
+            sum(|c| &c.collisions),
             load(&self.inner.dedups),
             load(&self.inner.timeouts),
             load(&self.inner.overloads),
+            load(&self.inner.sheds),
         )
     }
 
@@ -455,27 +741,97 @@ impl Service {
     pub fn dedup_count(&self) -> u64 {
         self.inner.dedups.load(Ordering::Relaxed)
     }
+
+    /// Number of requests shed by tenant admission so far.
+    pub fn shed_count(&self) -> u64 {
+        self.inner.sheds.load(Ordering::Relaxed)
+    }
+
+    /// The configured request-line byte cap (used by the transports).
+    pub fn max_line_bytes(&self) -> usize {
+        self.inner.config.max_line_bytes
+    }
+
+    pub(crate) fn obs(&self) -> &Obs {
+        &self.inner.config.obs
+    }
+}
+
+impl Inner {
+    /// Charges a miss to `tenant`'s concurrency quota, or sheds.
+    fn admit_tenant<'a>(&'a self, tenant: &'a str) -> Result<TenantGuard<'a>, ServeError> {
+        let obs = &self.config.obs;
+        let mut tenants = self.tenants.lock().unwrap_or_else(PoisonError::into_inner);
+        let state = tenants.entry(tenant.to_owned()).or_default();
+        if state.inflight >= self.config.tenant_max_inflight {
+            if state.inflight == 0 && state.queued == 0 {
+                tenants.remove(tenant);
+            }
+            drop(tenants);
+            self.sheds.fetch_add(1, Ordering::Relaxed);
+            obs.add("serve.tenant.shed", 1);
+            return Err(ServeError::Shedding);
+        }
+        state.inflight += 1;
+        drop(tenants);
+        obs.add("serve.tenant.admitted", 1);
+        Ok(TenantGuard {
+            inner: self,
+            tenant,
+        })
+    }
+
+    /// Charges a leader enqueue to `tenant`'s queue quota, or sheds.
+    fn charge_tenant_queue(&self, tenant: &str) -> Result<(), ServeError> {
+        let mut tenants = self.tenants.lock().unwrap_or_else(PoisonError::into_inner);
+        let state = tenants.entry(tenant.to_owned()).or_default();
+        if state.queued >= self.config.tenant_max_queued {
+            drop(tenants);
+            self.sheds.fetch_add(1, Ordering::Relaxed);
+            self.config.obs.add("serve.tenant.queue_shed", 1);
+            self.config.obs.add("serve.tenant.shed", 1);
+            return Err(ServeError::Shedding);
+        }
+        state.queued += 1;
+        Ok(())
+    }
+
+    /// Releases one queued-job slot for `tenant` (enqueue failed or the
+    /// batcher drained the job).
+    fn release_tenant_queue(&self, tenant: &str) {
+        let mut tenants = self.tenants.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(state) = tenants.get_mut(tenant) {
+            state.queued = state.queued.saturating_sub(1);
+            if state.inflight == 0 && state.queued == 0 {
+                tenants.remove(tenant);
+            }
+        }
+    }
 }
 
 impl Drop for Service {
     fn drop(&mut self) {
         self.inner.shutdown.store(true, Ordering::SeqCst);
-        self.inner.queue_cv.notify_all();
-        if let Some(worker) = self.worker.take() {
-            let _ = worker.join();
+        for worker in &self.inner.workers {
+            worker.queue_cv.notify_all();
+        }
+        for batcher in self.batchers.drain(..) {
+            let _ = batcher.join();
         }
     }
 }
 
-/// The batcher: drains up to `max_batch` jobs per flush and fans them
-/// out on the work-stealing pool. Results are published cache-first,
-/// then the in-flight entry is retired, then waiters are woken — so at
-/// every instant a request either hits the cache or finds the flight.
-fn batch_loop(inner: &Inner) {
+/// One worker's batcher: drains up to `max_batch` jobs per flush and
+/// fans them out on the work-stealing pool. Results are appended to the
+/// persistent store (when configured), published cache-first, then the
+/// in-flight entry is retired, then waiters are woken — so at every
+/// instant a request either hits the cache or finds the flight.
+fn batch_loop(inner: &Inner, worker_index: usize) {
     let obs = &inner.config.obs;
+    let worker = &inner.workers[worker_index];
     loop {
         let jobs: Vec<Job> = {
-            let mut queue = inner.queue.lock().unwrap_or_else(PoisonError::into_inner);
+            let mut queue = worker.queue.lock().unwrap_or_else(PoisonError::into_inner);
             loop {
                 if !queue.is_empty() {
                     break;
@@ -483,7 +839,7 @@ fn batch_loop(inner: &Inner) {
                 if inner.shutdown.load(Ordering::SeqCst) {
                     return;
                 }
-                queue = inner
+                queue = worker
                     .queue_cv
                     .wait(queue)
                     .unwrap_or_else(PoisonError::into_inner);
@@ -491,6 +847,10 @@ fn batch_loop(inner: &Inner) {
             let take = queue.len().min(inner.config.max_batch.max(1));
             queue.drain(..take).collect()
         };
+        // The drained jobs no longer occupy tenant queue slots.
+        for job in &jobs {
+            inner.release_tenant_queue(&job.tenant);
+        }
         obs.add("serve.batch.flushes", 1);
         obs.record("serve.batch.size", jobs.len() as u64);
         let threads = if inner.config.solver_threads == 0 {
@@ -505,16 +865,29 @@ fn batch_loop(inner: &Inner) {
             compile_plan(&jobs[i].canon, &jobs[i].machine, obs)
         });
         for (job, plan) in jobs.into_iter().zip(plans) {
+            if let Some(store) = &inner.store {
+                let mut store = store.lock().unwrap_or_else(PoisonError::into_inner);
+                match store.append(job.canon.key, &job.canon.encoding, &plan) {
+                    Ok(true) => obs.add("serve.store.appends", 1),
+                    Ok(false) => {}
+                    Err(e) => {
+                        // Durability is best-effort: keep serving from
+                        // memory, but say so loudly.
+                        obs.add("serve.store.errors", 1);
+                        eprintln!("aqua-serve: store append failed: {e}");
+                    }
+                }
+            }
             let served = Served {
                 key: job.canon.key,
                 plan: Arc::from(plan),
             };
-            inner.cache.insert(
+            worker.cache.insert(
                 job.canon.key,
                 Arc::clone(&job.canon.encoding),
                 served.clone(),
             );
-            inner
+            worker
                 .inflight
                 .lock()
                 .unwrap_or_else(PoisonError::into_inner)
@@ -552,12 +925,16 @@ fn success_line_named(id: &str, served: &Served, names: &[String]) -> String {
     )
 }
 
-fn error_line(id: &str, error: &ServeError) -> String {
+pub(crate) fn error_line(id: &str, error: &ServeError) -> String {
     let tag = match error {
         ServeError::BadRequest(_) => "bad_request",
         ServeError::Overloaded => "overloaded",
         ServeError::Timeout => "timeout",
         ServeError::UnknownKey => "unknown_key",
+        ServeError::Shedding => "shedding",
+        ServeError::DeadlineTooLarge { .. } => "deadline_too_large",
+        ServeError::TooLarge { .. } => "too_large",
+        ServeError::Store(_) => "store",
     };
     format!(
         "{{\"id\":{id},\"ok\":false,\"error\":\"{tag}\",\"message\":{}}}",
@@ -687,6 +1064,14 @@ END
         Service::new(config)
     }
 
+    fn total_hits(svc: &Service) -> u64 {
+        svc.inner
+            .workers
+            .iter()
+            .map(|w| w.cache.stats.hits.load(Ordering::Relaxed))
+            .sum()
+    }
+
     #[test]
     fn warm_hit_is_byte_identical_to_cold() {
         let svc = service(ServiceConfig::default());
@@ -695,7 +1080,7 @@ END
         let warm = svc.submit_src(TINY, &machine, None).unwrap();
         assert_eq!(cold.key, warm.key);
         assert_eq!(cold.plan, warm.plan);
-        assert_eq!(svc.inner.cache.stats.hits.load(Ordering::Relaxed), 1);
+        assert_eq!(total_hits(&svc), 1);
     }
 
     #[test]
@@ -734,6 +1119,64 @@ END
         svc.submit_src(TINY, &machine, None).unwrap();
         svc.submit_src(TINY, &machine, Some(Duration::ZERO))
             .unwrap();
+    }
+
+    #[test]
+    fn huge_programmatic_deadline_is_clamped_not_panicking() {
+        let svc = service(ServiceConfig::default());
+        let machine = Machine::paper_default();
+        // Pre-fix this paniced in `Instant::now() + Duration`.
+        let served = svc
+            .submit_src(TINY, &machine, Some(Duration::from_millis(u64::MAX)))
+            .unwrap();
+        assert!(!served.plan.is_empty());
+    }
+
+    #[test]
+    fn tenant_inflight_quota_sheds() {
+        let svc = service(ServiceConfig {
+            tenant_max_inflight: 0,
+            ..ServiceConfig::default()
+        });
+        let machine = Machine::paper_default();
+        let canon = Service::canon_src(TINY, &machine).unwrap();
+        let err = svc
+            .submit_canon_tenant(canon.clone(), machine.clone(), None, "acme")
+            .unwrap_err();
+        assert_eq!(err, ServeError::Shedding);
+        assert_eq!(svc.shed_count(), 1);
+        // The default tenant is bound by the same config; a hit would
+        // still be served — warm the cache via a permissive service
+        // config instead to prove hits bypass admission.
+        let warm_svc = service(ServiceConfig {
+            tenant_max_inflight: 1,
+            ..ServiceConfig::default()
+        });
+        warm_svc
+            .submit_canon_tenant(canon.clone(), machine.clone(), None, "acme")
+            .unwrap();
+        // Hot path: quota exhausted would not matter, hits bypass.
+        warm_svc
+            .submit_canon_tenant(canon, machine, None, "acme")
+            .unwrap();
+    }
+
+    #[test]
+    fn tenant_state_is_reclaimed_when_idle() {
+        let svc = service(ServiceConfig::default());
+        let machine = Machine::paper_default();
+        let canon = Service::canon_src(TINY, &machine).unwrap();
+        svc.submit_canon_tenant(canon, machine, None, "ephemeral")
+            .unwrap();
+        let tenants = svc
+            .inner
+            .tenants
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        assert!(
+            tenants.is_empty(),
+            "tenant table must not grow without bound"
+        );
     }
 
     #[test]
@@ -783,5 +1226,17 @@ END
             let v = json::parse(&resp).expect("error response is valid JSON");
             assert_eq!(v.get("ok"), Some(&Value::Bool(false)));
         }
+    }
+
+    #[test]
+    fn single_worker_config_still_works() {
+        let svc = service(ServiceConfig {
+            worker_shards: 1,
+            ..ServiceConfig::default()
+        });
+        let machine = Machine::paper_default();
+        let cold = svc.submit_src(TINY, &machine, None).unwrap();
+        let warm = svc.submit_src(TINY, &machine, None).unwrap();
+        assert_eq!(cold.plan, warm.plan);
     }
 }

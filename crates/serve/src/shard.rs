@@ -1,0 +1,173 @@
+//! Consistent-hash routing of content keys onto worker shards.
+//!
+//! The serve tier routes every content key (already an FNV-1a-128 hash
+//! of the request's canonical encoding, see [`crate::canon`]) to one of
+//! N worker shards, each of which owns its own LRU cache, single-flight
+//! table, queue, and batcher thread — shards never contend on a shared
+//! lock. Routing is a classic consistent-hash ring:
+//!
+//! * each worker contributes `REPLICAS` virtual points, placed at
+//!   `fnv1a64("aqua-serve-ring" ‖ worker ‖ replica)`;
+//! * a key routes to the owner of the first ring point at or after the
+//!   key's own 64-bit projection (its low half — the key is already a
+//!   uniform hash, so no re-mixing is needed), wrapping at the top.
+//!
+//! Consistent hashing (rather than `key % N`) keeps the map stable as
+//! the fleet is resized: growing from N to N+1 workers moves only
+//! ~1/(N+1) of the keyspace, so a rolling resize invalidates a sliver
+//! of each worker's warm set instead of reshuffling all of it. The
+//! [`Ring::moved_fraction`] helper (used by the tests) measures exactly
+//! that.
+
+/// Virtual points per worker. 64 keeps the worst/best worker load
+/// spread within a few percent for small fleets while the ring stays a
+/// cache-friendly sorted `Vec`.
+const REPLICAS: usize = 64;
+
+/// FNV-1a 64-bit, the ring's point hash (dependency-free, stable),
+/// finished with a splitmix64 mix: raw FNV of short structured labels
+/// clusters in the low bits, which would leave the ring badly
+/// unbalanced.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    mix64(h)
+}
+
+/// splitmix64 finalizer: full-avalanche bijection on `u64`.
+fn mix64(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    x
+}
+
+/// A consistent-hash ring over `workers` shards. Construction is
+/// deterministic: the same worker count always yields the same ring,
+/// so routing is reproducible across processes and restarts.
+#[derive(Debug, Clone)]
+pub struct Ring {
+    /// `(point, worker)` sorted by point (ties broken by worker id,
+    /// which keeps construction order-independent).
+    points: Vec<(u64, u32)>,
+    workers: u32,
+}
+
+impl Ring {
+    /// Builds the ring for `workers` shards (clamped to at least 1).
+    pub fn new(workers: usize) -> Ring {
+        let workers = workers.max(1) as u32;
+        let mut points = Vec::with_capacity(workers as usize * REPLICAS);
+        for w in 0..workers {
+            for r in 0..REPLICAS as u32 {
+                let mut label = [0u8; 23];
+                label[..15].copy_from_slice(b"aqua-serve-ring");
+                label[15..19].copy_from_slice(&w.to_le_bytes());
+                label[19..].copy_from_slice(&r.to_le_bytes());
+                points.push((fnv1a64(&label), w));
+            }
+        }
+        points.sort_unstable();
+        Ring { points, workers }
+    }
+
+    /// Number of workers the ring routes over.
+    pub fn workers(&self) -> usize {
+        self.workers as usize
+    }
+
+    /// Routes a content key to its owning worker shard.
+    pub fn route(&self, key: u128) -> usize {
+        let point = key as u64; // low half; the key is already uniform
+        let i = self.points.partition_point(|&(p, _)| p < point);
+        let (_, worker) = self.points[i % self.points.len()];
+        worker as usize
+    }
+
+    /// Fraction of `sample` keys that route differently on `other`
+    /// (test/diagnostic helper for resize stability).
+    pub fn moved_fraction(&self, other: &Ring, sample: impl Iterator<Item = u128>) -> f64 {
+        let mut total = 0usize;
+        let mut moved = 0usize;
+        for key in sample {
+            total += 1;
+            if self.route(key) != other.route(key) {
+                moved += 1;
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            moved as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqua_rational::rng::XorShift64Star;
+
+    fn sample_keys(n: usize, seed: u64) -> Vec<u128> {
+        let mut rng = XorShift64Star::new(seed);
+        (0..n)
+            .map(|_| (rng.next_u64() as u128) << 64 | rng.next_u64() as u128)
+            .collect()
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_in_range() {
+        let ring = Ring::new(5);
+        let again = Ring::new(5);
+        for key in sample_keys(1000, 7) {
+            let w = ring.route(key);
+            assert!(w < 5);
+            assert_eq!(w, again.route(key));
+        }
+    }
+
+    #[test]
+    fn load_is_roughly_balanced() {
+        let ring = Ring::new(8);
+        let mut counts = [0usize; 8];
+        let keys = sample_keys(20_000, 42);
+        for &key in &keys {
+            counts[ring.route(key)] += 1;
+        }
+        let expected = keys.len() / 8;
+        for (w, &c) in counts.iter().enumerate() {
+            assert!(
+                c > expected / 3 && c < expected * 3,
+                "worker {w} got {c} of {} keys (expected ~{expected})",
+                keys.len()
+            );
+        }
+    }
+
+    #[test]
+    fn resize_moves_only_a_fraction_of_the_keyspace() {
+        let before = Ring::new(8);
+        let after = Ring::new(9);
+        let moved = before.moved_fraction(&after, sample_keys(20_000, 99).into_iter());
+        // Ideal is 1/9 ≈ 0.11; allow generous slack, but far below the
+        // ~0.89 a modulo router would reshuffle.
+        assert!(moved < 0.35, "resize moved {moved:.2} of the keyspace");
+        assert!(moved > 0.0);
+    }
+
+    #[test]
+    fn single_worker_takes_everything() {
+        let ring = Ring::new(1);
+        assert_eq!(ring.workers(), 1);
+        for key in sample_keys(100, 3) {
+            assert_eq!(ring.route(key), 0);
+        }
+        // Zero clamps to one.
+        assert_eq!(Ring::new(0).workers(), 1);
+    }
+}

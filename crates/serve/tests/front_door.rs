@@ -1,0 +1,205 @@
+//! Regression tests for the three front-door bugs: the
+//! `deadline_ms`-overflow panic, the accept loop dying on transient
+//! errors, and unbounded request lines.
+//!
+//! Each test exercises the hostile input that used to take the service
+//! (or one of its threads) down, then proves the connection/service
+//! still serves normal traffic afterwards.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use aqua_serve::json::{self, quote, Value};
+use aqua_serve::server::{accept_error_is_fatal, serve_lines, spawn_tcp};
+use aqua_serve::{ServeError, Service, ServiceConfig};
+use aqua_volume::Machine;
+
+const TINY: &str = "
+ASSAY tiny START
+fluid A, B, m;
+VAR Result[1];
+m = MIX A AND B IN RATIOS 1 : 4 FOR 10;
+SENSE OPTICAL it INTO Result[1];
+END
+";
+
+fn parse(line: &str) -> Value {
+    json::parse(line).expect("response must be valid JSON")
+}
+
+/// Bug 1: `deadline_ms: 18446744073709551615` used to reach
+/// `Instant::now() + Duration::from_millis(u64::MAX)`, which panics and
+/// kills the submitting thread. Now it's a typed `deadline_too_large`
+/// rejection and the service keeps serving.
+#[test]
+fn huge_wire_deadline_is_rejected_not_a_panic() {
+    let svc = Service::new(ServiceConfig::default());
+    let resp = svc.handle_line(&format!(
+        "{{\"id\":1,\"src\":{},\"deadline_ms\":18446744073709551615}}",
+        quote(TINY)
+    ));
+    let v = parse(&resp);
+    assert_eq!(v.get("ok"), Some(&Value::Bool(false)));
+    assert_eq!(
+        v.get("error").and_then(Value::as_str),
+        Some("deadline_too_large")
+    );
+
+    // i64::MAX ms is also beyond any sane cap.
+    let resp = svc.handle_line(&format!(
+        "{{\"id\":2,\"src\":{},\"deadline_ms\":9223372036854775807}}",
+        quote(TINY)
+    ));
+    assert_eq!(
+        parse(&resp).get("error").and_then(Value::as_str),
+        Some("deadline_too_large")
+    );
+
+    // Negative and fractional deadlines stay bad_request.
+    for bad in ["-1", "1.5"] {
+        let resp = svc.handle_line(&format!(
+            "{{\"id\":3,\"src\":{},\"deadline_ms\":{bad}}}",
+            quote(TINY)
+        ));
+        assert_eq!(
+            parse(&resp).get("error").and_then(Value::as_str),
+            Some("bad_request"),
+            "deadline_ms={bad}"
+        );
+    }
+
+    // The service is still alive and compiles normally.
+    let resp = svc.handle_line(&format!("{{\"id\":4,\"src\":{}}}", quote(TINY)));
+    assert_eq!(parse(&resp).get("ok"), Some(&Value::Bool(true)));
+}
+
+/// The programmatic API clamps instead of rejecting: a caller-supplied
+/// `Duration` beyond the cap must neither panic nor error.
+#[test]
+fn huge_programmatic_deadline_is_clamped() {
+    let svc = Service::new(ServiceConfig::default());
+    let machine = Machine::paper_default();
+    let served = svc
+        .submit_src(
+            TINY,
+            &machine,
+            Some(std::time::Duration::from_millis(u64::MAX)),
+        )
+        .expect("clamped deadline must serve");
+    assert!(!served.plan.is_empty());
+}
+
+/// Bug 2: one transient `accept(2)` error used to return from the
+/// accept loop, permanently killing the listener. The classification
+/// is unit-tested in `server.rs`; here we prove the listener survives
+/// rude connection churn (immediate RST-ish drops) and still serves.
+#[test]
+fn listener_survives_connection_churn() {
+    let svc = Arc::new(Service::new(ServiceConfig::default()));
+    let (addr, _accept) = spawn_tcp(Arc::clone(&svc), "127.0.0.1:0").expect("bind");
+
+    for _ in 0..32 {
+        // Connect and slam the door: drop without reading or writing.
+        let conn = TcpStream::connect(addr).expect("connect");
+        drop(conn);
+    }
+
+    // Transient errors must be retried...
+    assert!(!accept_error_is_fatal(&std::io::Error::from_raw_os_error(
+        103 // ECONNABORTED
+    )));
+    assert!(!accept_error_is_fatal(&std::io::Error::from_raw_os_error(
+        24 // EMFILE
+    )));
+
+    // ...and the listener still answers a clean request afterwards.
+    let mut conn = TcpStream::connect(addr).expect("listener must still accept");
+    let req = format!("{{\"id\":\"after\",\"src\":{}}}\n", quote(TINY));
+    conn.write_all(req.as_bytes()).expect("write");
+    conn.shutdown(std::net::Shutdown::Write).expect("shutdown");
+    let mut line = String::new();
+    BufReader::new(conn).read_line(&mut line).expect("read");
+    assert!(
+        line.starts_with("{\"id\":\"after\",\"ok\":true,"),
+        "listener dead after churn: {line}"
+    );
+}
+
+/// Bug 3a: an over-long request line used to be buffered without bound
+/// (OOM lever). Now it yields a typed `too_large` response, memory use
+/// stays capped, and the *next* line on the connection still works.
+#[test]
+fn oversized_line_gets_too_large_and_stream_resyncs() {
+    let svc = Service::new(ServiceConfig {
+        max_line_bytes: 256,
+        ..ServiceConfig::default()
+    });
+
+    // ~4 KiB of garbage with no interior newline, then a valid command.
+    let mut input = vec![b'x'; 4096];
+    input.push(b'\n');
+    input.extend_from_slice(b"{\"id\":2,\"cmd\":\"stats\"}\n");
+    let mut out = Vec::new();
+    serve_lines(&svc, input.as_slice(), &mut out).expect("serve");
+    let text = String::from_utf8(out).expect("utf8 responses");
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 2, "{text}");
+    let first = parse(lines[0]);
+    assert_eq!(first.get("ok"), Some(&Value::Bool(false)));
+    assert_eq!(
+        first.get("error").and_then(Value::as_str),
+        Some("too_large")
+    );
+    let second = parse(lines[1]);
+    assert_eq!(second.get("ok"), Some(&Value::Bool(true)), "{text}");
+}
+
+/// Bug 3b: invalid UTF-8 used to kill the whole connection via the
+/// `lines()` error path. Now it's a `bad_request` for that line only.
+#[test]
+fn invalid_utf8_line_gets_bad_request_and_connection_continues() {
+    let svc = Service::new(ServiceConfig::default());
+    let mut input: Vec<u8> = Vec::new();
+    input.extend_from_slice(b"{\"id\":1,\"cmd\":\"stats\"\xff\xfe}\n");
+    input.extend_from_slice(b"{\"id\":2,\"cmd\":\"stats\"}\n");
+    let mut out = Vec::new();
+    serve_lines(&svc, input.as_slice(), &mut out).expect("serve");
+    let text = String::from_utf8(out).expect("utf8 responses");
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 2, "{text}");
+    let first = parse(lines[0]);
+    assert_eq!(first.get("ok"), Some(&Value::Bool(false)));
+    assert_eq!(
+        first.get("error").and_then(Value::as_str),
+        Some("bad_request")
+    );
+    assert_eq!(parse(lines[1]).get("ok"), Some(&Value::Bool(true)));
+}
+
+/// Tenant quotas shed over-limit tenants with the typed `shedding`
+/// error on the wire, without touching other tenants.
+#[test]
+fn tenant_quota_sheds_on_the_wire() {
+    let svc = Service::new(ServiceConfig {
+        tenant_max_inflight: 0, // every miss sheds
+        ..ServiceConfig::default()
+    });
+    let resp = svc.handle_line(&format!(
+        "{{\"id\":1,\"src\":{},\"tenant\":\"noisy\"}}",
+        quote(TINY)
+    ));
+    let v = parse(&resp);
+    assert_eq!(v.get("ok"), Some(&Value::Bool(false)));
+    assert_eq!(v.get("error").and_then(Value::as_str), Some("shedding"));
+    assert_eq!(svc.shed_count(), 1);
+
+    // Direct API agrees.
+    let machine = Machine::paper_default();
+    let canon = Service::canon_src(TINY, &machine).expect("canon");
+    assert_eq!(
+        svc.submit_canon_tenant(canon, machine, None, "noisy")
+            .unwrap_err(),
+        ServeError::Shedding
+    );
+}

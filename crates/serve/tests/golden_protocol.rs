@@ -74,7 +74,7 @@ fn golden_stats() {
     // under the single-flight lock), hence misses=2 for one compile.
     let want = "{\"id\":3,\"ok\":true,\"stats\":{\"cached_plans\":1,\
 \"hits\":2,\"misses\":2,\"inserts\":1,\"evictions\":0,\"collisions\":0,\
-\"singleflight_dedups\":0,\"timeouts\":0,\"overloads\":0}}";
+\"singleflight_dedups\":0,\"timeouts\":0,\"overloads\":0,\"sheds\":0}}";
     assert_eq!(got, want);
 }
 

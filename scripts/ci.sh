@@ -16,9 +16,15 @@
 #   7. fault-recovery smoke  (fault_sweep --quick: 100% recovery at rate 0)
 #   8. serve stress suite    (8 threads x 200 requests, deadlock-guarded
 #      by `timeout`: a hang is a bug, not a slow test)
-#   9. serve bench smoke     (bench_serve --quick: warm >= 10x cold and
-#      warm plans byte-identical to cold, enforced by the binary itself;
-#      plus the cold-path field contract the perf trajectory reads)
+#      + front-door regression tests (deadline overflow, accept-loop
+#        resilience, bounded request lines) and the store crash-recovery
+#        property suite (randomized truncation/corruption + the
+#        restart-rehydration smoke)
+#   9. serve bench smoke     (bench_serve --quick: warm >= 10x cold,
+#      warm plans byte-identical to cold, restart rehydration
+#      byte-identical with zero recompiles, and warm-after-restart p50
+#      within 10x of in-memory warm — all enforced by the binary itself;
+#      plus the field contract the perf trajectory reads)
 #  10. scheduler differential suite (scheduled executor bit-identical
 #      to sequential on paper assays + seeded synthetics, fault-free
 #      and faulted)
@@ -87,6 +93,12 @@ cargo run --release -p aqua-bench --bin fault_sweep -- --quick --out target/BENC
 echo "==> serve stress suite (timeout-guarded: a hang is a deadlock)"
 timeout 300 cargo test -q --release -p aqua-serve --test stress -- --test-threads=1
 
+echo "==> serve front-door regressions (deadline overflow, accept loop, line caps)"
+timeout 300 cargo test -q --release -p aqua-serve --test front_door
+
+echo "==> serve store crash-recovery property suite + restart-rehydration smoke"
+timeout 300 cargo test -q --release -p aqua-serve --test store_recovery
+
 echo "==> bench_serve --quick (cold vs warm smoke test)"
 cargo run --release -p aqua-bench --bin bench_serve -- --quick \
   --out target/BENCH_serve.quick.json
@@ -94,9 +106,12 @@ cargo run --release -p aqua-bench --bin bench_serve -- --quick \
 # the speedup floor is missed; the greps guard the JSON contract that
 # downstream tooling (EXPERIMENTS.md tables) reads.
 test -s target/BENCH_serve.quick.json
-for field in '"schema": "bench_serve/v1"' '"warm_over_cold"' '"cold_rps"' \
+for field in '"schema": "bench_serve/v2"' '"warm_over_cold"' '"cold_rps"' \
              '"warm_src_rps"' '"warm_key_rps"' '"warm_equals_cold": true' \
-             '"enzyme10_cold_p50_ns"' '"enzyme10_cold_p99_ns"'; do
+             '"enzyme10_cold_p50_ns"' '"enzyme10_cold_p99_ns"' \
+             '"traffic_p50_ns"' '"traffic_p99_ns"' '"traffic_p999_ns"' \
+             '"traffic_shed_rate"' '"restart_equals_cold": true' \
+             '"restart_no_recompiles": true' '"restart_over_warm"'; do
   if ! grep -q "$field" target/BENCH_serve.quick.json; then
     echo "error: BENCH_serve.quick.json is missing $field" >&2
     exit 1

@@ -7,8 +7,11 @@
 //! aquac exec    <assay-file> [--machine CAP,LC] [--yield FRACTION]
 //!               [--parallel] [--instances N] [--threads N]
 //! aquac serve   [--tcp ADDR] [--machine CAP,LC] [--cache-cap N]
-//!               [--shards N] [--workers N] [--queue-cap N]
-//!               [--max-batch N] [--deadline-ms N] [--obs]
+//!               [--shards N] [--worker-shards N] [--workers N]
+//!               [--queue-cap N] [--max-batch N] [--deadline-ms N]
+//!               [--max-deadline-ms N] [--max-line-bytes N]
+//!               [--store DIR] [--tenant-inflight N]
+//!               [--tenant-queue N] [--obs]
 //! ```
 //!
 //! * `compile` prints the requested artifact (default: AIS assembly);
@@ -24,7 +27,12 @@
 //!   results);
 //! * `serve` starts the plan-compilation service: one JSON request per
 //!   stdin line, one JSON response per stdout line (and the same
-//!   protocol on `--tcp ADDR`), with content-addressed plan caching.
+//!   protocol on `--tcp ADDR`), with content-addressed plan caching
+//!   sharded over `--worker-shards` consistent-hash workers. `--store
+//!   DIR` persists every compiled plan to a segment-log store and
+//!   rehydrates the caches on restart; `--tenant-inflight` /
+//!   `--tenant-queue` bound each tenant's share of the service;
+//!   `--max-deadline-ms` and `--max-line-bytes` cap hostile requests.
 //!   `--obs` prints an observability summary at EOF.
 //!
 //! `--machine CAP,LC` sets capacity and least count in nanoliters
@@ -361,11 +369,28 @@ fn serve_main(rest: &[String]) -> Result<(), String> {
             }
             "--cache-cap" => config.cache_capacity = next_usize(&mut it, "--cache-cap")?,
             "--shards" => config.cache_shards = next_usize(&mut it, "--shards")?,
+            "--worker-shards" => config.worker_shards = next_usize(&mut it, "--worker-shards")?,
             "--workers" => config.solver_threads = next_usize(&mut it, "--workers")?,
             "--queue-cap" => config.queue_capacity = next_usize(&mut it, "--queue-cap")?,
             "--max-batch" => config.max_batch = next_usize(&mut it, "--max-batch")?,
             "--deadline-ms" => {
                 config.default_deadline_ms = next_usize(&mut it, "--deadline-ms")? as u64;
+            }
+            "--max-deadline-ms" => {
+                config.max_deadline_ms = next_usize(&mut it, "--max-deadline-ms")? as u64;
+            }
+            "--max-line-bytes" => {
+                config.max_line_bytes = next_usize(&mut it, "--max-line-bytes")?;
+            }
+            "--store" => {
+                let dir = it.next().ok_or("--store needs a directory")?;
+                config.store = Some(aqua_serve::StoreConfig::at(dir));
+            }
+            "--tenant-inflight" => {
+                config.tenant_max_inflight = next_usize(&mut it, "--tenant-inflight")?;
+            }
+            "--tenant-queue" => {
+                config.tenant_max_queued = next_usize(&mut it, "--tenant-queue")?;
             }
             "--obs" => with_obs = true,
             other => return Err(format!("unknown argument `{other}`\n{}", usage())),
@@ -379,7 +404,7 @@ fn serve_main(rest: &[String]) -> Result<(), String> {
         None
     };
 
-    let service = std::sync::Arc::new(Service::new(config));
+    let service = std::sync::Arc::new(Service::try_new(config).map_err(|e| e.to_string())?);
     if let Some(addr) = tcp_addr {
         let (local, _accept) =
             spawn_tcp(std::sync::Arc::clone(&service), &addr).map_err(|e| e.to_string())?;
@@ -413,7 +438,9 @@ fn usage() -> String {
      or: aquac exec <assay-file> [--machine CAP,LC] [--yield F] \
      [--parallel] [--instances N] [--threads N]\n   \
      or: aquac serve [--tcp ADDR] [--machine CAP,LC] [--cache-cap N] \
-     [--shards N] [--workers N] [--queue-cap N] [--max-batch N] \
-     [--deadline-ms N] [--obs]"
+     [--shards N] [--worker-shards N] [--workers N] [--queue-cap N] \
+     [--max-batch N] [--deadline-ms N] [--max-deadline-ms N] \
+     [--max-line-bytes N] [--store DIR] [--tenant-inflight N] \
+     [--tenant-queue N] [--obs]"
         .to_owned()
 }
