@@ -1,0 +1,486 @@
+//! Million-run deterministic replay soak over the descriptor log.
+//!
+//! Usage: `cargo run --release --bin bench_replay [--quick] [--out PATH]`
+//!
+//! Four phases, writing `BENCH_replay.json` at the repo root:
+//!
+//! * **record** — measures the recorded-run cost: a genuine compile
+//!   plus one execution per descriptor, sampled per assay and weighted
+//!   by the fleet mix. This is what each original run cost before its
+//!   descriptor landed in the log.
+//! * **log** — appends the whole fleet to a CRC-guarded descriptor log
+//!   in a temp directory, reopens it, and requires the recovered fleet
+//!   to match what was appended record-for-record.
+//! * **soak** — replays the recovered fleet from cached plans (no
+//!   recompilation) until the run floor is reached: 1,000,000+
+//!   executions in full mode. The first passes run at 1, 2, and 8
+//!   threads with per-run digests kept and compared pairwise; later
+//!   passes alternate thread counts and must reproduce the
+//!   order-invariant aggregate digest exactly. Per-run obs stream into
+//!   a lock-sharded [`aqua_obs::fleet::FleetSink`] throughout.
+//! * **wire** — serves `obs.snapshot` over the NDJSON wire from the
+//!   soak's aggregator and requires the response to embed the local
+//!   [`aqua_obs::fleet::FleetSnapshot::to_json`] rendering
+//!   byte-for-byte.
+//!
+//! Hard gates (exit nonzero): zero conservation violations, zero
+//! unrecovered faults, zero cross-thread digest mismatches, wire
+//! equality, the run floor, and — in full mode, where the fleet
+//! includes enzyme10 (a multi-second compile replayed in milliseconds)
+//! — replay throughput at least 50x the recorded-run cost.
+//!
+//! `--quick` shrinks the floor to a CI smoke level and drops enzyme10
+//! (so the 50x gate is reported but not enforced); use the default
+//! mode to regenerate the committed `BENCH_replay.json`.
+
+use aqua_bench::harness::{self, Extra, Measurement};
+use aqua_compiler::{compile, CompileOptions};
+use aqua_obs::fleet::FleetSink;
+use aqua_obs::Obs;
+use aqua_serve::server::serve_lines;
+use aqua_serve::{Service, ServiceConfig};
+use aqua_sim::replay::{
+    replay, run_one, DescriptorLog, FleetReport, PlanSet, ReplayOptions, RunDescriptor,
+};
+use aqua_volume::Machine;
+use std::io::Cursor;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Acceptance floor: replay throughput over recorded-run cost.
+const MIN_REPLAY_OVER_RECORD: f64 = 50.0;
+/// Run floors.
+const FULL_RUN_FLOOR: u64 = 1_000_000;
+const QUICK_RUN_FLOOR: u64 = 2_000;
+
+/// One assay in the fleet mix.
+struct AssaySpec {
+    name: &'static str,
+    src: String,
+    machine: Machine,
+    /// Fault-free descriptors per pass.
+    fault_free: usize,
+    /// Faulted descriptors per (rate, seeds) pair.
+    faulted: &'static [(u32, usize)],
+    /// Record-phase samples (genuine compile + run each).
+    record_samples: usize,
+}
+
+fn fleet_spec(quick: bool) -> Vec<AssaySpec> {
+    let paper = Machine::paper_default();
+    let mut specs = vec![
+        AssaySpec {
+            name: "figure2",
+            src: aqua_assays::figure2::SOURCE.to_string(),
+            machine: paper.clone(),
+            fault_free: if quick { 8 } else { 2_400 },
+            faulted: &[(1_000, 4), (5_000, 4)],
+            record_samples: if quick { 2 } else { 10 },
+        },
+        AssaySpec {
+            name: "glucose",
+            src: aqua_assays::glucose::SOURCE.to_string(),
+            machine: paper.clone(),
+            fault_free: if quick { 8 } else { 2_400 },
+            faulted: &[(1_000, 4), (5_000, 4)],
+            record_samples: if quick { 2 } else { 10 },
+        },
+        AssaySpec {
+            name: "glycomics",
+            src: aqua_assays::glycomics::SOURCE.to_string(),
+            machine: paper.clone(),
+            fault_free: if quick { 8 } else { 1_200 },
+            faulted: &[(1_000, 4)],
+            record_samples: if quick { 2 } else { 10 },
+        },
+    ];
+    if !quick {
+        // enzyme10 is the cache-value workhorse: a multi-second compile
+        // whose replay is a few milliseconds. Fault-free only — its
+        // descriptors exist to prove replays skip recompilation, not to
+        // stress the recovery ladder.
+        specs.push(AssaySpec {
+            name: "enzyme10",
+            src: aqua_assays::enzyme::source_n(10),
+            machine: paper.with_reservoirs(128),
+            fault_free: 6,
+            faulted: &[],
+            record_samples: 2,
+        });
+    }
+    specs
+}
+
+fn build_fleet(specs: &[AssaySpec]) -> Vec<RunDescriptor> {
+    let mut fleet = Vec::new();
+    for spec in specs {
+        for seed in 0..spec.fault_free as u64 {
+            fleet.push(RunDescriptor::new(spec.name, seed));
+        }
+        for &(rate_ppm, seeds) in spec.faulted {
+            for seed in 0..seeds as u64 {
+                fleet.push(RunDescriptor::faulted(spec.name, 1_000 + seed, rate_ppm));
+            }
+        }
+    }
+    fleet
+}
+
+fn percentile(sorted_ns: &[u128], q: f64) -> u128 {
+    let idx = ((sorted_ns.len() as f64 * q).ceil() as usize).clamp(1, sorted_ns.len()) - 1;
+    sorted_ns[idx]
+}
+
+fn measurement(name: &str, mut samples_ns: Vec<u128>) -> Measurement {
+    samples_ns.sort_unstable();
+    let iters = samples_ns.len();
+    Measurement {
+        name: name.to_owned(),
+        iters,
+        min_ns: samples_ns[0],
+        mean_ns: samples_ns.iter().sum::<u128>() / iters as u128,
+        median_ns: percentile(&samples_ns, 0.50),
+        p95_ns: percentile(&samples_ns, 0.95),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = match args.iter().position(|a| a == "--out") {
+        Some(pos) => args.get(pos + 1).cloned().unwrap_or_else(|| {
+            eprintln!("error: --out requires a path");
+            std::process::exit(2);
+        }),
+        None => concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_replay.json").to_owned(),
+    };
+    let run_floor = if quick {
+        QUICK_RUN_FLOOR
+    } else {
+        FULL_RUN_FLOOR
+    };
+
+    println!(
+        "bench_replay: fleet-scale deterministic replay soak ({} mode, floor {run_floor} runs)\n",
+        if quick { "quick" } else { "full" }
+    );
+
+    let specs = fleet_spec(quick);
+    let mut measurements: Vec<Measurement> = Vec::new();
+    let mut extras: Vec<(String, Extra)> = vec![("quick".into(), Extra::Bool(quick))];
+
+    // ---- record phase: genuine compile + run per sampled descriptor ----
+    let mut plans = PlanSet::new();
+    let mut record_ns_per_assay: Vec<(usize, u128)> = Vec::new();
+    for spec in &specs {
+        let mut samples_ns = Vec::with_capacity(spec.record_samples);
+        let mut last = None;
+        for seed in 0..spec.record_samples as u64 {
+            let d = RunDescriptor::new(spec.name, seed);
+            let start = Instant::now();
+            let out = compile(&spec.src, &spec.machine, &CompileOptions::default())
+                .expect("fleet assay compiles");
+            let (_, digest) = run_one_with(&spec.machine, &out, &d).expect("recorded run succeeds");
+            samples_ns.push(start.elapsed().as_nanos());
+            std::hint::black_box(digest);
+            last = Some(out);
+        }
+        plans.insert(spec.name, spec.machine.clone(), last.expect("sampled"));
+        let per_pass = spec.fault_free + spec.faulted.iter().map(|&(_, s)| s).sum::<usize>();
+        let mean = samples_ns.iter().sum::<u128>() / samples_ns.len() as u128;
+        let m = measurement(&format!("record/{}", spec.name), samples_ns);
+        harness::report(&m);
+        measurements.push(m);
+        record_ns_per_assay.push((per_pass, mean));
+    }
+    let fleet = build_fleet(&specs);
+    let record_ns_per_run = {
+        let (runs, total) = record_ns_per_assay
+            .iter()
+            .fold((0u128, 0u128), |(r, t), &(per_pass, mean)| {
+                (r + per_pass as u128, t + per_pass as u128 * mean)
+            });
+        total / runs.max(1)
+    };
+    println!(
+        "\nrecorded-run cost (fleet-weighted mean): {} over {} descriptors/pass\n",
+        harness::fmt_ns(record_ns_per_run),
+        fleet.len()
+    );
+
+    // ---- log phase: durable descriptors, recovered record-for-record ----
+    let dir = std::env::temp_dir().join(format!("aqua-bench-replay-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let log_start = Instant::now();
+    {
+        let (mut log, existing, _) =
+            DescriptorLog::open(DescriptorLog::config(&dir)).expect("open descriptor log");
+        assert!(existing.is_empty());
+        for d in &fleet {
+            log.append(d).expect("append descriptor");
+        }
+    }
+    let (_log, recovered, report) =
+        DescriptorLog::open(DescriptorLog::config(&dir)).expect("reopen descriptor log");
+    let log_ns = log_start.elapsed().as_nanos();
+    let log_intact = recovered == fleet;
+    println!(
+        "log: {} descriptors appended + recovered in {} ({} torn, {} truncated bytes)",
+        report.records,
+        harness::fmt_ns(log_ns),
+        report.torn_records,
+        report.truncated_bytes
+    );
+
+    // ---- soak phase: replay from cached plans until the floor ----
+    let sink = Arc::new(FleetSink::new());
+    let thread_plan: &[usize] = &[1, 2, 8];
+    let mut digest_mismatches = 0u64;
+    let mut total = FleetReport::default();
+    let mut reference: Option<(u64, Vec<u64>)> = None;
+    let mut soak_wall_ns: u128 = 0;
+    let mut passes = 0usize;
+    while total.runs < run_floor {
+        let threads = thread_plan[passes % thread_plan.len()];
+        let keep = passes < thread_plan.len();
+        let opts = ReplayOptions {
+            threads,
+            obs: Obs::with_sink(sink.clone()),
+            keep_digests: keep,
+        };
+        let start = Instant::now();
+        let pass = replay(&plans, &recovered, &opts).expect("replay pass");
+        soak_wall_ns += start.elapsed().as_nanos();
+        match &reference {
+            None => reference = Some((pass.aggregate_digest, pass.digests.clone())),
+            Some((agg, digests)) => {
+                if pass.aggregate_digest != *agg {
+                    digest_mismatches += 1;
+                    eprintln!(
+                        "digest divergence: pass {passes} at {threads} threads: \
+                         {:016x} != {:016x}",
+                        pass.aggregate_digest, agg
+                    );
+                }
+                if keep {
+                    digest_mismatches += pass
+                        .digests
+                        .iter()
+                        .zip(digests)
+                        .filter(|(a, b)| a != b)
+                        .count() as u64;
+                }
+            }
+        }
+        total.runs += pass.runs;
+        total.conservation_violations += pass.conservation_violations;
+        total.unrecovered_faults += pass.unrecovered_faults;
+        total.residual_violations += pass.residual_violations;
+        total.faults_injected += pass.faults_injected;
+        total.recovery.redispense += pass.recovery.redispense;
+        total.recovery.regenerate += pass.recovery.regenerate;
+        total.recovery.replan += pass.recovery.replan;
+        total.recovery.overflow_trims += pass.recovery.overflow_trims;
+        total.wet_seconds += pass.wet_seconds;
+        passes += 1;
+        if passes.is_multiple_of(10) || total.runs >= run_floor {
+            println!(
+                "soak: {passes} passes, {} runs, {} wall, aggregate {:016x}",
+                total.runs,
+                harness::fmt_ns(soak_wall_ns),
+                reference.as_ref().map(|(a, _)| *a).unwrap_or(0)
+            );
+        }
+    }
+    let replay_ns_per_run = soak_wall_ns / total.runs.max(1) as u128;
+    let replay_over_record = record_ns_per_run as f64 / replay_ns_per_run.max(1) as f64;
+    let soak_rps = total.runs as f64 / (soak_wall_ns as f64 / 1e9);
+    measurements.push(Measurement {
+        name: "soak/replay-run".into(),
+        iters: total.runs as usize,
+        min_ns: replay_ns_per_run,
+        mean_ns: replay_ns_per_run,
+        median_ns: replay_ns_per_run,
+        p95_ns: replay_ns_per_run,
+    });
+    let snapshot = sink.snapshot();
+    println!(
+        "soak: {} runs in {} ({:.0} runs/s), {} faults injected, recovery \
+         [redispense {}, regenerate {}, replan {}, trims {}]",
+        total.runs,
+        harness::fmt_ns(soak_wall_ns),
+        soak_rps,
+        total.faults_injected,
+        total.recovery.redispense,
+        total.recovery.regenerate,
+        total.recovery.replan,
+        total.recovery.overflow_trims
+    );
+    println!(
+        "soak: conservation violations {}, unrecovered {}, digest mismatches {}, \
+         p999 instruction latency {}",
+        total.conservation_violations,
+        total.unrecovered_faults,
+        digest_mismatches,
+        harness::fmt_ns(
+            snapshot
+                .hist("sim.instr_ns")
+                .map(|h| h.quantile_permille(999) as u128)
+                .unwrap_or(0)
+        )
+    );
+    println!("headline replay_over_record: {replay_over_record:.1}x\n");
+
+    // ---- wire phase: obs.snapshot must equal the local rendering ----
+    let local = snapshot.to_json();
+    let service = Service::new(ServiceConfig {
+        fleet: Some(sink.clone()),
+        ..ServiceConfig::default()
+    });
+    let mut out = Vec::new();
+    serve_lines(
+        &service,
+        Cursor::new(b"{\"id\":1,\"cmd\":\"obs.snapshot\"}\n".to_vec()),
+        &mut out,
+    )
+    .expect("serve obs.snapshot");
+    let wire = String::from_utf8(out).expect("utf8 response");
+    let obs_wire_equal = wire.trim_end() == format!("{{\"id\":1,\"ok\":true,\"obs\":{local}}}");
+    println!(
+        "wire: obs.snapshot {} the local rendering ({} bytes)",
+        if obs_wire_equal {
+            "byte-identical to"
+        } else {
+            "DIVERGED from"
+        },
+        local.len()
+    );
+
+    let runs_floor_ok = total.runs >= run_floor;
+    extras.push(("run_floor".into(), Extra::Num(run_floor.to_string())));
+    extras.push(("runs".into(), Extra::Num(total.runs.to_string())));
+    extras.push(("runs_floor_ok".into(), Extra::Bool(runs_floor_ok)));
+    extras.push(("passes".into(), Extra::Num(passes.to_string())));
+    extras.push(("fleet_size".into(), Extra::Num(fleet.len().to_string())));
+    extras.push((
+        "conservation_violations".into(),
+        Extra::Num(total.conservation_violations.to_string()),
+    ));
+    extras.push((
+        "unrecovered_faults".into(),
+        Extra::Num(total.unrecovered_faults.to_string()),
+    ));
+    extras.push((
+        "residual_violations".into(),
+        Extra::Num(total.residual_violations.to_string()),
+    ));
+    extras.push((
+        "digest_mismatches".into(),
+        Extra::Num(digest_mismatches.to_string()),
+    ));
+    extras.push((
+        "faults_injected".into(),
+        Extra::Num(total.faults_injected.to_string()),
+    ));
+    extras.push((
+        "recovery_redispense".into(),
+        Extra::Num(total.recovery.redispense.to_string()),
+    ));
+    extras.push((
+        "recovery_regenerate".into(),
+        Extra::Num(total.recovery.regenerate.to_string()),
+    ));
+    extras.push((
+        "recovery_replan".into(),
+        Extra::Num(total.recovery.replan.to_string()),
+    ));
+    extras.push((
+        "recovery_overflow_trims".into(),
+        Extra::Num(total.recovery.overflow_trims.to_string()),
+    ));
+    extras.push((
+        "record_ns_per_run".into(),
+        Extra::Num(record_ns_per_run.to_string()),
+    ));
+    extras.push((
+        "replay_ns_per_run".into(),
+        Extra::Num(replay_ns_per_run.to_string()),
+    ));
+    extras.push((
+        "replay_over_record".into(),
+        Extra::Num(format!("{replay_over_record:.2}")),
+    ));
+    extras.push(("soak_rps".into(), Extra::Num(format!("{soak_rps:.1}"))));
+    extras.push((
+        "p999_instr_ns".into(),
+        Extra::Num(
+            snapshot
+                .hist("sim.instr_ns")
+                .map(|h| h.quantile_permille(999).to_string())
+                .unwrap_or_else(|| "0".into()),
+        ),
+    ));
+    extras.push(("log_intact".into(), Extra::Bool(log_intact)));
+    extras.push(("obs_wire_equal".into(), Extra::Bool(obs_wire_equal)));
+    harness::push_host_extras(&mut extras, &[("soak_max", 8)]);
+
+    let json = harness::to_json("bench_replay/v1", &measurements, &extras);
+    std::fs::write(&out_path, &json).expect("write BENCH_replay.json");
+    println!("wrote {out_path}");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let mut failed = false;
+    if !log_intact {
+        eprintln!("error: recovered fleet diverged from the appended descriptors");
+        failed = true;
+    }
+    if !runs_floor_ok {
+        eprintln!("error: soak ran {} < {run_floor} floor", total.runs);
+        failed = true;
+    }
+    if total.conservation_violations > 0 {
+        eprintln!(
+            "error: {} conservation violation(s) in the soak",
+            total.conservation_violations
+        );
+        failed = true;
+    }
+    if total.unrecovered_faults > 0 {
+        eprintln!(
+            "error: {} unrecovered fault(s) in the soak",
+            total.unrecovered_faults
+        );
+        failed = true;
+    }
+    if digest_mismatches > 0 {
+        eprintln!("error: {digest_mismatches} cross-thread digest mismatch(es)");
+        failed = true;
+    }
+    if !obs_wire_equal {
+        eprintln!("error: obs.snapshot over the wire diverged from the local rendering");
+        failed = true;
+    }
+    if !quick && replay_over_record < MIN_REPLAY_OVER_RECORD {
+        eprintln!(
+            "error: replay_over_record {replay_over_record:.2} < \
+             {MIN_REPLAY_OVER_RECORD} acceptance floor"
+        );
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}
+
+/// A recorded original: execute one descriptor against a just-compiled
+/// plan (the record phase compiles fresh, so it cannot borrow from a
+/// [`PlanSet`] like [`run_one`] does).
+fn run_one_with(
+    machine: &Machine,
+    out: &aqua_compiler::CompileOutput,
+    d: &RunDescriptor,
+) -> Result<(aqua_sim::exec::ExecReport, u64), aqua_sim::replay::ReplayError> {
+    let mut plans = PlanSet::new();
+    plans.insert(d.assay.clone(), machine.clone(), out.clone());
+    run_one(&plans, d, Obs::off())
+}

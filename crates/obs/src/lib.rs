@@ -49,6 +49,7 @@
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod export;
+pub mod fleet;
 
 use std::collections::BTreeMap;
 use std::collections::HashMap;

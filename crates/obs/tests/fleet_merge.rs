@@ -1,0 +1,139 @@
+//! Property tests for fleet histogram merging.
+//!
+//! The replay soak's thread-count invariance rests on one algebraic
+//! fact: folding N shard histograms together is order-invariant and
+//! count/sum-exact versus a single stream observing every value. These
+//! tests attack that fact with seeded randomized workloads
+//! (`XorShift64Star`, so failures reproduce).
+
+use aqua_obs::fleet::{BucketHistogram, FleetSink};
+use aqua_obs::Sink;
+use aqua_rational::rng::XorShift64Star;
+
+/// Draws a value with a heavy tail: mostly small, occasionally huge —
+/// the shape of per-instruction latencies, and the shape that stresses
+/// every octave of the bucket table.
+fn draw(rng: &mut XorShift64Star) -> u64 {
+    let magnitude = rng.range_u64(0, 63);
+    rng.next_u64() >> magnitude
+}
+
+/// Merging N shard histograms in any order equals the single-stream
+/// reference: exact in count/sum/min/max, identical in every quantile.
+#[test]
+fn shard_merge_is_order_invariant_and_exact() {
+    let mut rng = XorShift64Star::new(0xF1EE7);
+    for trial in 0..20 {
+        let shards = rng.range_u64(1, 9) as usize;
+        let mut parts: Vec<BucketHistogram> = (0..shards).map(|_| BucketHistogram::new()).collect();
+        let mut reference = BucketHistogram::new();
+        let n = rng.range_u64(1, 2000) as usize;
+        for _ in 0..n {
+            let v = draw(&mut rng);
+            let shard = rng.range_u64(0, shards as u64 - 1) as usize;
+            parts[shard].observe(v);
+            reference.observe(v);
+        }
+
+        // Forward merge order.
+        let mut forward = BucketHistogram::new();
+        for p in &parts {
+            forward.merge(p);
+        }
+        // Reverse merge order.
+        let mut reverse = BucketHistogram::new();
+        for p in parts.iter().rev() {
+            reverse.merge(p);
+        }
+        // Pairwise tree merge (associativity).
+        let mut tree: Vec<BucketHistogram> = parts.clone();
+        while tree.len() > 1 {
+            let b = tree.pop().expect("nonempty");
+            let mut a = tree.pop().expect("nonempty");
+            a.merge(&b);
+            tree.push(a);
+        }
+        let tree = tree.pop().expect("one survivor");
+
+        for merged in [&forward, &reverse, &tree] {
+            assert_eq!(merged.count(), reference.count(), "trial {trial}: count");
+            assert_eq!(merged.sum(), reference.sum(), "trial {trial}: sum");
+            assert_eq!(merged.min(), reference.min(), "trial {trial}: min");
+            assert_eq!(merged.max(), reference.max(), "trial {trial}: max");
+            for q in [1, 100, 250, 500, 900, 990, 999, 1000] {
+                assert_eq!(
+                    merged.quantile_permille(q),
+                    reference.quantile_permille(q),
+                    "trial {trial}: q{q}"
+                );
+            }
+        }
+    }
+}
+
+/// Quantiles read from the bucketed histogram must bracket the true
+/// order statistic: never below it, and at most one bucket width
+/// (12.5 %) above it.
+#[test]
+fn quantiles_bracket_the_exact_order_statistic() {
+    let mut rng = XorShift64Star::new(0x0B5E55ED);
+    for trial in 0..10 {
+        let n = rng.range_u64(10, 3000) as usize;
+        let mut values: Vec<u64> = (0..n).map(|_| draw(&mut rng)).collect();
+        let mut h = BucketHistogram::new();
+        for &v in &values {
+            h.observe(v);
+        }
+        values.sort_unstable();
+        for q in [500u32, 990, 999] {
+            let rank = ((n as u128 * q as u128).div_ceil(1000) as usize).clamp(1, n);
+            let exact = values[rank - 1];
+            let got = h.quantile_permille(q);
+            assert!(
+                got >= exact,
+                "trial {trial}: q{q} underestimates {exact} as {got}"
+            );
+            // The covering bucket's upper bound is at most 1/8 above
+            // its members, so the reported quantile stays close.
+            let ceiling = exact.saturating_add(exact / 8).saturating_add(1);
+            assert!(
+                got <= ceiling,
+                "trial {trial}: q{q} too loose: exact {exact}, got {got}"
+            );
+        }
+    }
+}
+
+/// The FleetSink roll-up equals a single-stream reference even when the
+/// values arrive via many threads, each hitting its own shard.
+#[test]
+fn fleet_sink_matches_single_stream_reference() {
+    let mut rng = XorShift64Star::new(0x5EED_F00D);
+    let values: Vec<u64> = (0..5000).map(|_| draw(&mut rng)).collect();
+
+    let mut reference = BucketHistogram::new();
+    for &v in &values {
+        reference.observe(v);
+    }
+
+    let sink = FleetSink::new();
+    std::thread::scope(|s| {
+        for chunk in values.chunks(values.len().div_ceil(8)) {
+            let sink = &sink;
+            s.spawn(move || {
+                for &v in chunk {
+                    sink.record("lat", v);
+                }
+            });
+        }
+    });
+    let snap = sink.snapshot();
+    let h = snap.hist("lat").expect("histogram recorded");
+    assert_eq!(h.count(), reference.count());
+    assert_eq!(h.sum(), reference.sum());
+    assert_eq!(h.min(), reference.min());
+    assert_eq!(h.max(), reference.max());
+    for q in [500, 990, 999] {
+        assert_eq!(h.quantile_permille(q), reference.quantile_permille(q));
+    }
+}

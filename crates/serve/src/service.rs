@@ -48,6 +48,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use aqua_dag::{Dag, NodeId};
+use aqua_obs::fleet::FleetSink;
 use aqua_obs::Obs;
 use aqua_rational::Ratio;
 use aqua_volume::Machine;
@@ -111,6 +112,13 @@ pub struct ServiceConfig {
     pub store: Option<StoreConfig>,
     /// Observability handle threaded through admission → cache → solve.
     pub obs: Obs,
+    /// Fleet roll-up served live over the wire: when set, the
+    /// `obs.snapshot` command renders this aggregator's merged
+    /// [`aqua_obs::fleet::FleetSnapshot`] and `obs.reset` clears it.
+    /// Callers typically also route `obs` (or a replay fleet's obs
+    /// handle) into the same sink so the roll-up is byte-comparable to
+    /// a locally rendered snapshot.
+    pub fleet: Option<Arc<FleetSink>>,
 }
 
 impl Default for ServiceConfig {
@@ -130,6 +138,7 @@ impl Default for ServiceConfig {
             tenant_max_queued: 32,
             store: None,
             obs: Obs::off(),
+            fleet: None,
         }
     }
 }
@@ -594,6 +603,30 @@ impl Service {
                     self.clear_cache();
                     format!("{{\"id\":{id},\"ok\":true}}")
                 }
+                "obs.snapshot" => match &self.inner.config.fleet {
+                    Some(fleet) => format!(
+                        "{{\"id\":{id},\"ok\":true,\"obs\":{}}}",
+                        fleet.snapshot().to_json()
+                    ),
+                    None => error_line(
+                        &id,
+                        &ServeError::BadRequest(
+                            "no fleet aggregator attached (start with --obs)".to_owned(),
+                        ),
+                    ),
+                },
+                "obs.reset" => match &self.inner.config.fleet {
+                    Some(fleet) => {
+                        fleet.reset();
+                        format!("{{\"id\":{id},\"ok\":true}}")
+                    }
+                    None => error_line(
+                        &id,
+                        &ServeError::BadRequest(
+                            "no fleet aggregator attached (start with --obs)".to_owned(),
+                        ),
+                    ),
+                },
                 other => error_line(
                     &id,
                     &ServeError::BadRequest(format!("unknown command `{other}`")),

@@ -3,26 +3,18 @@
 //! Warm state should survive a process restart: a fleet worker that
 //! crashes and comes back must serve the same byte-identical plans it
 //! served before without recompiling its whole working set. The store
-//! is an append-only **write-ahead segment log** of
-//! `(key, canonical encoding, plan bytes)` records plus an in-memory
-//! index:
+//! is a content-addressed index over an [`aqua_seglog::SegmentLog`] —
+//! the CRC-guarded append-only segment log (torn-tail truncation, era
+//! fencing, rotation, compaction) lives there and is shared with the
+//! replay service's descriptor log; this module adds plan semantics:
 //!
-//! * **Append-only segments** — records are only ever appended to the
-//!   active segment (`seg-NNNNNN.log`); when it passes
-//!   [`StoreConfig::segment_bytes`] a new segment is rotated in. No
-//!   record is ever rewritten in place, so a crash can only damage the
-//!   tail of the newest segment.
-//! * **CRC-guarded records** — every record carries a CRC-32 over its
-//!   lengths, key, encoding, and plan bytes. A record that fails its
-//!   CRC (or whose declared lengths run past the file) is *torn*:
-//!   recovery stops scanning that segment at the record's start.
-//! * **Torn-tail truncation** — on [`PlanStore::open`] the tail of the
-//!   last segment is physically truncated back to the last intact
-//!   record, so a half-written record can never shadow later appends.
-//! * **Version fencing** — each segment leads with a header embedding
-//!   `crate::canon::KEY_VERSION`. A segment written under another
-//!   key-encoding era is skipped wholesale on recovery (its keys would
-//!   not match any current request) and reclaimed by compaction.
+//! * **Record payloads** frame `(key, canonical encoding, plan bytes)`
+//!   as `[enc_len u32][key 16B][enc][plan]`; the log wraps each payload
+//!   in its own length prefix and CRC-32.
+//! * **Version fencing** — segments embed `crate::canon::KEY_VERSION`,
+//!   so a segment written under another key-encoding era is skipped
+//!   wholesale on recovery (its keys would not match any current
+//!   request) and reclaimed by compaction.
 //! * **Content-addressed dedup** — the store never holds two records
 //!   for one key: [`PlanStore::append`] is a no-op for a key already
 //!   indexed (plans are deterministic, so the bytes are identical by
@@ -36,21 +28,14 @@
 //! durable superset.
 
 use std::collections::HashMap;
-use std::fs::{self, File, OpenOptions};
-use std::io::{self, BufWriter, Read, Seek, SeekFrom, Write};
-use std::path::{Path, PathBuf};
+use std::io;
+use std::path::PathBuf;
 use std::sync::Arc;
 
+pub use aqua_seglog::{crc32, RecordSpan, RecoveryReport};
+use aqua_seglog::{LogConfig, SegmentLog};
+
 use crate::canon::KEY_VERSION;
-
-/// Per-segment header magic; the full header is
-/// `aqseg1 <KEY_VERSION>\n` behind a little-endian u32 length prefix.
-const SEGMENT_MAGIC: &str = "aqseg1";
-
-/// Sanity bound on any single encoding or plan payload (64 MiB). A
-/// declared length beyond this is treated as corruption, not an
-/// allocation request.
-const MAX_PAYLOAD_BYTES: u32 = 64 << 20;
 
 /// Store tuning knobs.
 #[derive(Debug, Clone)]
@@ -79,6 +64,15 @@ impl StoreConfig {
             fsync: false,
         }
     }
+
+    fn log_config(&self) -> LogConfig {
+        LogConfig {
+            dir: self.dir.clone(),
+            segment_bytes: self.segment_bytes,
+            fsync: self.fsync,
+            version: KEY_VERSION.to_string(),
+        }
+    }
 }
 
 /// One durable plan record, as rehydrated by [`PlanStore::open`].
@@ -95,220 +89,48 @@ pub struct Record {
     pub plan: Arc<str>,
 }
 
-/// Where a record's bytes live on disk (exposed for the recovery
-/// tests, which truncate and corrupt at exact offsets).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct RecordSpan {
-    /// Segment id the record lives in.
-    pub segment: u64,
-    /// Byte offset of the record within its segment.
-    pub offset: u64,
-    /// Total record length in bytes (lengths + key + payloads + CRC).
-    pub len: u64,
-}
-
-/// What recovery found and repaired.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
-pub struct RecoveryReport {
-    /// Intact records rehydrated.
-    pub records: usize,
-    /// Segments scanned (current-era, readable).
-    pub segments: usize,
-    /// Segments skipped because their header carried another
-    /// `KEY_VERSION` (or no valid header at all).
-    pub stale_segments: usize,
-    /// Bytes dropped from the last segment's torn tail.
-    pub truncated_bytes: u64,
-    /// Torn or corrupt records abandoned mid-segment (each one ends
-    /// its segment's scan).
-    pub torn_records: usize,
-}
-
-struct IndexEntry {
-    segment: u64,
-    offset: u64,
-    len: u64,
-}
-
-struct ActiveSegment {
-    id: u64,
-    writer: BufWriter<File>,
-    len: u64,
-}
-
 /// The append-only content-addressed plan store. Not internally
 /// synchronized: the service wraps it in a `Mutex` (appends happen only
 /// on the cold path, where a compile dwarfs the lock).
 pub struct PlanStore {
     config: StoreConfig,
-    index: HashMap<u128, IndexEntry>,
-    /// Ids of every segment currently on disk (sorted ascending).
-    segments: Vec<u64>,
-    active: ActiveSegment,
+    log: SegmentLog,
+    index: HashMap<u128, RecordSpan>,
 }
 
-fn segment_path(dir: &Path, id: u64) -> PathBuf {
-    dir.join(format!("seg-{id:06}.log"))
-}
-
-fn segment_header() -> Vec<u8> {
-    let text = format!("{SEGMENT_MAGIC} {KEY_VERSION}\n");
-    let mut out = Vec::with_capacity(4 + text.len());
-    out.extend_from_slice(&(text.len() as u32).to_le_bytes());
-    out.extend_from_slice(text.as_bytes());
-    out
-}
-
-/// CRC-32 (IEEE 802.3, reflected) over `bytes` — the classic zlib
-/// polynomial, table-driven, dependency-free.
-pub fn crc32(bytes: &[u8]) -> u32 {
-    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
-    let table = TABLE.get_or_init(|| {
-        let mut table = [0u32; 256];
-        for (i, slot) in table.iter_mut().enumerate() {
-            let mut c = i as u32;
-            for _ in 0..8 {
-                c = if c & 1 != 0 {
-                    0xEDB8_8320 ^ (c >> 1)
-                } else {
-                    c >> 1
-                };
-            }
-            *slot = c;
-        }
-        table
-    });
-    let mut c = !0u32;
-    for &b in bytes {
-        c = table[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
-    }
-    !c
-}
-
-/// Renders one record: `[enc_len u32][plan_len u32][key 16B][enc][plan]
-/// [crc32 u32]`, CRC over everything before it.
-fn encode_record(key: u128, encoding: &[u8], plan: &str) -> Vec<u8> {
-    let mut out = Vec::with_capacity(28 + encoding.len() + plan.len());
+/// Renders one payload: `[enc_len u32][key 16B][enc][plan]` (the log
+/// adds the length prefix and CRC framing).
+fn encode_payload(key: u128, encoding: &[u8], plan: &str) -> Vec<u8> {
+    let mut out = Vec::with_capacity(20 + encoding.len() + plan.len());
     out.extend_from_slice(&(encoding.len() as u32).to_le_bytes());
-    out.extend_from_slice(&(plan.len() as u32).to_le_bytes());
     out.extend_from_slice(&key.to_le_bytes());
     out.extend_from_slice(encoding);
     out.extend_from_slice(plan.as_bytes());
-    let crc = crc32(&out);
-    out.extend_from_slice(&crc.to_le_bytes());
     out
 }
 
-fn read_u32(bytes: &[u8], at: usize) -> u32 {
-    let mut b = [0u8; 4];
-    b.copy_from_slice(&bytes[at..at + 4]);
-    u32::from_le_bytes(b)
-}
-
-/// One segment's scan result.
-struct SegmentScan {
-    records: Vec<(Record, RecordSpan)>,
-    /// Offset of the first torn byte (== file len when the whole
-    /// segment is intact).
-    intact_len: u64,
-    /// Whether the scan ended on a torn/corrupt record.
-    torn: bool,
-    /// Whether the header was missing or from another era.
-    stale: bool,
-}
-
-fn scan_segment(path: &Path, id: u64) -> io::Result<SegmentScan> {
-    let mut bytes = Vec::new();
-    File::open(path)?.read_to_end(&mut bytes)?;
-    let header = segment_header();
-    if bytes.len() < header.len() || bytes[..header.len()] != header[..] {
-        return Ok(SegmentScan {
-            records: Vec::new(),
-            intact_len: 0,
-            torn: false,
-            stale: true,
-        });
+fn decode_payload(payload: &[u8]) -> Option<Record> {
+    if payload.len() < 20 {
+        return None;
     }
-    let mut records = Vec::new();
-    let mut pos = header.len();
-    let mut torn = false;
-    while pos < bytes.len() {
-        let start = pos;
-        if bytes.len() - pos < 28 {
-            torn = true;
-            break;
-        }
-        let enc_len = read_u32(&bytes, pos) as usize;
-        let plan_len = read_u32(&bytes, pos + 4) as usize;
-        if enc_len as u64 > MAX_PAYLOAD_BYTES as u64 || plan_len as u64 > MAX_PAYLOAD_BYTES as u64 {
-            torn = true;
-            break;
-        }
-        let total = 28 + enc_len + plan_len;
-        if bytes.len() - pos < total {
-            torn = true;
-            break;
-        }
-        let body = &bytes[pos..pos + total - 4];
-        let declared_crc = read_u32(&bytes, pos + total - 4);
-        if crc32(body) != declared_crc {
-            torn = true;
-            break;
-        }
-        let mut key_bytes = [0u8; 16];
-        key_bytes.copy_from_slice(&bytes[pos + 8..pos + 24]);
-        let key = u128::from_le_bytes(key_bytes);
-        let encoding: Arc<[u8]> = Arc::from(&bytes[pos + 24..pos + 24 + enc_len]);
-        let plan_bytes = &bytes[pos + 24 + enc_len..pos + total - 4];
-        let Ok(plan_str) = std::str::from_utf8(plan_bytes) else {
-            // A plan that is not UTF-8 cannot be a rendered document;
-            // treat it as corruption even though the CRC matched.
-            torn = true;
-            break;
-        };
-        pos += total;
-        records.push((
-            Record {
-                key,
-                encoding,
-                plan: Arc::from(plan_str),
-            },
-            RecordSpan {
-                segment: id,
-                offset: start as u64,
-                len: total as u64,
-            },
-        ));
+    let mut len_bytes = [0u8; 4];
+    len_bytes.copy_from_slice(&payload[..4]);
+    let enc_len = u32::from_le_bytes(len_bytes) as usize;
+    if payload.len() < 20 + enc_len {
+        return None;
     }
-    Ok(SegmentScan {
-        records,
-        intact_len: pos as u64,
-        torn,
-        stale: false,
+    let mut key_bytes = [0u8; 16];
+    key_bytes.copy_from_slice(&payload[4..20]);
+    let key = u128::from_le_bytes(key_bytes);
+    let encoding: Arc<[u8]> = Arc::from(&payload[20..20 + enc_len]);
+    // A plan that is not UTF-8 cannot be a rendered document; treat it
+    // as corruption even though the CRC matched.
+    let plan_str = std::str::from_utf8(&payload[20 + enc_len..]).ok()?;
+    Some(Record {
+        key,
+        encoding,
+        plan: Arc::from(plan_str),
     })
-}
-
-fn list_segment_ids(dir: &Path) -> io::Result<Vec<u64>> {
-    let mut ids = Vec::new();
-    for entry in fs::read_dir(dir)? {
-        let name = entry?.file_name();
-        let Some(name) = name.to_str() else { continue };
-        if let Some(id) = name
-            .strip_prefix("seg-")
-            .and_then(|rest| rest.strip_suffix(".log"))
-            .and_then(|digits| digits.parse::<u64>().ok())
-        {
-            ids.push(id);
-        }
-    }
-    ids.sort_unstable();
-    Ok(ids)
-}
-
-fn open_for_append(path: &Path) -> io::Result<(BufWriter<File>, u64)> {
-    let mut file = OpenOptions::new().create(true).append(true).open(path)?;
-    let len = file.seek(SeekFrom::End(0))?;
-    Ok((BufWriter::new(file), len))
 }
 
 impl PlanStore {
@@ -326,87 +148,24 @@ impl PlanStore {
     /// I/O errors creating the directory or reading/repairing the
     /// segment files.
     pub fn open(config: StoreConfig) -> io::Result<(PlanStore, Vec<Record>, RecoveryReport)> {
-        fs::create_dir_all(&config.dir)?;
-        let ids = list_segment_ids(&config.dir)?;
-        let mut report = RecoveryReport::default();
+        let (log, recovered, mut report) = SegmentLog::open(config.log_config())?;
         let mut records: Vec<Record> = Vec::new();
-        let mut index: HashMap<u128, IndexEntry> = HashMap::new();
-        let mut live_segments: Vec<u64> = Vec::new();
-        // Can the last segment be reused as the active one? (Current
-        // era, intact after any truncation, still under the size cap.)
-        let mut reuse_last: Option<(u64, u64)> = None;
-        for (i, &id) in ids.iter().enumerate() {
-            let path = segment_path(&config.dir, id);
-            let scan = scan_segment(&path, id)?;
-            let last = i + 1 == ids.len();
-            if scan.stale {
-                report.stale_segments += 1;
-                live_segments.push(id); // kept on disk until compaction
-                continue;
-            }
-            report.segments += 1;
-            if scan.torn {
+        let mut index: HashMap<u128, RecordSpan> = HashMap::new();
+        for item in recovered {
+            let Some(record) = decode_payload(&item.payload) else {
+                // CRC-valid but semantically undecodable: drop it, but
+                // surface it in the report like any other bad record.
                 report.torn_records += 1;
-                if last {
-                    // Torn tail of the newest segment: physically
-                    // truncate so future appends start on a clean edge.
-                    let file = OpenOptions::new().write(true).open(&path)?;
-                    let full = file.metadata()?.len();
-                    report.truncated_bytes += full - scan.intact_len;
-                    file.set_len(scan.intact_len)?;
-                    file.sync_all()?;
-                }
+                continue;
+            };
+            // Duplicate keys (pre-compaction overlaps) keep the first
+            // copy for rehydration; bytes are identical by construction.
+            if index.insert(record.key, item.span).is_none() {
+                records.push(record);
             }
-            if last && scan.intact_len < config.segment_bytes {
-                reuse_last = Some((id, scan.intact_len));
-            }
-            for (record, span) in scan.records {
-                // Duplicate keys (pre-compaction overlaps) keep the
-                // first copy for rehydration; bytes are identical by
-                // construction.
-                if index
-                    .insert(
-                        record.key,
-                        IndexEntry {
-                            segment: span.segment,
-                            offset: span.offset,
-                            len: span.len,
-                        },
-                    )
-                    .is_none()
-                {
-                    records.push(record);
-                }
-            }
-            live_segments.push(id);
         }
         report.records = records.len();
-
-        let active = match reuse_last {
-            Some((id, len)) => {
-                let (writer, file_len) = open_for_append(&segment_path(&config.dir, id))?;
-                debug_assert_eq!(file_len, len, "truncation left the intact prefix");
-                ActiveSegment { id, writer, len }
-            }
-            None => {
-                let id = ids.last().map_or(0, |last| last + 1);
-                let (mut writer, _) = open_for_append(&segment_path(&config.dir, id))?;
-                writer.write_all(&segment_header())?;
-                writer.flush()?;
-                live_segments.push(id);
-                ActiveSegment {
-                    id,
-                    writer,
-                    len: segment_header().len() as u64,
-                }
-            }
-        };
-        let store = PlanStore {
-            config,
-            index,
-            segments: live_segments,
-            active,
-        };
+        let store = PlanStore { config, log, index };
         Ok((store, records, report))
     }
 
@@ -420,48 +179,14 @@ impl PlanStore {
         if self.index.contains_key(&key) {
             return Ok(false);
         }
-        let record = encode_record(key, encoding, plan);
-        let offset = self.active.len;
-        self.active.writer.write_all(&record)?;
-        self.active.writer.flush()?;
-        if self.config.fsync {
-            self.active.writer.get_ref().sync_data()?;
-        }
-        self.active.len += record.len() as u64;
-        self.index.insert(
-            key,
-            IndexEntry {
-                segment: self.active.id,
-                offset,
-                len: record.len() as u64,
-            },
-        );
-        if self.active.len >= self.config.segment_bytes {
-            self.rotate()?;
-        }
-        Ok(true)
-    }
-
-    fn rotate(&mut self) -> io::Result<()> {
-        self.active.writer.flush()?;
-        if self.config.fsync {
-            self.active.writer.get_ref().sync_data()?;
-        }
-        let next_id = self.active.id + 1;
-        let path = segment_path(&self.config.dir, next_id);
-        let (mut writer, _) = open_for_append(&path)?;
-        writer.write_all(&segment_header())?;
-        writer.flush()?;
-        self.segments.push(next_id);
-        self.active = ActiveSegment {
-            id: next_id,
-            writer,
-            len: segment_header().len() as u64,
-        };
-        if self.config.compact_segments > 0 && self.segments.len() > self.config.compact_segments {
+        let span = self.log.append(&encode_payload(key, encoding, plan))?;
+        self.index.insert(key, span);
+        if self.config.compact_segments > 0
+            && self.log.segment_count() > self.config.compact_segments
+        {
             self.compact()?;
         }
-        Ok(())
+        Ok(true)
     }
 
     /// Rewrites every live record into fresh segments and deletes the
@@ -472,69 +197,14 @@ impl PlanStore {
     ///
     /// I/O errors re-reading, rewriting, or deleting segment files.
     pub fn compact(&mut self) -> io::Result<usize> {
-        self.active.writer.flush()?;
-        // Read every live record's exact bytes back out of its segment.
         let mut keys: Vec<u128> = self.index.keys().copied().collect();
         keys.sort_unstable(); // deterministic rewrite order
-        let mut carried: Vec<Vec<u8>> = Vec::with_capacity(keys.len());
+        let mut live: Vec<Vec<u8>> = Vec::with_capacity(keys.len());
         for &key in &keys {
-            let entry = &self.index[&key];
-            let mut file = File::open(segment_path(&self.config.dir, entry.segment))?;
-            file.seek(SeekFrom::Start(entry.offset))?;
-            let mut bytes = vec![0u8; entry.len as usize];
-            file.read_exact(&mut bytes)?;
-            carried.push(bytes);
+            live.push(self.log.read(self.index[&key])?);
         }
-        let old_segments = std::mem::take(&mut self.segments);
-        let first_new = self.active.id + 1;
-        // Write the carried records into fresh segments, respecting the
-        // rotation size.
-        let mut new_id = first_new;
-        let mut path = segment_path(&self.config.dir, new_id);
-        let (mut writer, _) = open_for_append(&path)?;
-        writer.write_all(&segment_header())?;
-        let mut len = segment_header().len() as u64;
-        let mut new_index: HashMap<u128, IndexEntry> = HashMap::with_capacity(keys.len());
-        let mut new_segments = vec![new_id];
-        for (key, bytes) in keys.iter().zip(&carried) {
-            if len >= self.config.segment_bytes {
-                writer.flush()?;
-                if self.config.fsync {
-                    writer.get_ref().sync_data()?;
-                }
-                new_id += 1;
-                path = segment_path(&self.config.dir, new_id);
-                let (w, _) = open_for_append(&path)?;
-                writer = w;
-                writer.write_all(&segment_header())?;
-                len = segment_header().len() as u64;
-                new_segments.push(new_id);
-            }
-            writer.write_all(bytes)?;
-            new_index.insert(
-                *key,
-                IndexEntry {
-                    segment: new_id,
-                    offset: len,
-                    len: bytes.len() as u64,
-                },
-            );
-            len += bytes.len() as u64;
-        }
-        writer.flush()?;
-        if self.config.fsync {
-            writer.get_ref().sync_data()?;
-        }
-        for id in old_segments {
-            let _ = fs::remove_file(segment_path(&self.config.dir, id));
-        }
-        self.index = new_index;
-        self.segments = new_segments;
-        self.active = ActiveSegment {
-            id: new_id,
-            writer,
-            len,
-        };
+        let spans = self.log.compact(&live)?;
+        self.index = keys.iter().copied().zip(spans).collect();
         Ok(keys.len())
     }
 
@@ -545,11 +215,7 @@ impl PlanStore {
 
     /// Where `key`'s record lives on disk, if stored.
     pub fn locate(&self, key: u128) -> Option<RecordSpan> {
-        self.index.get(&key).map(|e| RecordSpan {
-            segment: e.segment,
-            offset: e.offset,
-            len: e.len,
-        })
+        self.index.get(&key).copied()
     }
 
     /// Number of distinct keys stored.
@@ -564,13 +230,15 @@ impl PlanStore {
 
     /// Number of segment files currently on disk.
     pub fn segment_count(&self) -> usize {
-        self.segments.len()
+        self.log.segment_count()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::fs::{self, OpenOptions};
+    use std::path::Path;
 
     fn tmp_dir(tag: &str) -> PathBuf {
         let dir =
@@ -579,11 +247,8 @@ mod tests {
         dir
     }
 
-    #[test]
-    fn crc32_matches_known_vectors() {
-        // Classic zlib test vector.
-        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
-        assert_eq!(crc32(b""), 0);
+    fn segment_path(dir: &Path, id: u64) -> PathBuf {
+        dir.join(format!("seg-{id:06}.log"))
     }
 
     #[test]
@@ -676,13 +341,29 @@ mod tests {
         // A segment from "another era": valid-looking but wrong header.
         fs::write(
             dir.join("seg-000000.log"),
-            b"\x10\x00\x00\x00aqseg1 old/v0!!\n",
+            b"\x10\x00\x00\x00aqlog1 old/v0!!\n",
         )
         .unwrap();
         let (store, records, report) = PlanStore::open(StoreConfig::at(&dir)).unwrap();
         assert!(records.is_empty());
         assert_eq!(report.stale_segments, 1);
         assert!(store.is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn pre_extraction_segments_read_as_stale() {
+        // Segments written before the seglog extraction led with
+        // `aqseg1` magic; they must be fenced off, not misparsed.
+        let dir = tmp_dir("old-magic");
+        fs::create_dir_all(&dir).unwrap();
+        let text = format!("aqseg1 {KEY_VERSION}\n");
+        let mut bytes = (text.len() as u32).to_le_bytes().to_vec();
+        bytes.extend_from_slice(text.as_bytes());
+        fs::write(dir.join("seg-000000.log"), &bytes).unwrap();
+        let (_store, records, report) = PlanStore::open(StoreConfig::at(&dir)).unwrap();
+        assert!(records.is_empty());
+        assert_eq!(report.stale_segments, 1);
         let _ = fs::remove_dir_all(&dir);
     }
 }

@@ -1,0 +1,116 @@
+//! Wire tests for the live obs endpoints (`obs.snapshot`, `obs.reset`).
+//!
+//! The acceptance bar is byte-for-byte: the `obs.snapshot` response
+//! over the NDJSON wire must embed exactly the JSON a local
+//! [`FleetSnapshot::to_json`] renders for the same aggregate state —
+//! no re-ordering, no float drift, no timestamp skew.
+
+use std::io::Cursor;
+use std::sync::Arc;
+
+use aqua_obs::fleet::FleetSink;
+use aqua_obs::Obs;
+use aqua_serve::server::serve_lines;
+use aqua_serve::{Service, ServiceConfig};
+
+fn service_with_fleet() -> (Service, Arc<FleetSink>) {
+    let fleet = Arc::new(FleetSink::new());
+    let svc = Service::new(ServiceConfig {
+        fleet: Some(fleet.clone()),
+        ..ServiceConfig::default()
+    });
+    (svc, fleet)
+}
+
+fn wire(svc: &Service, requests: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    serve_lines(svc, Cursor::new(requests.as_bytes()), &mut out).expect("serve");
+    String::from_utf8(out)
+        .expect("utf8 responses")
+        .lines()
+        .map(str::to_owned)
+        .collect()
+}
+
+#[test]
+fn snapshot_over_the_wire_matches_local_rendering_byte_for_byte() {
+    let (svc, fleet) = service_with_fleet();
+    // Populate the aggregator the way a replay fleet would: counters,
+    // a histogram with enough spread to exercise quantiles, a span.
+    let obs = Obs::with_sink(fleet.clone());
+    obs.add("replay.runs", 12_345);
+    obs.add("sim.faults", 67);
+    for v in [1u64, 10, 100, 1_000, 10_000, 123_456_789] {
+        obs.record("sim.instr_ns", v);
+    }
+    {
+        let _span = obs.span("sim.run");
+    }
+
+    let local = fleet.snapshot().to_json();
+    let responses = wire(&svc, "{\"id\":7,\"cmd\":\"obs.snapshot\"}\n");
+    assert_eq!(responses.len(), 1);
+    assert_eq!(
+        responses[0],
+        format!("{{\"id\":7,\"ok\":true,\"obs\":{local}}}"),
+        "wire snapshot diverged from the local rendering"
+    );
+    // Idempotent: snapshotting twice renders identical bytes.
+    let again = wire(&svc, "{\"id\":8,\"cmd\":\"obs.snapshot\"}\n");
+    assert_eq!(
+        again[0],
+        format!("{{\"id\":8,\"ok\":true,\"obs\":{local}}}")
+    );
+}
+
+#[test]
+fn reset_clears_the_rollup_and_recording_resumes() {
+    let (svc, fleet) = service_with_fleet();
+    let obs = Obs::with_sink(fleet.clone());
+    obs.add("replay.runs", 5);
+
+    let responses = wire(
+        &svc,
+        "{\"id\":1,\"cmd\":\"obs.reset\"}\n{\"id\":2,\"cmd\":\"obs.snapshot\"}\n",
+    );
+    assert_eq!(responses[0], "{\"id\":1,\"ok\":true}");
+    let empty = aqua_obs::fleet::FleetSnapshot::default().to_json();
+    assert_eq!(
+        responses[1],
+        format!("{{\"id\":2,\"ok\":true,\"obs\":{empty}}}")
+    );
+
+    // Recording keeps working after a reset.
+    obs.add("replay.runs", 3);
+    assert_eq!(fleet.snapshot().counter("replay.runs"), 3);
+}
+
+#[test]
+fn endpoints_without_a_fleet_are_a_typed_error() {
+    let svc = Service::new(ServiceConfig::default());
+    for cmd in ["obs.snapshot", "obs.reset"] {
+        let responses = wire(&svc, &format!("{{\"id\":1,\"cmd\":\"{cmd}\"}}\n"));
+        assert!(
+            responses[0].contains("\"ok\":false") && responses[0].contains("bad_request"),
+            "expected typed error for {cmd} without a fleet, got {}",
+            responses[0]
+        );
+    }
+}
+
+#[test]
+fn obs_endpoints_coexist_with_plan_requests() {
+    let (svc, fleet) = service_with_fleet();
+    let obs = Obs::with_sink(fleet.clone());
+    obs.add("replay.runs", 1);
+    let src = "ASSAY w START\nfluid A, B;\nMIX A AND B IN RATIOS 1 : 4 FOR 10;\nSENSE OPTICAL it INTO R;\nEND";
+    let requests = format!(
+        "{{\"id\":1,\"src\":{}}}\n{{\"id\":2,\"cmd\":\"obs.snapshot\"}}\n{{\"id\":3,\"cmd\":\"stats\"}}\n",
+        aqua_serve::json::quote(src)
+    );
+    let responses = wire(&svc, &requests);
+    assert_eq!(responses.len(), 3);
+    assert!(responses[0].contains("\"ok\":true") && responses[0].contains("\"plan\""));
+    assert!(responses[1].contains("\"obs\":{\"counters\":{\"replay.runs\":1}"));
+    assert!(responses[2].contains("\"stats\""));
+}

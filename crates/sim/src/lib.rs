@@ -76,6 +76,7 @@ pub mod batch_exec;
 pub mod exec;
 pub mod fault;
 pub mod regen;
+pub mod replay;
 pub mod sched;
 pub mod state;
 pub mod trace;

@@ -1,0 +1,226 @@
+//! Crash-recovery property tests for the replay descriptor log.
+//!
+//! The log's contract (mirroring the plan store's): rehydration after a
+//! crash recovers **every descriptor that was durably written**, stops
+//! at torn tails instead of yielding partial descriptors, and a
+//! replayed fleet built from a damaged log never diverges from the
+//! intact prefix — a recovered descriptor is byte-identical to what was
+//! appended or absent, never altered. Randomized truncation and
+//! corruption with seeded `XorShift64Star`, so failures reproduce.
+
+use std::collections::HashMap;
+use std::fs::OpenOptions;
+use std::path::PathBuf;
+
+use aqua_compiler::{compile, CompileOptions};
+use aqua_obs::Obs;
+use aqua_rational::rng::XorShift64Star;
+use aqua_seglog::RecordSpan;
+use aqua_sim::replay::{replay, run_one, DescriptorLog, PlanSet, ReplayOptions, RunDescriptor};
+use aqua_volume::Machine;
+
+fn test_dir(name: &str, trial: usize) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR"))
+        .join("replay_log_recovery")
+        .join(format!("{name}-{}-{trial}", std::process::id()));
+    if dir.exists() {
+        std::fs::remove_dir_all(&dir).expect("clean test dir");
+    }
+    dir
+}
+
+/// Appends `n` random descriptors and returns them with their spans
+/// (all in one segment — the default segment size is far larger).
+fn fill_log(dir: &PathBuf, rng: &mut XorShift64Star, n: usize) -> Vec<(RunDescriptor, RecordSpan)> {
+    let (mut log, existing, _) = DescriptorLog::open(DescriptorLog::config(dir)).expect("open");
+    assert!(existing.is_empty());
+    let assays = ["figure2", "glucose", "glycomics"];
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let assay = assays[(rng.next_u64() % assays.len() as u64) as usize];
+        let d = if rng.next_u64().is_multiple_of(2) {
+            RunDescriptor::new(assay, rng.next_u64() ^ i as u64)
+        } else {
+            RunDescriptor::faulted(assay, rng.next_u64(), rng.range_u64(100, 50_000) as u32)
+        };
+        let span = log.append(&d).expect("append");
+        out.push((d, span));
+    }
+    assert_eq!(log.segment_count(), 1, "test assumes a single segment");
+    out
+}
+
+fn only_segment(dir: &PathBuf) -> PathBuf {
+    let mut segs: Vec<PathBuf> = std::fs::read_dir(dir)
+        .expect("read dir")
+        .map(|e| e.expect("entry").path())
+        .filter(|p| p.extension().map(|e| e == "log").unwrap_or(false))
+        .collect();
+    segs.sort();
+    assert_eq!(segs.len(), 1, "test assumes a single segment: {segs:?}");
+    segs.pop().expect("one segment")
+}
+
+/// Truncating the log at any byte boundary must recover exactly the
+/// descriptors that end at or before the cut — nothing partial,
+/// nothing reordered, every survivor byte-identical.
+#[test]
+fn truncation_recovers_exactly_the_intact_prefix() {
+    let mut rng = XorShift64Star::new(0x0DE5_C0DE);
+    for trial in 0..12 {
+        let dir = test_dir("truncate", trial);
+        let appended = fill_log(&dir, &mut rng, 24);
+        let seg = only_segment(&dir);
+        let full_len = std::fs::metadata(&seg).expect("metadata").len();
+        let first_offset = appended[0].1.offset;
+        let cut = rng.range_u64(first_offset, full_len);
+        OpenOptions::new()
+            .write(true)
+            .open(&seg)
+            .expect("open segment")
+            .set_len(cut)
+            .expect("truncate");
+
+        let (_log, recovered, report) =
+            DescriptorLog::open(DescriptorLog::config(&dir)).expect("recover");
+        let expected: Vec<&RunDescriptor> = appended
+            .iter()
+            .filter(|(_, span)| span.offset + span.len <= cut)
+            .map(|(d, _)| d)
+            .collect();
+        assert_eq!(
+            recovered.len(),
+            expected.len(),
+            "trial {trial}: cut at {cut} of {full_len}"
+        );
+        for (r, e) in recovered.iter().zip(&expected) {
+            assert_eq!(&r, e, "trial {trial}: recovered descriptor diverged");
+        }
+        if expected.len() < appended.len()
+            && cut
+                > expected
+                    .iter()
+                    .zip(&appended)
+                    .map(|(_, (_, span))| span.offset + span.len)
+                    .max()
+                    .unwrap_or(first_offset)
+        {
+            assert!(report.truncated_bytes > 0, "torn tail must be truncated");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// Flipping one byte inside the log must never surface an altered
+/// descriptor: recovery stops at the corruption, and everything before
+/// it survives byte-identically.
+#[test]
+fn corruption_never_yields_a_divergent_descriptor() {
+    let mut rng = XorShift64Star::new(0xBAD_5EED);
+    for trial in 0..12 {
+        let dir = test_dir("corrupt", trial);
+        let appended = fill_log(&dir, &mut rng, 24);
+        let seg = only_segment(&dir);
+        let mut bytes = std::fs::read(&seg).expect("read segment");
+        let first_offset = appended[0].1.offset as usize;
+        let victim = rng.range_u64(first_offset as u64, bytes.len() as u64 - 1) as usize;
+        bytes[victim] ^= 0x40;
+        std::fs::write(&seg, &bytes).expect("write corrupted");
+
+        let (_log, recovered, _report) =
+            DescriptorLog::open(DescriptorLog::config(&dir)).expect("recover");
+        // Every recovered descriptor must match its appended original —
+        // a corrupted record may be *dropped* but never *altered*.
+        for (r, (a, _)) in recovered.iter().zip(&appended) {
+            assert_eq!(
+                r, a,
+                "trial {trial}: corruption yielded a divergent descriptor"
+            );
+        }
+        // Records strictly before the corrupted byte must all survive
+        // (the scan stops at the first bad record, not before it).
+        let intact_before = appended
+            .iter()
+            .filter(|(_, span)| (span.offset + span.len) as usize <= victim)
+            .count();
+        assert!(
+            recovered.len() >= intact_before,
+            "trial {trial}: lost descriptors before the corruption at {victim}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// End-to-end: a fleet replayed from a damaged log equals the same
+/// descriptors replayed from memory — damage can shrink the fleet (to
+/// an exact prefix) but never change any surviving run's digest, and
+/// never yields a partial or divergent run.
+#[test]
+fn damaged_log_never_replays_a_divergent_or_partial_run() {
+    let machine = Machine::paper_default();
+    let mut plans = PlanSet::new();
+    for (name, src) in [
+        ("figure2", aqua_assays::figure2::SOURCE.to_string()),
+        ("glucose", aqua_assays::glucose::SOURCE.to_string()),
+        ("glycomics", aqua_assays::glycomics::SOURCE.to_string()),
+    ] {
+        let out = compile(&src, &machine, &CompileOptions::default()).expect("assay compiles");
+        plans.insert(name, machine.clone(), out);
+    }
+    // Reference digests for every descriptor we might append, keyed by
+    // the descriptor itself (descriptors are Eq).
+    let mut reference: HashMap<Vec<u8>, u64> = HashMap::new();
+
+    let mut rng = XorShift64Star::new(0xFEED_FACE);
+    for trial in 0..4 {
+        let dir = test_dir("replay", trial);
+        let appended = fill_log(&dir, &mut rng, 12);
+        for (d, _) in &appended {
+            reference
+                .entry(d.encode())
+                .or_insert_with(|| run_one(&plans, d, Obs::off()).expect("reference run").1);
+        }
+        // Damage the tail: truncate or corrupt, coin-flip.
+        let seg = only_segment(&dir);
+        let full_len = std::fs::metadata(&seg).expect("metadata").len();
+        if rng.next_u64().is_multiple_of(2) {
+            let cut = rng.range_u64(appended[0].1.offset, full_len);
+            OpenOptions::new()
+                .write(true)
+                .open(&seg)
+                .expect("open")
+                .set_len(cut)
+                .expect("truncate");
+        } else {
+            let mut bytes = std::fs::read(&seg).expect("read");
+            let victim = rng.range_u64(appended[0].1.offset, full_len - 1) as usize;
+            bytes[victim] ^= 0x08;
+            std::fs::write(&seg, &bytes).expect("write");
+        }
+
+        let (_log, recovered, _) =
+            DescriptorLog::open(DescriptorLog::config(&dir)).expect("recover");
+        assert!(recovered.len() <= appended.len());
+        // The recovered fleet is an exact prefix of what was appended.
+        for (r, (a, _)) in recovered.iter().zip(&appended) {
+            assert_eq!(
+                r, a,
+                "trial {trial}: recovery reordered or altered the fleet"
+            );
+        }
+        let opts = ReplayOptions {
+            threads: 2,
+            keep_digests: true,
+            ..ReplayOptions::default()
+        };
+        let fleet = replay(&plans, &recovered, &opts).expect("replay recovered fleet");
+        for (d, &digest) in recovered.iter().zip(&fleet.digests) {
+            assert_eq!(
+                digest,
+                reference[&d.encode()],
+                "trial {trial}: damaged log produced a divergent run"
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -33,12 +33,22 @@
 #      thread-invariant batch digests and full fault recovery; the
 #      floor is retried once like the auto-floor gate since the run
 #      shares the host with whatever else CI is doing)
+#  12. replay suites          (replay_differential: recorded digests
+#      reproduce at 1/2/8 threads, fault-free and faulted;
+#      replay_log_recovery: a damaged descriptor log never replays a
+#      divergent or partial run; obs fleet-merge property tests and the
+#      obs.snapshot wire byte-identity tests)
+#  13. replay bench smoke     (bench_replay --quick: descriptor-log
+#      soak with hard gates — run floor met, zero conservation
+#      violations, zero unrecovered faults, zero cross-thread digest
+#      mismatches, obs.snapshot byte-identical over the wire — all
+#      enforced by the binary and re-checked by the greps)
 #
 # The smoke runs write their JSON to target/ so they never clobber the
 # committed BENCH_lp.json / BENCH_fault.json / BENCH_serve.json /
-# BENCH_exec.json (regenerate those with a full `cargo run --release
-# -p aqua-bench --bin bench_lp` / `fault_sweep` / `bench_serve` /
-# `bench_exec`).
+# BENCH_exec.json / BENCH_replay.json (regenerate those with a full
+# `cargo run --release -p aqua-bench --bin bench_lp` / `fault_sweep` /
+# `bench_serve` / `bench_exec` / `bench_replay`).
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -60,6 +70,10 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
 echo "==> property suites: cargo test -q --features proptests"
 cargo test -q --release --features proptests --test fault_properties
+# The pinned proptest regression corpus (tests/regression_corpus.rs
+# mirrors tests/proptest_volume.proptest-regressions) replays every
+# historical counterexample deterministically.
+cargo test -q --release --features proptests --test regression_corpus
 
 echo "==> bench_lp --quick (backend agreement + auto floor + obs smoke test)"
 # The binary exits nonzero on backend disagreement or divergent parallel
@@ -143,5 +157,34 @@ grep -q '"makespan_floor_ok": true' target/BENCH_exec.quick.json || {
 grep -q '"threads_agree": true' target/BENCH_exec.quick.json
 grep -q '"fault_recovered": true' target/BENCH_exec.quick.json
 grep -q '"host_cpus"' target/BENCH_exec.quick.json
+
+echo "==> replay differential suite (recorded digests at 1/2/8 threads)"
+timeout 600 cargo test -q --release -p aqua-sim --test replay_differential
+
+echo "==> replay descriptor-log crash-recovery suite"
+timeout 600 cargo test -q --release -p aqua-sim --test replay_log_recovery
+
+echo "==> obs fleet-merge properties + obs.snapshot wire byte-identity"
+timeout 300 cargo test -q --release -p aqua-obs --test fleet_merge
+timeout 300 cargo test -q --release -p aqua-serve --test obs_endpoints
+
+echo "==> bench_replay --quick (descriptor-log soak smoke test)"
+# The binary exits nonzero on any conservation violation, unrecovered
+# fault, cross-thread digest mismatch, wire divergence, or a missed run
+# floor; the greps re-check the JSON contract the perf trajectory and
+# EXPERIMENTS.md read.
+timeout 600 cargo run --release -p aqua-bench --bin bench_replay -- --quick \
+  --out target/BENCH_replay.quick.json
+test -s target/BENCH_replay.quick.json
+for field in '"schema": "bench_replay/v1"' '"runs_floor_ok": true' \
+             '"conservation_violations": 0' '"unrecovered_faults": 0' \
+             '"digest_mismatches": 0' '"log_intact": true' \
+             '"obs_wire_equal": true' '"replay_over_record"' \
+             '"p999_instr_ns"' '"soak_rps"' '"host_cpus"'; do
+  if ! grep -q "$field" target/BENCH_replay.quick.json; then
+    echo "error: BENCH_replay.quick.json is missing $field" >&2
+    exit 1
+  fi
+done
 
 echo "==> ci.sh: all green"

@@ -12,6 +12,11 @@
 //!               [--max-deadline-ms N] [--max-line-bytes N]
 //!               [--store DIR] [--tenant-inflight N]
 //!               [--tenant-queue N] [--obs]
+//! aquac replay  record <assay-file> --log DIR [--name NAME]
+//!               [--machine CAP,LC] [--runs N] [--seed-base S]
+//!               [--fault-rate-ppm P]
+//! aquac replay  run --log DIR --assay NAME=FILE [--assay ...]
+//!               [--machine CAP,LC] [--threads N] [--obs]
 //! ```
 //!
 //! * `compile` prints the requested artifact (default: AIS assembly);
@@ -33,7 +38,17 @@
 //!   rehydrates the caches on restart; `--tenant-inflight` /
 //!   `--tenant-queue` bound each tenant's share of the service;
 //!   `--max-deadline-ms` and `--max-line-bytes` cap hostile requests.
-//!   `--obs` prints an observability summary at EOF.
+//!   `--obs` attaches a lock-sharded fleet aggregator: the wire gains
+//!   live `{"cmd":"obs.snapshot"}` / `{"cmd":"obs.reset"}` endpoints
+//!   (the snapshot is deterministic, byte-stable JSON), and the final
+//!   roll-up is printed at EOF;
+//! * `replay record` compiles an assay once, executes `--runs` seeded
+//!   runs (the recorded originals), and appends one compact run
+//!   descriptor per run to the CRC-guarded descriptor log in `--log
+//!   DIR`. `replay run` re-opens the log, recovers the intact
+//!   descriptor prefix, and replays the whole fleet from cached plans
+//!   — no recompilation — printing the order-invariant aggregate
+//!   digest, which must equal the recorded one at any `--threads`.
 //!
 //! `--machine CAP,LC` sets capacity and least count in nanoliters
 //! (default `100,0.1` — the paper's hardware).
@@ -65,6 +80,9 @@ fn real_main() -> Result<(), String> {
     }
     if cmd == "exec" {
         return exec_main(rest);
+    }
+    if cmd == "replay" {
+        return replay_main(rest);
     }
     let mut file = None;
     let mut emit = "ais".to_owned();
@@ -396,9 +414,14 @@ fn serve_main(rest: &[String]) -> Result<(), String> {
             other => return Err(format!("unknown argument `{other}`\n{}", usage())),
         }
     }
-    let obs_sink = if with_obs {
-        let (obs, sink) = aqua_obs::Obs::recording();
-        config.obs = obs;
+    // `--obs` attaches one lock-sharded fleet aggregator as both the
+    // service's recording sink and its live wire endpoint, so
+    // `obs.snapshot` over NDJSON and the EOF roll-up render the same
+    // byte-stable JSON.
+    let fleet_sink = if with_obs {
+        let sink = std::sync::Arc::new(aqua_obs::fleet::FleetSink::new());
+        config.obs = aqua_obs::Obs::with_sink(sink.clone());
+        config.fleet = Some(sink.clone());
         Some(sink)
     } else {
         None
@@ -411,10 +434,174 @@ fn serve_main(rest: &[String]) -> Result<(), String> {
         eprintln!("aquac serve: listening on {local}");
     }
     serve_stdin(&service).map_err(|e| e.to_string())?;
-    if let Some(sink) = obs_sink {
-        eprintln!("{}", aqua_obs::export::text_summary(&sink));
+    if let Some(sink) = fleet_sink {
+        eprintln!("{}", sink.snapshot().to_json());
     }
     Ok(())
+}
+
+/// Runs `aquac replay record|run`: the fleet-scale deterministic
+/// replay front end over the CRC-guarded descriptor log.
+fn replay_main(rest: &[String]) -> Result<(), String> {
+    use aqua_sim::replay::{replay, run_one, DescriptorLog, PlanSet, ReplayOptions, RunDescriptor};
+
+    let (mode, rest) = rest
+        .split_first()
+        .ok_or("replay needs a mode: record or run")?;
+    let next_u64 = |it: &mut std::slice::Iter<String>, flag: &str| -> Result<u64, String> {
+        it.next()
+            .ok_or(format!("{flag} needs a value"))?
+            .parse()
+            .map_err(|_| format!("{flag} must be a non-negative integer"))
+    };
+    match mode.as_str() {
+        "record" => {
+            let mut file = None;
+            let mut log_dir = None;
+            let mut name = None;
+            let mut machine_spec = "100,0.1".to_owned();
+            let mut runs = 100u64;
+            let mut seed_base = 1u64;
+            let mut fault_rate_ppm = 0u64;
+            let mut it = rest.iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--log" => log_dir = Some(it.next().ok_or("--log needs a directory")?.clone()),
+                    "--name" => name = Some(it.next().ok_or("--name needs a value")?.clone()),
+                    "--machine" => {
+                        machine_spec = it.next().ok_or("--machine needs a value")?.clone()
+                    }
+                    "--runs" => runs = next_u64(&mut it, "--runs")?.max(1),
+                    "--seed-base" => seed_base = next_u64(&mut it, "--seed-base")?,
+                    "--fault-rate-ppm" => {
+                        fault_rate_ppm = next_u64(&mut it, "--fault-rate-ppm")?;
+                        if fault_rate_ppm > 1_000_000 {
+                            return Err("--fault-rate-ppm must be at most 1000000".into());
+                        }
+                    }
+                    other if !other.starts_with('-') && file.is_none() => {
+                        file = Some(other.to_owned())
+                    }
+                    other => return Err(format!("unknown argument `{other}`\n{}", usage())),
+                }
+            }
+            let file = file.ok_or_else(usage)?;
+            let log_dir = log_dir.ok_or("replay record needs --log DIR")?;
+            let name = name.unwrap_or_else(|| {
+                std::path::Path::new(&file)
+                    .file_stem()
+                    .map(|s| s.to_string_lossy().into_owned())
+                    .unwrap_or_else(|| file.clone())
+            });
+            let machine = parse_machine(&machine_spec)?;
+            let src =
+                std::fs::read_to_string(&file).map_err(|e| format!("cannot read {file}: {e}"))?;
+            let out =
+                compile(&src, &machine, &CompileOptions::default()).map_err(|e| e.to_string())?;
+            let mut plans = PlanSet::new();
+            plans.insert(name.clone(), machine, out);
+
+            let (mut log, existing, _) = DescriptorLog::open(DescriptorLog::config(&log_dir))
+                .map_err(|e| format!("cannot open descriptor log: {e}"))?;
+            let mut aggregate = 0u64;
+            for i in 0..runs {
+                let d = if fault_rate_ppm == 0 {
+                    RunDescriptor::new(name.clone(), seed_base + i)
+                } else {
+                    RunDescriptor::faulted(name.clone(), seed_base + i, fault_rate_ppm as u32)
+                };
+                let (_, digest) = run_one(&plans, &d, aqua_obs::Obs::off())
+                    .map_err(|e| format!("recorded run {i} failed: {e}"))?;
+                aggregate = aggregate.wrapping_add(digest);
+                log.append(&d)
+                    .map_err(|e| format!("cannot append descriptor: {e}"))?;
+            }
+            println!(
+                "recorded {runs} run(s) of {name} into {log_dir} ({} total descriptors), \
+                 digest sum {aggregate:016x}",
+                existing.len() as u64 + runs
+            );
+            Ok(())
+        }
+        "run" => {
+            let mut log_dir = None;
+            let mut machine_spec = "100,0.1".to_owned();
+            let mut threads = 1usize;
+            let mut with_obs = false;
+            let mut bindings: Vec<(String, String)> = Vec::new();
+            let mut it = rest.iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--log" => log_dir = Some(it.next().ok_or("--log needs a directory")?.clone()),
+                    "--machine" => {
+                        machine_spec = it.next().ok_or("--machine needs a value")?.clone()
+                    }
+                    "--threads" => threads = next_u64(&mut it, "--threads")?.max(1) as usize,
+                    "--obs" => with_obs = true,
+                    "--assay" => {
+                        let spec = it.next().ok_or("--assay needs NAME=FILE")?;
+                        let (n, f) = spec.split_once('=').ok_or("--assay expects NAME=FILE")?;
+                        bindings.push((n.to_owned(), f.to_owned()));
+                    }
+                    other => return Err(format!("unknown argument `{other}`\n{}", usage())),
+                }
+            }
+            let log_dir = log_dir.ok_or("replay run needs --log DIR")?;
+            let machine = parse_machine(&machine_spec)?;
+            let mut plans = PlanSet::new();
+            for (n, f) in &bindings {
+                let src =
+                    std::fs::read_to_string(f).map_err(|e| format!("cannot read {f}: {e}"))?;
+                let out = compile(&src, &machine, &CompileOptions::default())
+                    .map_err(|e| format!("{n}: {e}"))?;
+                plans.insert(n.clone(), machine.clone(), out);
+            }
+            let (_log, descriptors, report) = DescriptorLog::open(DescriptorLog::config(&log_dir))
+                .map_err(|e| format!("cannot open descriptor log: {e}"))?;
+            if report.torn_records > 0 || report.truncated_bytes > 0 {
+                eprintln!(
+                    "aquac replay: recovered {} descriptor(s); dropped {} torn record(s), \
+                     truncated {} byte(s)",
+                    report.records, report.torn_records, report.truncated_bytes
+                );
+            }
+            let fleet_sink =
+                with_obs.then(|| std::sync::Arc::new(aqua_obs::fleet::FleetSink::new()));
+            let options = ReplayOptions {
+                threads,
+                obs: fleet_sink
+                    .as_ref()
+                    .map(|s| aqua_obs::Obs::with_sink(s.clone() as _))
+                    .unwrap_or_default(),
+                keep_digests: false,
+            };
+            let fleet = replay(&plans, &descriptors, &options).map_err(|e| e.to_string())?;
+            println!(
+                "replayed {} run(s) on {threads} thread(s): aggregate digest {:016x}",
+                fleet.runs, fleet.aggregate_digest
+            );
+            println!(
+                "conservation violations {}, unrecovered {}, residual violations {}, \
+                 faults {}, recovery [redispense {}, regenerate {}, replan {}, trims {}]",
+                fleet.conservation_violations,
+                fleet.unrecovered_faults,
+                fleet.residual_violations,
+                fleet.faults_injected,
+                fleet.recovery.redispense,
+                fleet.recovery.regenerate,
+                fleet.recovery.replan,
+                fleet.recovery.overflow_trims,
+            );
+            if let Some(sink) = fleet_sink {
+                println!("{}", sink.snapshot().to_json());
+            }
+            if fleet.conservation_violations > 0 || fleet.unrecovered_faults > 0 {
+                return Err("replay surfaced conservation violations or unrecovered faults".into());
+            }
+            Ok(())
+        }
+        other => Err(format!("unknown replay mode `{other}`\n{}", usage())),
+    }
 }
 
 fn parse_machine(spec: &str) -> Result<Machine, String> {
@@ -441,6 +628,10 @@ fn usage() -> String {
      [--shards N] [--worker-shards N] [--workers N] [--queue-cap N] \
      [--max-batch N] [--deadline-ms N] [--max-deadline-ms N] \
      [--max-line-bytes N] [--store DIR] [--tenant-inflight N] \
-     [--tenant-queue N] [--obs]"
+     [--tenant-queue N] [--obs]\n   \
+     or: aquac replay record <assay-file> --log DIR [--name NAME] \
+     [--machine CAP,LC] [--runs N] [--seed-base S] [--fault-rate-ppm P]\n   \
+     or: aquac replay run --log DIR --assay NAME=FILE [--assay ...] \
+     [--machine CAP,LC] [--threads N] [--obs]"
         .to_owned()
 }

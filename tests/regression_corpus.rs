@@ -1,0 +1,129 @@
+// Compiled only with the `proptests` feature, alongside the other
+// dependency-free property suites that `scripts/ci.sh` runs.
+#![cfg(feature = "proptests")]
+
+//! Pinned regression corpus for `tests/proptest_volume.rs`.
+//!
+//! The committed `tests/proptest_volume.proptest-regressions` file
+//! records the shrunken counterexamples proptest found historically —
+//! but that file only replays when the (unvendorable, off-by-default)
+//! `proptest-tests` feature is on, so the corpus had drifted into
+//! dead weight: CI never re-ran the cases. This suite pins each corpus
+//! entry as a plain deterministic test, replicating the property body
+//! it once falsified, so every CI run replays the exact historical
+//! failure inputs with no proptest dependency at all.
+//!
+//! When a future proptest run appends a new `cc` line to the corpus
+//! file, mirror it here as a new `#[test]`.
+
+use aqua_assays::synthetic::{self, LayeredConfig};
+use aqua_dag::{NodeKind, Ratio};
+use aqua_volume::{cascade, dagsolve, Machine};
+
+/// Corpus entry 1: `(seed, cfg) = (0, LayeredConfig { inputs: 3,
+/// layers: 1, width: 2, fanin: 2, max_part: 1 })` — the shrunken DAG
+/// that once violated the paper's ratio/audit constraints in
+/// `dagsolve_satisfies_paper_constraints`.
+fn corpus_dag_1() -> aqua_dag::Dag {
+    synthetic::layered_dag(
+        0,
+        &LayeredConfig {
+            inputs: 3,
+            layers: 1,
+            width: 2,
+            fanin: 2,
+            max_part: 1,
+        },
+    )
+}
+
+/// Replays corpus entry 1 through the `dagsolve_satisfies_paper_constraints`
+/// property body: the assignment must audit clean (modulo least-count
+/// notes) and hold every mix's in-edge ratio exactly.
+#[test]
+fn corpus_seed0_dagsolve_satisfies_paper_constraints() {
+    let machine = Machine::paper_default();
+    let dag = corpus_dag_1();
+    dag.validate().expect("corpus DAG is structurally valid");
+    let sol = dagsolve::solve(&dag, &machine).expect("corpus DAG solves");
+    let problems = sol.audit(&dag, &machine);
+    let real: Vec<_> = problems
+        .iter()
+        .filter(|p| !p.contains("least count"))
+        .collect();
+    assert!(real.is_empty(), "audit regressions: {real:?}");
+    for n in dag.node_ids() {
+        if !matches!(dag.node(n).kind, NodeKind::Mix { .. }) {
+            continue;
+        }
+        let total =
+            Ratio::checked_sum(dag.in_edges(n).iter().map(|&e| sol.edge_nl(e))).expect("sum");
+        if !total.is_positive() {
+            continue;
+        }
+        for &e in dag.in_edges(n) {
+            assert_eq!(
+                sol.edge_nl(e) / total,
+                dag.edge(e).fraction,
+                "ratio violated at {}",
+                dag.node(n).name
+            );
+        }
+    }
+}
+
+/// The same corpus DAG through the Figure 6 hierarchy: a `Solved`
+/// outcome must be underflow-free on live, non-excess edges (the
+/// `hierarchy_is_total_and_sound` property body).
+#[test]
+fn corpus_seed0_hierarchy_is_sound() {
+    let machine = Machine::paper_default();
+    let dag = corpus_dag_1();
+    let out = aqua_volume::manage_volumes(&dag, &machine, &Default::default());
+    if let aqua_volume::ManagedOutcome::Solved { volumes, dag, .. } = out {
+        let lc = machine.least_count_nl();
+        for e in dag.edge_ids() {
+            if !dag.edge_is_live(e) || dag.node(dag.edge(e).dst).kind == NodeKind::Excess {
+                continue;
+            }
+            let v = volumes.edge_volumes_nl[e.index()];
+            assert!(v >= lc, "solved outcome has an underflowing edge: {v} nl");
+        }
+    }
+}
+
+/// Corpus entry 2: `skew = 998001` — the near-10^6 ratio skew that once
+/// broke `cascading_preserves_composition`. Cascading the extreme mix
+/// must preserve A's final share exactly (1/(skew+1)) and leave no
+/// extreme-ratio stage behind.
+#[test]
+fn corpus_skew998001_cascading_preserves_composition() {
+    let machine = Machine::paper_default();
+    let skew = 998_001u64;
+    let mut dag = synthetic::extreme_ratio_dag(skew);
+    let m = dag.find_node("extreme").expect("extreme mix exists");
+    let a = dag.find_node("A").expect("input A exists");
+    cascade::apply_cascade(&mut dag, m, &machine).expect("cascade applies");
+    dag.validate().expect("cascaded DAG validates");
+    let mut share = Ratio::ONE;
+    let mut cur = m;
+    loop {
+        let small = dag
+            .in_edges(cur)
+            .iter()
+            .map(|&e| dag.edge(e))
+            .min_by(|x, y| x.fraction.cmp(&y.fraction))
+            .expect("cascade stage has in-edges")
+            .clone();
+        share *= small.fraction;
+        if small.src == a {
+            break;
+        }
+        cur = small.src;
+    }
+    assert_eq!(share, Ratio::new(1, skew as i128 + 1).expect("exact share"));
+    assert!(
+        cascade::find_extreme_mixes(&dag, &machine).is_empty(),
+        "cascade left an extreme-ratio stage behind"
+    );
+}
