@@ -1,0 +1,388 @@
+//! Times push-mode incremental recompilation (`session.edit`) against
+//! cold front-door compiles across the edit-type × assay matrix and
+//! writes `BENCH_incr.json` at the repo root.
+//!
+//! Usage: `cargo run --release --bin bench_incr [--quick] [--out PATH]`
+//!
+//! Four edit types are driven per assay (Glucose, Glycomics, Enzyme,
+//! Enzyme10):
+//!
+//! * `ratio` — a single-mix ratio change, the dirty-slice replay fast
+//!   path;
+//! * `weight` — an output-volume (weight) change, also replayed;
+//! * `machine` — a machine-parameter change, the typed full-recompile
+//!   path (expected ~cold latency);
+//! * `struct` — node add/remove, the structural full-recompile path.
+//!
+//! `cold` is the whole front door on a cleared cache — parse, lower,
+//! canonicalize, plan, render — i.e. what a session-less client pays
+//! to re-submit the edited assay. Every incremental result is checked
+//! byte-identical to a cold compile of the identically-edited DAG
+//! before anything is timed; `divergences` counts mismatches and must
+//! be zero.
+//!
+//! The binary exits nonzero if `divergences > 0` or if the headline
+//! `incr_over_cold` (enzyme10 cold p50 / enzyme10 single-ratio-edit
+//! p50) drops below 10x.
+//!
+//! `--quick` drops iteration counts to a smoke-test level for CI; use
+//! the default mode to regenerate the committed `BENCH_incr.json`.
+
+use aqua_bench::harness::{self, Extra, Measurement};
+use aqua_dag::{Dag, NodeId, NodeKind};
+use aqua_serve::{apply_delta, canonicalize, compile_plan, Service, ServiceConfig};
+use aqua_volume::Machine;
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// The acceptance floor for the headline ratio-edit speedup.
+const MIN_INCR_OVER_COLD: f64 = 10.0;
+
+/// Times `iters` runs of `f`, returning the sorted per-request samples
+/// in nanoseconds.
+fn sample(warmup: usize, iters: usize, mut f: impl FnMut() -> String) -> Vec<u128> {
+    for _ in 0..warmup {
+        std::hint::black_box(f());
+    }
+    let mut samples_ns = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        samples_ns.push(start.elapsed().as_nanos());
+    }
+    samples_ns.sort_unstable();
+    samples_ns
+}
+
+/// Nearest-rank percentile (q in `[0,1]`) of sorted samples.
+fn percentile(sorted_ns: &[u128], q: f64) -> u128 {
+    let idx = ((sorted_ns.len() as f64 * q).ceil() as usize).clamp(1, sorted_ns.len()) - 1;
+    sorted_ns[idx]
+}
+
+fn measurement(name: &str, sorted_ns: &[u128]) -> Measurement {
+    let iters = sorted_ns.len();
+    Measurement {
+        name: name.to_owned(),
+        iters,
+        min_ns: sorted_ns[0],
+        mean_ns: sorted_ns.iter().sum::<u128>() / iters as u128,
+        median_ns: percentile(sorted_ns, 0.50),
+        p95_ns: percentile(sorted_ns, 0.95),
+    }
+}
+
+/// Extracts the raw bytes of a response's *last* JSON member.
+fn last_member<'a>(line: &'a str, name: &str) -> &'a str {
+    let marker = format!(",\"{name}\":");
+    let at = line.find(&marker).unwrap_or_else(|| {
+        panic!("response has no `{name}` member: {line}");
+    });
+    &line[at + marker.len()..line.len() - 1]
+}
+
+struct Case {
+    name: &'static str,
+    src: String,
+    /// The mix node targeted by ratio edits (name + in-edge sources).
+    mix: String,
+    mix_inputs: Vec<String>,
+    /// The output node targeted by weight edits.
+    output: String,
+}
+
+/// Picks, deterministically, the first mix whose in-edge sources have
+/// pairwise-distinct names (the wire addresses ratio parts by name)
+/// and the first output node.
+fn probe_targets(dag: &Dag) -> (String, Vec<String>, String) {
+    let mix = dag
+        .node_ids()
+        .find(|&n| {
+            if !matches!(dag.node(n).kind, NodeKind::Mix { .. }) {
+                return false;
+            }
+            let names: std::collections::HashSet<&str> = dag
+                .in_edges(n)
+                .iter()
+                .map(|&e| dag.node(dag.edge(e).src).name.as_str())
+                .collect();
+            dag.in_edges(n).len() >= 2 && names.len() == dag.in_edges(n).len()
+        })
+        .expect("assay has an editable mix");
+    let inputs = dag
+        .in_edges(mix)
+        .iter()
+        .map(|&e| dag.node(dag.edge(e).src).name.clone())
+        .collect();
+    let output = dag
+        .node_ids()
+        .find(|&n| dag.out_edges(n).is_empty())
+        .expect("assay has a sink");
+    (
+        dag.node(mix).name.clone(),
+        inputs,
+        dag.node(output).name.clone(),
+    )
+}
+
+/// Renders the ratio-edit request for toggle state `flip`: the first
+/// part toggles 1↔2, the rest are fixed at `k + 1`.
+fn ratio_edit(case: &Case, sid: &str, id: usize, flip: bool) -> String {
+    let parts: Vec<String> = case
+        .mix_inputs
+        .iter()
+        .enumerate()
+        .map(|(k, name)| {
+            let count = if k == 0 && flip { 2 } else { k as u64 + 1 };
+            format!("[{},{count}]", aqua_serve::json::quote(name))
+        })
+        .collect();
+    format!(
+        "{{\"id\":{id},\"cmd\":\"session.edit\",\"session\":\"{sid}\",\
+         \"edit\":{{\"set_ratio\":{{\"node\":{},\"parts\":[{}]}}}}}}",
+        aqua_serve::json::quote(&case.mix),
+        parts.join(",")
+    )
+}
+
+fn register(svc: &Service, src: &str) -> (String, String) {
+    let line = svc.handle_line(&format!(
+        "{{\"id\":1,\"cmd\":\"session.register\",\"src\":{}}}",
+        aqua_serve::json::quote(src)
+    ));
+    assert!(line.contains("\"ok\":true"), "register failed: {line}");
+    let v = aqua_serve::json::parse(&line).expect("register line parses");
+    let sid = v
+        .get("session")
+        .and_then(|s| s.as_str())
+        .expect("session id")
+        .to_owned();
+    (sid, last_member(&line, "plan").to_owned())
+}
+
+/// Byte-identity check: drives one ratio edit and one weight edit
+/// through a fresh session and compares the delta-chained plans to
+/// cold compiles of the identically-edited DAG. Returns the number of
+/// divergences (0 on a correct build).
+fn verify_case(case: &Case, machine: &Machine) -> usize {
+    let svc = Service::new(ServiceConfig::default());
+    let (sid, mut plan) = register(&svc, &case.src);
+    let flat = aqua_lang::compile_to_flat(&case.src).expect("assay parses");
+    let (mut dag, map) = aqua_compiler::lower_to_dag(&flat).expect("assay lowers");
+    let mut weights: HashMap<NodeId, u64> = map.output_weights;
+    let mut divergences = 0;
+
+    // Ratio edit.
+    let line = svc.handle_line(&ratio_edit(case, &sid, 2, true));
+    assert!(line.contains("\"ok\":true"), "{line}");
+    plan = apply_delta(&plan, last_member(&line, "delta")).expect("ratio delta applies");
+    let mix = dag.find_node(&case.mix).expect("mix resolves");
+    let parts: Vec<(NodeId, u64)> = case
+        .mix_inputs
+        .iter()
+        .enumerate()
+        .map(|(k, name)| {
+            let count = if k == 0 { 2 } else { k as u64 + 1 };
+            (dag.find_node(name).expect("mix input resolves"), count)
+        })
+        .collect();
+    aqua_dag::set_mix_ratio(&mut dag, mix, &parts).expect("ratio edit is valid");
+    let canon = canonicalize(&dag, &weights, machine).expect("edited DAG canonicalizes");
+    if plan != compile_plan(&canon, machine, &aqua_obs::Obs::off()) {
+        eprintln!("divergence: {} ratio edit != cold compile", case.name);
+        divergences += 1;
+    }
+
+    // Weight edit.
+    let line = svc.handle_line(&format!(
+        "{{\"id\":3,\"cmd\":\"session.edit\",\"session\":\"{sid}\",\
+         \"edit\":{{\"set_output_volume\":{{\"node\":{},\"weight\":3}}}}}}",
+        aqua_serve::json::quote(&case.output)
+    ));
+    assert!(line.contains("\"ok\":true"), "{line}");
+    plan = apply_delta(&plan, last_member(&line, "delta")).expect("weight delta applies");
+    weights.insert(dag.find_node(&case.output).expect("output resolves"), 3);
+    let canon = canonicalize(&dag, &weights, machine).expect("edited DAG canonicalizes");
+    if plan != compile_plan(&canon, machine, &aqua_obs::Obs::off()) {
+        eprintln!("divergence: {} weight edit != cold compile", case.name);
+        divergences += 1;
+    }
+    divergences
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = match args.iter().position(|a| a == "--out") {
+        Some(pos) => args.get(pos + 1).cloned().unwrap_or_else(|| {
+            eprintln!("error: --out requires a path");
+            std::process::exit(2);
+        }),
+        None => concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_incr.json").to_owned(),
+    };
+
+    let machine = Machine::paper_default();
+    let mut cases: Vec<Case> = Vec::new();
+    for (name, src) in [
+        ("glucose", aqua_assays::glucose::SOURCE.to_owned()),
+        ("glycomics", aqua_assays::glycomics::SOURCE.to_owned()),
+        ("enzyme", aqua_assays::enzyme::source_n(4)),
+        ("enzyme10", aqua_assays::enzyme::source_n(10)),
+    ] {
+        let flat = aqua_lang::compile_to_flat(&src).expect("assay parses");
+        let (dag, _) = aqua_compiler::lower_to_dag(&flat).expect("assay lowers");
+        let (mix, mix_inputs, output) = probe_targets(&dag);
+        cases.push(Case {
+            name,
+            src,
+            mix,
+            mix_inputs,
+            output,
+        });
+    }
+
+    println!(
+        "bench_incr: session.edit vs cold front-door compile ({} mode)\n",
+        if quick { "quick" } else { "full" }
+    );
+
+    // Byte-identity first: nothing is timed on a diverging build.
+    let mut divergences = 0;
+    for case in &cases {
+        divergences += verify_case(case, &machine);
+    }
+
+    let (cold_iters, incr_iters) = if quick { (3, 30) } else { (15, 300) };
+    let warmup = if quick { 0 } else { 2 };
+    let mut measurements: Vec<Measurement> = Vec::new();
+    let mut extras: Vec<(String, Extra)> = vec![("quick".into(), Extra::Bool(quick))];
+    let mut enzyme10_ratio = (0u128, 0u128); // (cold p50, incr p50)
+
+    for case in &cases {
+        // Cold: full front door on a cleared cache.
+        let svc = Service::new(ServiceConfig::default());
+        let req = format!(
+            "{{\"id\":1,\"src\":{}}}",
+            aqua_serve::json::quote(&case.src)
+        );
+        let cold = sample(warmup, cold_iters, || {
+            svc.clear_cache();
+            let line = svc.handle_line(&req);
+            assert!(line.contains("\"ok\":true"), "cold compile failed: {line}");
+            line
+        });
+        let cold_p50 = percentile(&cold, 0.50);
+        let m = measurement(&format!("{}/cold", case.name), &cold);
+        harness::report(&m);
+        measurements.push(m);
+        extras.push((
+            format!("{}_cold_p50_ns", case.name),
+            Extra::Num(cold_p50.to_string()),
+        ));
+
+        // Incremental: one live session per edit type, toggling the
+        // edited value so every request is a real change.
+        let (sid, _) = register(&svc, &case.src);
+        type EditFn<'a> = Box<dyn Fn(usize, bool) -> String + 'a>;
+        let modes: [(&str, EditFn); 4] = [
+            (
+                "ratio",
+                Box::new(|id, flip| ratio_edit(case, &sid, id, flip)),
+            ),
+            (
+                "weight",
+                Box::new(|id, flip| {
+                    format!(
+                        "{{\"id\":{id},\"cmd\":\"session.edit\",\"session\":\"{sid}\",\
+                         \"edit\":{{\"set_output_volume\":{{\"node\":{},\"weight\":{}}}}}}}",
+                        aqua_serve::json::quote(&case.output),
+                        if flip { 3 } else { 2 }
+                    )
+                }),
+            ),
+            (
+                "machine",
+                Box::new(|id, flip| {
+                    format!(
+                        "{{\"id\":{id},\"cmd\":\"session.edit\",\"session\":\"{sid}\",\
+                         \"edit\":{{\"set_machine\":{{\"max_capacity_nl\":{}}}}}}}",
+                        if flip { 200 } else { 150 }
+                    )
+                }),
+            ),
+            (
+                "struct",
+                Box::new(|id, flip| {
+                    if flip {
+                        format!(
+                            "{{\"id\":{id},\"cmd\":\"session.edit\",\"session\":\"{sid}\",\
+                             \"edit\":{{\"add_node\":{{\"name\":\"bench_probe\",\
+                             \"process\":{{\"op\":\"sense.OD\",\"from\":{}}}}}}}}}",
+                            aqua_serve::json::quote(&case.mix)
+                        )
+                    } else {
+                        format!(
+                            "{{\"id\":{id},\"cmd\":\"session.edit\",\"session\":\"{sid}\",\
+                             \"edit\":{{\"remove_node\":{{\"node\":\"bench_probe\"}}}}}}"
+                        )
+                    }
+                }),
+            ),
+        ];
+        for (mode, render) in &modes {
+            let mut n = 0usize;
+            // Structural toggles must start from the "absent" state and
+            // alternate strictly, so the warmup count must be even.
+            let samples = sample(warmup & !1, incr_iters & !1, || {
+                n += 1;
+                let line = svc.handle_line(&render(n + 1, n % 2 == 1));
+                assert!(line.contains("\"ok\":true"), "{mode} edit failed: {line}");
+                line
+            });
+            let p50 = percentile(&samples, 0.50);
+            let m = measurement(&format!("{}/{}", case.name, mode), &samples);
+            harness::report(&m);
+            measurements.push(m);
+            extras.push((
+                format!("{}_{}_incr_p50_ns", case.name, mode),
+                Extra::Num(p50.to_string()),
+            ));
+            if case.name == "enzyme10" && *mode == "ratio" {
+                enzyme10_ratio = (cold_p50, p50);
+            }
+        }
+        println!();
+    }
+
+    let (cold_p50, incr_p50) = enzyme10_ratio;
+    let incr_over_cold = cold_p50 as f64 / incr_p50.max(1) as f64;
+    println!(
+        "headline: enzyme10 cold p50 {}  ratio-edit p50 {}  incr_over_cold {:.1}x",
+        harness::fmt_ns(cold_p50),
+        harness::fmt_ns(incr_p50),
+        incr_over_cold
+    );
+    println!("divergences: {divergences}");
+
+    extras.push((
+        "incr_over_cold".into(),
+        Extra::Num(format!("{incr_over_cold:.2}")),
+    ));
+    extras.push(("divergences".into(), Extra::Num(divergences.to_string())));
+    harness::push_host_extras(&mut extras, &[]);
+
+    let json = harness::to_json("bench_incr/v1", &measurements, &extras);
+    std::fs::write(&out_path, &json).expect("write BENCH_incr.json");
+    println!("wrote {out_path}");
+
+    if divergences > 0 {
+        eprintln!("error: {divergences} incremental plan(s) diverged from cold compiles");
+        std::process::exit(1);
+    }
+    if incr_over_cold < MIN_INCR_OVER_COLD {
+        eprintln!(
+            "error: incr_over_cold {incr_over_cold:.2} < {MIN_INCR_OVER_COLD} acceptance floor"
+        );
+        std::process::exit(1);
+    }
+}

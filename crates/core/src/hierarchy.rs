@@ -15,6 +15,7 @@ use aqua_dag::{Dag, Ratio};
 
 use crate::cascade;
 use crate::dagsolve::{self, VolumeAssignment};
+use crate::feascheck;
 use crate::lpform::{self, LpOptions};
 use crate::machine::Machine;
 use crate::replicate;
@@ -162,6 +163,20 @@ impl ManagedOutcome {
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub fn manage_volumes(dag: &Dag, machine: &Machine, opts: &VolumeManagerOptions) -> ManagedOutcome {
+    manage_volumes_impl(dag, machine, opts, None)
+}
+
+/// [`manage_volumes`] with an optional decision-trace recorder for
+/// incremental replay ([`crate::incr`]). The recorder observes the real
+/// loop — there is no shadow interpreter — so a recorded trace is by
+/// construction the trace of the returned outcome. Passing `None`
+/// reduces every hook to one branch.
+pub(crate) fn manage_volumes_impl(
+    dag: &Dag,
+    machine: &Machine,
+    opts: &VolumeManagerOptions,
+    mut rec: Option<&mut crate::incr::Recording>,
+) -> ManagedOutcome {
     let _manage_span = opts.obs.span("vol.manage");
     let mut work = dag.clone();
     let mut log = Vec::new();
@@ -169,6 +184,9 @@ pub fn manage_volumes(dag: &Dag, machine: &Machine, opts: &VolumeManagerOptions)
     let mut best_effort: Option<VolumeAssignment> = None;
 
     for round in 0..=opts.max_rewrite_rounds {
+        if let Some(r) = rec.as_deref_mut() {
+            r.begin_round(&work);
+        }
         // --- 1. DAGSolve ---
         let dag_result = {
             let _span = opts.obs.span("vol.dagsolve");
@@ -179,6 +197,10 @@ pub fn manage_volumes(dag: &Dag, machine: &Machine, opts: &VolumeManagerOptions)
         match dag_result {
             Ok(sol) => match sol.underflow {
                 None => {
+                    if let Some(r) = rec.as_deref_mut() {
+                        r.on_dagsolve(&sol);
+                        r.on_solved(round);
+                    }
                     log.push(format!("round {round}: DAGSolve succeeded"));
                     let method = if rewritten {
                         Method::DagSolveAfterRewrites
@@ -196,6 +218,9 @@ pub fn manage_volumes(dag: &Dag, machine: &Machine, opts: &VolumeManagerOptions)
                     };
                 }
                 Some(ref under) => {
+                    if let Some(r) = rec.as_deref_mut() {
+                        r.on_dagsolve(&sol);
+                    }
                     log.push(format!(
                         "round {round}: DAGSolve underflowed ({})",
                         under.volume_nl
@@ -204,6 +229,9 @@ pub fn manage_volumes(dag: &Dag, machine: &Machine, opts: &VolumeManagerOptions)
                 }
             },
             Err(e) => {
+                if let Some(r) = rec.as_deref_mut() {
+                    r.invalidate();
+                }
                 log.push(format!("round {round}: DAGSolve error: {e}"));
             }
         }
@@ -212,6 +240,27 @@ pub fn manage_volumes(dag: &Dag, machine: &Machine, opts: &VolumeManagerOptions)
         if opts.use_lp {
             opts.obs.add("vol.lp_fallbacks", 1);
             let _lp_span = opts.obs.span("vol.lp");
+            // Exact infeasibility pre-check: when the rational demand
+            // propagation certifies the LP has no solution, skip the
+            // simplex entirely (the verdict — and hence the log — is
+            // identical, just ~100x cheaper on infeasible rounds).
+            let analysis = {
+                let _pre_span = opts.obs.span("vol.precheck");
+                feascheck::analyze(&work, machine)
+            };
+            let proven_infeasible = analysis.is_proven();
+            if let Some(r) = rec.as_deref_mut() {
+                // The simplex path (and hence any LP success) depends
+                // on state a dirty-slice replay does not carry.
+                match &analysis {
+                    feascheck::Analysis::Proven(table) => r.on_proven_infeasible(table),
+                    _ => r.invalidate(),
+                }
+            }
+            if proven_infeasible {
+                opts.obs.add("vol.precheck_infeasible", 1);
+                log.push(format!("round {round}: LP infeasible"));
+            }
             // Explicit output weights override the default anti-skew
             // band (which would force outputs equal-ish and fight the
             // requested proportions).
@@ -223,76 +272,83 @@ pub fn manage_volumes(dag: &Dag, machine: &Machine, opts: &VolumeManagerOptions)
                     ..LpOptions::rvol()
                 }
             };
-            let form = lpform::build(&work, machine, &lp_opts);
-            let config = aqua_lp::SimplexConfig {
-                obs: opts.obs.clone(),
-                ..Default::default()
+            let out_status = if proven_infeasible {
+                None
+            } else {
+                let form = lpform::build(&work, machine, &lp_opts);
+                let config = aqua_lp::SimplexConfig {
+                    obs: opts.obs.clone(),
+                    ..Default::default()
+                };
+                Some((aqua_lp::solve_with(&form.model, &config), form))
             };
-            let out = aqua_lp::solve_with(&form.model, &config);
-            match out.status {
-                aqua_lp::Status::Optimal(sol) => {
-                    let vols = form.volumes(&work, machine, &sol);
-                    // RVol → IVol with the clamp-and-measure discipline:
-                    // sub-least-count transfers are raised to one count
-                    // (never silently emitted or dropped). When such a
-                    // clamp breaks a mix ratio beyond the paper's 2%
-                    // tolerance, the plan escalates to the rewrite tier
-                    // instead of shipping. Ordinary rounding noise on
-                    // meterable transfers does not escalate — §4.2
-                    // measures it and the chemistry tolerates it.
-                    let ra = round::round_lp_edges(&work, machine, &vols.edge_nl);
-                    if !ra.underflows.is_empty() && !ra.within_paper_tolerance() {
-                        opts.obs.add("vol.escalations", 1);
-                        log.push(format!(
-                            "round {round}: LP clamped {} sub-least-count transfer(s) \
+            if let Some((out, form)) = out_status {
+                match out.status {
+                    aqua_lp::Status::Optimal(sol) => {
+                        let vols = form.volumes(&work, machine, &sol);
+                        // RVol → IVol with the clamp-and-measure discipline:
+                        // sub-least-count transfers are raised to one count
+                        // (never silently emitted or dropped). When such a
+                        // clamp breaks a mix ratio beyond the paper's 2%
+                        // tolerance, the plan escalates to the rewrite tier
+                        // instead of shipping. Ordinary rounding noise on
+                        // meterable transfers does not escalate — §4.2
+                        // measures it and the chemistry tolerates it.
+                        let ra = round::round_lp_edges(&work, machine, &vols.edge_nl);
+                        if !ra.underflows.is_empty() && !ra.within_paper_tolerance() {
+                            opts.obs.add("vol.escalations", 1);
+                            log.push(format!(
+                                "round {round}: LP clamped {} sub-least-count transfer(s) \
                              and broke a mix ratio ({} > {} tolerance); escalating",
-                            ra.underflows.len(),
-                            ra.max_ratio_error,
-                            round::PAPER_RATIO_TOLERANCE,
-                        ));
-                    } else {
-                        log.push(format!(
-                            "round {round}: LP succeeded ({} constraints)",
-                            form.num_constraints
-                        ));
-                        let round::RoundedAssignment {
-                            edge_volumes_nl,
-                            node_volumes_nl: mut rounded_nodes,
-                            ..
-                        } = ra;
-                        // Source nodes must load at least what they
-                        // dispense (non-deficit); the rounded out-edge
-                        // sum already guarantees that, but never load
-                        // *less* than the LP asked for.
-                        for n in work.node_ids() {
-                            if work.in_edges(n).is_empty() {
-                                let lp_load = machine.round_to_least_count(float_to_ratio_nl(
-                                    vols.node_nl[n.index()],
-                                ));
-                                rounded_nodes[n.index()] = rounded_nodes[n.index()].max(lp_load);
-                            }
-                        }
-                        let method = if rewritten {
-                            Method::LpAfterRewrites
+                                ra.underflows.len(),
+                                ra.max_ratio_error,
+                                round::PAPER_RATIO_TOLERANCE,
+                            ));
                         } else {
-                            Method::Lp
-                        };
-                        return ManagedOutcome::Solved {
-                            volumes: ManagedVolumes {
+                            log.push(format!(
+                                "round {round}: LP succeeded ({} constraints)",
+                                form.num_constraints
+                            ));
+                            let round::RoundedAssignment {
                                 edge_volumes_nl,
-                                node_volumes_nl: rounded_nodes,
-                                method,
-                            },
-                            dag: work,
-                            log,
-                        };
+                                node_volumes_nl: mut rounded_nodes,
+                                ..
+                            } = ra;
+                            // Source nodes must load at least what they
+                            // dispense (non-deficit); the rounded out-edge
+                            // sum already guarantees that, but never load
+                            // *less* than the LP asked for.
+                            for n in work.node_ids() {
+                                if work.in_edges(n).is_empty() {
+                                    let lp_load = machine.round_to_least_count(float_to_ratio_nl(
+                                        vols.node_nl[n.index()],
+                                    ));
+                                    rounded_nodes[n.index()] =
+                                        rounded_nodes[n.index()].max(lp_load);
+                                }
+                            }
+                            let method = if rewritten {
+                                Method::LpAfterRewrites
+                            } else {
+                                Method::Lp
+                            };
+                            return ManagedOutcome::Solved {
+                                volumes: ManagedVolumes {
+                                    edge_volumes_nl,
+                                    node_volumes_nl: rounded_nodes,
+                                    method,
+                                },
+                                dag: work,
+                                log,
+                            };
+                        }
                     }
-                }
-                aqua_lp::Status::Infeasible => {
-                    log.push(format!("round {round}: LP infeasible"));
-                }
-                other => {
-                    log.push(format!("round {round}: LP failed: {other:?}"));
+                    aqua_lp::Status::Infeasible => {
+                        log.push(format!("round {round}: LP infeasible"));
+                    }
+                    other => {
+                        log.push(format!("round {round}: LP failed: {other:?}"));
+                    }
                 }
             }
         }
@@ -306,6 +362,9 @@ pub fn manage_volumes(dag: &Dag, machine: &Machine, opts: &VolumeManagerOptions)
         let mut changed = false;
         if opts.allow_excess {
             let extremes = cascade::find_extreme_mixes(&work, machine);
+            if let Some(r) = rec.as_deref_mut() {
+                r.on_extremes(&extremes);
+            }
             for node in extremes {
                 // Respect per-fluid excess bans: skip mixes consuming a
                 // protected fluid (their rescue must come from
@@ -315,6 +374,9 @@ pub fn manage_volumes(dag: &Dag, machine: &Machine, opts: &VolumeManagerOptions)
                         .contains(&work.node(work.edge(e).src).name)
                 });
                 if protected {
+                    if let Some(r) = rec.as_deref_mut() {
+                        r.invalidate();
+                    }
                     log.push(format!(
                         "round {round}: `{}` consumes a no-excess fluid; cascade skipped",
                         work.node(node).name
@@ -324,6 +386,9 @@ pub fn manage_volumes(dag: &Dag, machine: &Machine, opts: &VolumeManagerOptions)
                 match cascade::apply_cascade(&mut work, node, machine) {
                     Ok(info) => {
                         opts.obs.add("vol.cascade_rewrites", 1);
+                        if let Some(r) = rec.as_deref_mut() {
+                            r.on_cascade(&info);
+                        }
                         log.push(format!(
                             "round {round}: cascaded `{}` into {} stages",
                             work.node(info.node).name,
@@ -331,7 +396,12 @@ pub fn manage_volumes(dag: &Dag, machine: &Machine, opts: &VolumeManagerOptions)
                         ));
                         changed = true;
                     }
-                    Err(e) => log.push(format!("round {round}: cascade failed: {e}")),
+                    Err(e) => {
+                        if let Some(r) = rec.as_deref_mut() {
+                            r.invalidate();
+                        }
+                        log.push(format!("round {round}: cascade failed: {e}"));
+                    }
                 }
             }
         }
@@ -339,25 +409,51 @@ pub fn manage_volumes(dag: &Dag, machine: &Machine, opts: &VolumeManagerOptions)
             // Replicate the current bottleneck.
             opts.obs.add("vol.vnorm_passes", 1);
             match vnorm::compute(&work) {
-                Ok(t) => match replicate::bottleneck_candidate(&work, &t) {
-                    Some(node) => {
-                        let name = work.node(node).name.clone();
-                        match replicate::replicate_node(&mut work, node, 2, machine) {
-                            Ok(_) => {
-                                opts.obs.add("vol.replicate_rewrites", 1);
-                                log.push(format!("round {round}: replicated `{name}` x2"));
-                                changed = true;
+                Ok(t) => {
+                    if let Some(r) = rec.as_deref_mut() {
+                        r.on_bottleneck(&t);
+                    }
+                    match replicate::bottleneck_candidate(&work, &t) {
+                        Some(node) => {
+                            let name = work.node(node).name.clone();
+                            match replicate::replicate_node(&mut work, node, 2, machine) {
+                                Ok(_) => {
+                                    opts.obs.add("vol.replicate_rewrites", 1);
+                                    if let Some(r) = rec.as_deref_mut() {
+                                        r.invalidate();
+                                    }
+                                    log.push(format!("round {round}: replicated `{name}` x2"));
+                                    changed = true;
+                                }
+                                Err(replicate::ReplicateError::ResourcesExceeded { what }) => {
+                                    if let Some(r) = rec.as_deref_mut() {
+                                        r.on_blocked(&what);
+                                    }
+                                    log.push(format!("round {round}: replication blocked: {what}"));
+                                    return ManagedOutcome::ResourcesExceeded { reason: what, log };
+                                }
+                                Err(e) => {
+                                    if let Some(r) = rec.as_deref_mut() {
+                                        r.invalidate();
+                                    }
+                                    log.push(format!("round {round}: replication failed: {e}"));
+                                }
                             }
-                            Err(replicate::ReplicateError::ResourcesExceeded { what }) => {
-                                log.push(format!("round {round}: replication blocked: {what}"));
-                                return ManagedOutcome::ResourcesExceeded { reason: what, log };
+                        }
+                        None => {
+                            if let Some(r) = rec.as_deref_mut() {
+                                r.invalidate();
                             }
-                            Err(e) => log.push(format!("round {round}: replication failed: {e}")),
+                            log.push(format!("round {round}: no replication candidate"));
                         }
                     }
-                    None => log.push(format!("round {round}: no replication candidate")),
-                },
-                Err(e) => log.push(format!("round {round}: vnorm failed: {e}")),
+                }
+                Err(e) => {
+                    if let Some(r) = rec.as_deref_mut() {
+                        r.invalidate();
+                    }
+                    log.push(format!("round {round}: vnorm failed: {e}"));
+                }
             }
         }
         if !changed {
@@ -366,6 +462,9 @@ pub fn manage_volumes(dag: &Dag, machine: &Machine, opts: &VolumeManagerOptions)
         rewritten = true;
     }
 
+    if let Some(r) = rec {
+        r.invalidate();
+    }
     opts.obs.add("vol.escalations", 1);
     log.push("falling back to run-time regeneration".into());
     ManagedOutcome::NeedsRegeneration {

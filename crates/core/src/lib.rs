@@ -60,7 +60,9 @@
 pub mod bitmix;
 pub mod cascade;
 pub mod dagsolve;
+pub mod feascheck;
 pub mod hierarchy;
+pub mod incr;
 pub mod lpform;
 pub mod machine;
 pub mod replicate;
@@ -73,5 +75,6 @@ pub use hierarchy::{
     manage_volumes, replan_with_observations, solve_assays_parallel, solve_assays_parallel_threads,
     ManagedOutcome, Method, VolumeManagerOptions,
 };
+pub use incr::{compile_with_trace, Divergence, IncrEdit, IncrSolver, Recording, ReplayOutcome};
 pub use machine::Machine;
 pub use vnorm::VnormTable;

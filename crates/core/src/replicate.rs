@@ -109,6 +109,12 @@ pub fn replicate_node(
     }
     let copies = copies.min(uses.len());
 
+    // Resource verdict *before* mutating: a blocked replication must
+    // leave the DAG untouched (the incremental replanner replays this
+    // verdict without owning a mutable graph, and the hierarchy's
+    // ResourcesExceeded return should not carry half-rewritten state).
+    projected_fits(dag, node, copies, machine)?;
+
     // Create replicas with duplicated in-edges.
     let in_edges: Vec<(NodeId, Ratio)> = dag
         .in_edges(node)
@@ -132,8 +138,101 @@ pub fn replicate_node(
         }
     }
 
-    fits_machine(dag, machine)?;
+    debug_assert_eq!(fits_machine(dag, machine), Ok(()));
     Ok(ReplicateInfo { node, replicas })
+}
+
+/// Computes the [`fits_machine`] verdict that replicating `node` into
+/// `copies` instances *would* produce, without mutating the DAG. The
+/// result — including the exact error wording — matches running
+/// [`replicate_node`] and then [`fits_machine`] on the rewritten graph.
+///
+/// Three count changes are projected:
+///
+/// * `copies - 1` new instances of the node's kind (new input ports if
+///   it is an [`NodeKind::Input`]);
+/// * the uses are round-robined, so each instance's parked status is
+///   re-derived from its share of the uses;
+/// * every in-edge producer gains `copies - 1` duplicated uses, which
+///   can push a single-use producer over the parked threshold.
+///
+/// # Errors
+///
+/// Returns [`ReplicateError::ResourcesExceeded`] naming the resource,
+/// exactly as [`fits_machine`] would after the rewrite.
+pub fn projected_fits(
+    dag: &Dag,
+    node: NodeId,
+    copies: usize,
+    machine: &Machine,
+) -> Result<(), ReplicateError> {
+    let kind = &dag.node(node).kind;
+    let uses = dag.num_uses(node);
+    let copies = copies.min(uses);
+    let new_instances = copies.saturating_sub(1);
+
+    let mut inputs = dag
+        .node_ids()
+        .filter(|&n| dag.node(n).kind == NodeKind::Input)
+        .count();
+    if *kind == NodeKind::Input {
+        inputs += new_instances;
+    }
+    if inputs > machine.input_ports {
+        return Err(ReplicateError::ResourcesExceeded {
+            what: format!(
+                "{inputs} input fluids exceed {} input ports",
+                machine.input_ports
+            ),
+        });
+    }
+
+    let is_parked = |kind: &NodeKind, uses: usize| -> bool {
+        *kind == NodeKind::Input || (!kind.is_sink() && uses >= 2)
+    };
+    let mut parked = dag
+        .node_ids()
+        .filter(|&n| is_parked(&dag.node(n).kind, dag.num_uses(n)))
+        .count() as isize;
+    // The node's own uses are spread round-robin over the instances:
+    // instance j \in [0, copies) serves ceil((uses - j) / copies) uses.
+    if copies >= 2 {
+        if is_parked(kind, uses) {
+            parked -= 1;
+        }
+        for j in 0..copies {
+            let share = (uses - j).div_ceil(copies);
+            if is_parked(kind, share) {
+                parked += 1;
+            }
+        }
+        // Each distinct producer gains one duplicated out-edge per new
+        // instance per edge it feeds the node through.
+        let mut gains: Vec<(NodeId, usize)> = Vec::new();
+        for &e in dag.in_edges(node) {
+            let src = dag.edge(e).src;
+            match gains.iter_mut().find(|(s, _)| *s == src) {
+                Some((_, m)) => *m += 1,
+                None => gains.push((src, 1)),
+            }
+        }
+        for (src, multiplicity) in gains {
+            let kind = &dag.node(src).kind;
+            let before = dag.num_uses(src);
+            let after = before + multiplicity * new_instances;
+            parked += is_parked(kind, after) as isize - is_parked(kind, before) as isize;
+        }
+    }
+    let parked = parked.max(0) as usize;
+    if parked > machine.reservoirs {
+        return Err(ReplicateError::ResourcesExceeded {
+            what: format!(
+                "{parked} concurrently stored fluids exceed {} reservoirs",
+                machine.reservoirs
+            ),
+        });
+    }
+    Ok(())
 }
 
 /// Checks the (replicated) DAG against the machine's fluid-path
@@ -279,6 +378,84 @@ mod tests {
             replicate_node(&mut d, a, 2, &machine),
             Err(ReplicateError::ResourcesExceeded { .. })
         ));
+    }
+
+    /// The projected verdict must equal mutate-then-check, error
+    /// wording included, across kinds and resource pressures.
+    #[test]
+    fn projected_verdict_matches_post_mutation_check() {
+        let build = |consumers: usize| {
+            let mut d = Dag::new();
+            let a = d.add_input("A");
+            let b = d.add_input("B");
+            let premix = d.add_mix("premix", &[(a, 1), (b, 1)], 0).unwrap();
+            for i in 0..consumers {
+                let m = d
+                    .add_mix(format!("use{i}"), &[(premix, 1), (b, 1)], 0)
+                    .unwrap();
+                d.add_process(format!("s{i}"), "sense.OD", m);
+            }
+            (d, b, premix)
+        };
+        let scenarios: Vec<(Dag, NodeId, usize, Machine)> = vec![
+            // Interior replication within budget.
+            {
+                let (d, _, premix) = build(4);
+                (d, premix, 2, Machine::paper_default())
+            },
+            // Interior replication that overflows a tiny reservoir bank:
+            // A had one use and gains a second (newly parked).
+            {
+                let (d, _, premix) = build(4);
+                let mut m = Machine::paper_default();
+                m.reservoirs = 3;
+                (d, premix, 2, m)
+            },
+            // Input replication that overflows the port budget.
+            {
+                let (d, b, _) = build(4);
+                let mut m = Machine::paper_default();
+                m.input_ports = 2;
+                (d, b, 3, m)
+            },
+            // Copies clamped to the use count.
+            {
+                let (d, _, premix) = build(3);
+                (d, premix, 10, Machine::paper_default())
+            },
+        ];
+        for (i, (dag, node, copies, machine)) in scenarios.into_iter().enumerate() {
+            let projected = projected_fits(&dag, node, copies, &machine);
+            // Oracle: apply the mutation on a resource-unconstrained
+            // machine (so replicate_node cannot refuse), then run the
+            // real post-mutation check against the constrained one.
+            let mut mutated = dag.clone();
+            let mut loose = machine.clone();
+            loose.reservoirs = usize::MAX;
+            loose.input_ports = usize::MAX;
+            replicate_node(&mut mutated, node, copies, &loose).unwrap();
+            let actual = fits_machine(&mutated, &machine);
+            assert_eq!(projected, actual, "scenario {i}");
+        }
+    }
+
+    #[test]
+    fn blocked_replication_leaves_the_dag_untouched() {
+        let mut machine = Machine::paper_default();
+        machine.input_ports = 2;
+        let mut d = Dag::new();
+        let a = d.add_input("A");
+        let b = d.add_input("B");
+        for i in 0..4 {
+            let m = d.add_mix(format!("m{i}"), &[(a, 1), (b, 1)], 0).unwrap();
+            d.add_process(format!("s{i}"), "sense.OD", m);
+        }
+        let before = d.clone();
+        assert!(matches!(
+            replicate_node(&mut d, a, 2, &machine),
+            Err(ReplicateError::ResourcesExceeded { .. })
+        ));
+        assert_eq!(d, before);
     }
 
     #[test]

@@ -220,6 +220,105 @@ pub fn compute_weighted(
     })
 }
 
+/// Recomputes the table entries for `nodes` (which must be given in
+/// reverse topological order and must contain every node whose own
+/// Vnorm could have changed — for a ratio or output-weight edit, the
+/// backward slice of the edited node). Entries outside `nodes` are
+/// reused; the loads of the touched nodes and of their excess
+/// consumers are refreshed.
+///
+/// This is the incremental replanner's workhorse: on a dirty slice of
+/// `k` nodes it does `O(k + adjacent edges)` exact-rational work
+/// instead of re-walking the whole DAG.
+///
+/// # Errors
+///
+/// Same conditions as [`compute_weighted`] (excluding validation,
+/// which the caller already holds); on error the table is partially
+/// updated and must be discarded.
+pub fn recompute_weighted(
+    table: &mut VnormTable,
+    dag: &Dag,
+    weights: &HashMap<NodeId, Ratio>,
+    nodes: &[NodeId],
+) -> Result<(), VnormError> {
+    let node_v = &mut table.node;
+    let edge_v = &mut table.edge;
+    for &id in nodes {
+        let node = dag.node(id);
+        if node.kind == NodeKind::Excess {
+            continue; // assigned by its producer
+        }
+        let outs = dag.out_edges(id);
+        if outs.is_empty() {
+            if node.kind.is_source() {
+                node_v[id.index()] = Ratio::ZERO;
+                continue;
+            }
+            node_v[id.index()] = weights.get(&id).copied().unwrap_or(Ratio::ONE);
+        } else {
+            let mut useful = Ratio::ZERO;
+            let mut discard_share = Ratio::ZERO;
+            for &e in outs {
+                let edge = dag.edge(e);
+                if dag.node(edge.dst).kind == NodeKind::Excess {
+                    discard_share = discard_share.checked_add(edge.fraction)?;
+                } else {
+                    useful = useful.checked_add(edge_v[e.index()])?;
+                }
+            }
+            if discard_share >= Ratio::ONE {
+                return Err(VnormError::ExcessShareTooLarge {
+                    node: node.name.clone(),
+                });
+            }
+            let total = useful.checked_div(Ratio::ONE.checked_sub(discard_share)?)?;
+            node_v[id.index()] = total;
+            for &e in outs {
+                let edge = dag.edge(e);
+                if dag.node(edge.dst).kind == NodeKind::Excess {
+                    let v = edge.fraction.checked_mul(total)?;
+                    edge_v[e.index()] = v;
+                    node_v[edge.dst.index()] = v;
+                }
+            }
+        }
+        let demand = match &node.kind {
+            NodeKind::Separate { fraction: Some(f) } => node_v[id.index()].checked_div(*f)?,
+            NodeKind::Separate { fraction: None } => {
+                if !outs.is_empty() {
+                    return Err(VnormError::UnknownVolumeInterior {
+                        node: node.name.clone(),
+                    });
+                }
+                node_v[id.index()]
+            }
+            _ => node_v[id.index()],
+        };
+        for &e in dag.in_edges(id) {
+            edge_v[e.index()] = dag.edge(e).fraction.checked_mul(demand)?;
+        }
+    }
+    // Refresh the loads of everything whose node or in-edge values the
+    // pass above could have touched: the slice itself, plus the excess
+    // consumers of slice nodes (their Vnorm is producer-assigned).
+    let mut affected: Vec<NodeId> = Vec::with_capacity(nodes.len());
+    for &id in nodes {
+        affected.push(id);
+        for &e in dag.out_edges(id) {
+            let dst = dag.edge(e).dst;
+            if dag.node(dst).kind == NodeKind::Excess {
+                affected.push(dst);
+            }
+        }
+    }
+    for t in affected {
+        let in_sum = Ratio::checked_sum(dag.in_edges(t).iter().map(|&e| table.edge[e.index()]))?;
+        table.load[t.index()] = in_sum.max(table.node[t.index()]);
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -356,6 +455,76 @@ mod tests {
     fn empty_dag_has_no_outputs() {
         let d = Dag::new();
         assert!(matches!(compute(&d), Err(VnormError::NoOutputs)));
+    }
+
+    /// Edits an in-edge fraction pair and recomputes only the dirty
+    /// slice: the table must match a fresh full pass exactly.
+    #[test]
+    fn recompute_on_dirty_slice_matches_fresh_pass() {
+        let mut d = Dag::new();
+        let a = d.add_input("A");
+        let b = d.add_input("B");
+        let c = d.add_input("C");
+        let k = d.add_mix("K", &[(a, 1), (b, 4)], 0).unwrap();
+        let l = d.add_mix("L", &[(b, 2), (c, 1)], 0).unwrap();
+        let m = d.add_mix("M", &[(k, 2), (l, 1)], 0).unwrap();
+        let n = d.add_mix("N", &[(l, 2), (c, 3)], 0).unwrap();
+        d.add_output("M_out", m);
+        d.add_output("N_out", n);
+        let mut table = compute(&d).unwrap();
+
+        // Edit K's ratio from 1:4 to 3:2.
+        let ins: Vec<_> = d.in_edges(k).to_vec();
+        d.set_edge_fraction(ins[0], r(3, 5));
+        d.set_edge_fraction(ins[1], r(2, 5));
+
+        // Dirty slice: K and its ancestors, in reverse topological order.
+        let order = d.topological_order().unwrap();
+        let mut pos = vec![0usize; d.num_nodes()];
+        for (i, id) in order.iter().enumerate() {
+            pos[id.index()] = i;
+        }
+        let mut slice = d.backward_slice(k);
+        slice.sort_by_key(|id| std::cmp::Reverse(pos[id.index()]));
+        recompute_weighted(&mut table, &d, &HashMap::new(), &slice).unwrap();
+
+        assert_eq!(table, compute(&d).unwrap());
+    }
+
+    /// Weight edits are a dirty slice seeded at the output leaf.
+    #[test]
+    fn recompute_applies_weight_changes() {
+        let mut d = Dag::new();
+        let a = d.add_input("A");
+        let p1 = d.add_process("p1", "incubate", a);
+        let p2 = d.add_process("p2", "incubate", a);
+        let o1 = d.add_output("o1", p1);
+        d.add_output("o2", p2);
+        let mut table = compute(&d).unwrap();
+        let mut w = HashMap::new();
+        w.insert(o1, Ratio::from_int(3));
+        // Reverse-topo slice of o1: o1, p1, a.
+        recompute_weighted(&mut table, &d, &w, &[o1, p1, a]).unwrap();
+        assert_eq!(table, compute_weighted(&d, &w).unwrap());
+    }
+
+    /// Recompute refreshes producer-assigned excess consumers too.
+    #[test]
+    fn recompute_updates_excess_consumers() {
+        let mut d = Dag::new();
+        let a = d.add_input("A");
+        let b = d.add_input("B");
+        let c1 = d.add_mix("C'", &[(a, 1), (b, 9)], 0).unwrap();
+        d.add_excess("ex", c1, r(9, 10));
+        let c = d.add_mix("C", &[(c1, 1), (b, 9)], 0).unwrap();
+        d.add_output("o", c);
+        let mut table = compute(&d).unwrap();
+        let ins: Vec<_> = d.in_edges(c).to_vec();
+        d.set_edge_fraction(ins[0], r(1, 5));
+        d.set_edge_fraction(ins[1], r(4, 5));
+        // Reverse-topo slice of C: C, C', then the inputs.
+        recompute_weighted(&mut table, &d, &HashMap::new(), &[c, c1, b, a]).unwrap();
+        assert_eq!(table, compute(&d).unwrap());
     }
 
     #[test]

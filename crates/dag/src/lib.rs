@@ -41,10 +41,12 @@
 
 mod build;
 mod dot;
+pub mod edit;
 mod graph;
 mod slice;
 mod validate;
 
 pub use aqua_rational::Ratio;
+pub use edit::{rebuild_without, set_mix_ratio, EditError};
 pub use graph::{Dag, Edge, EdgeId, Node, NodeId, NodeKind};
 pub use validate::DagError;

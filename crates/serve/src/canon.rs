@@ -9,63 +9,89 @@
 //!
 //! The pipeline is:
 //!
-//! 1. **Structural coloring** — an iterated Weisfeiler–Leman refinement
-//!    over the DAG. Each node starts from a hash of its
-//!    [`NodeKind`] payload (ratios, yields, op vocabulary, output
-//!    weight — never its name) and is repeatedly re-hashed with the
-//!    sorted multiset of its in/out neighbors' `(fraction, color)`
-//!    pairs until the color partition stops refining.
+//! 1. **Structural coloring** — two memoized Merkle passes over the
+//!    DAG. The *down* hash of a node digests its [`NodeKind`] payload
+//!    (ratios, yields, op vocabulary, output weight — never its name)
+//!    together with the sorted multiset of its in-edges'
+//!    `(fraction, down(src))` pairs, computed in one topological pass;
+//!    the *up* hash does the same over out-edges in one reverse pass.
+//!    A node's color combines both, capturing its entire ancestry and
+//!    its entire cone of influence in `O(V + E)` work. The pair misses
+//!    sibling correlations that cross *between* the directions (a
+//!    parent distinguished solely by its up-hash never reaches a
+//!    child's down-hash), so the still-tied color classes are polished
+//!    with classic refinement rounds — seeded this close to discrete,
+//!    they touch only the tied nodes and terminate in a round or two
+//!    instead of ~depth full-graph rounds. (The sessions layer
+//!    re-canonicalizes on every edit, which is why this pass must be
+//!    cheap: the old fixpoint refinement cost more than the solve on
+//!    large assays.)
 //! 2. **Canonical order** — Kahn's topological sort with the ready set
-//!    ordered by color. Structure-identical inputs therefore produce
-//!    the same order no matter how their nodes were numbered. (Nodes
-//!    that remain color-tied are WL-symmetric; for genuinely automorphic
-//!    nodes either choice yields the identical canonical DAG, and in the
-//!    rare non-automorphic tie the key merely splits — a missed cache
-//!    share, never a wrong hit.)
+//!    ordered by color (rank-compressed to `u32` so the heap compares
+//!    integers, not 128-bit hashes). Structure-identical inputs
+//!    therefore produce the same order no matter how their nodes were
+//!    numbered. (Nodes that remain color-tied are structurally
+//!    symmetric under both hashes; for genuinely automorphic nodes
+//!    either choice yields the identical canonical DAG, and in the rare
+//!    non-automorphic tie the key merely splits — a missed cache share,
+//!    never a wrong hit.)
 //! 3. **Rebuild + interning** — the DAG is rebuilt with nodes in
 //!    canonical order, fluid names interned to `f0..fN`, and edges
-//!    sorted by `(dst, src, fraction)`.
+//!    sorted by `(dst, src, fraction)`. The node and edge permutations
+//!    are kept on the [`Canon`] so incremental replanning can translate
+//!    between a session's client-numbered DAG and the canonical one;
+//!    the edit path skips the rebuild entirely via
+//!    `canonicalize_mapped`.
 //! 4. **Encoding + key** — the canonical structure, the output weights,
 //!    and *every* field of the machine description are serialized into
-//!    a byte string whose FNV-1a-128 hash is the cache key. The exact
-//!    encoding is kept alongside the key so the cache can reject true
-//!    hash collisions by comparing bytes (see `cache`).
+//!    a byte string whose word-at-a-time mixing hash is the cache key.
+//!    The exact encoding is kept alongside the key so the cache can
+//!    reject true hash collisions by comparing bytes (see `cache`).
 
-use std::collections::{BTreeSet, HashMap};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
 use std::fmt;
 use std::sync::Arc;
 
-use aqua_dag::{Dag, NodeId, NodeKind};
+use aqua_dag::{Dag, EdgeId, NodeId, NodeKind};
 use aqua_volume::Machine;
 
 /// Version tag folded into every key: bump when the encoding, the plan
 /// format, or the solver semantics change incompatibly, so stale caches
 /// (in-process or persisted) can never serve plans from another era.
-pub(crate) const KEY_VERSION: &str = "aqua-serve-key/v1";
-
-/// Upper bound on WL refinement rounds; practical assay DAGs stabilize
-/// within (depth + 2) rounds, this is a safety valve for adversarial
-/// shapes.
-const MAX_REFINE_ROUNDS: usize = 64;
+pub(crate) const KEY_VERSION: &str = "aqua-serve-key/v2";
 
 /// The canonical form of one plan-compilation request.
 #[derive(Debug, Clone)]
 pub struct Canon {
     /// The relabeled DAG: nodes in canonical order named `f0..fN`,
-    /// edges sorted by `(dst, src, fraction)`.
+    /// edges sorted by `(dst, src, fraction)`. Empty when produced by
+    /// the mapping-only path.
     pub dag: Dag,
     /// The request's original node names in canonical order:
     /// `names[i]` is what the request called canonical node `i`. Not
     /// part of the encoding or key (keys are rename-invariant); the
     /// protocol layer attaches it to responses so clients can map plan
-    /// node ids back to their own fluid names.
+    /// node ids back to their own fluid names. Empty when produced by
+    /// the mapping-only path.
     pub names: Vec<String>,
-    /// Output weights, re-keyed to canonical node ids.
+    /// Node permutation: `node_perm[i]` is the canonical index of the
+    /// request's node `i`. Incremental replanning uses it to rename
+    /// client-space solve artifacts into canonical plan coordinates.
+    pub node_perm: Vec<usize>,
+    /// Edge permutation: `edge_perm[e]` is the canonical edge index of
+    /// the request's edge `e`, or `None` for dead (cut) edges, which
+    /// the canonical DAG omits.
+    pub edge_perm: Vec<Option<usize>>,
+    /// Output weights, re-keyed to canonical node ids. Empty when
+    /// produced by the mapping-only path (replay works in client
+    /// coordinates and never needs them).
     pub weights: HashMap<NodeId, u64>,
     /// The exact canonical encoding the key was hashed from; the cache
     /// compares this on lookup to reject 128-bit hash collisions.
     pub encoding: Arc<[u8]>,
-    /// The content-addressed cache key (FNV-1a-128 of `encoding`).
+    /// The content-addressed cache key (word-mixing hash of
+    /// `encoding`).
     pub key: u128,
 }
 
@@ -114,21 +140,62 @@ impl Fnv128 {
         }
     }
 
-    fn write_u64(&mut self, v: u64) {
-        self.write(&v.to_le_bytes());
-    }
-
-    fn write_u128(&mut self, v: u128) {
-        self.write(&v.to_le_bytes());
-    }
-
-    fn write_i128(&mut self, v: i128) {
-        self.write(&v.to_le_bytes());
-    }
-
     pub(crate) fn finish(&self) -> u128 {
         self.0
     }
+}
+
+/// Word-at-a-time mixing hash over 128-bit lanes: one xor-multiply-
+/// rotate per word instead of FNV's one multiply per *byte*. Used for
+/// the structural Merkle hashes and the encoding key, both of which
+/// run on every session edit; collisions can only merge colors (a
+/// split key / missed share — the cache verifies encodings byte-wise
+/// on hit) so speed wins over cryptographic strength.
+#[derive(Clone, Copy)]
+struct Mix128(u128);
+
+impl Mix128 {
+    const SEED: u128 = 0x9e3779b97f4a7c15f39cc0605cedc835;
+    const MUL: u128 = 0x2360ed051fc65da44385df649fccf645;
+
+    fn new() -> Mix128 {
+        Mix128(Self::SEED)
+    }
+
+    #[inline]
+    fn add(&mut self, v: u128) {
+        self.0 = (self.0 ^ v).wrapping_mul(Self::MUL).rotate_left(47);
+    }
+
+    #[inline]
+    fn add_i128(&mut self, v: i128) {
+        self.add(v as u128);
+    }
+
+    fn finish(self) -> u128 {
+        let mut x = self.0;
+        x ^= x >> 71;
+        x = x.wrapping_mul(Self::MUL);
+        x ^ (x >> 64)
+    }
+}
+
+/// Hashes a byte string 16 bytes at a time (length-tagged, so padding
+/// cannot alias).
+fn hash_words(bytes: &[u8]) -> u128 {
+    let mut h = Mix128::new();
+    let mut chunks = bytes.chunks_exact(16);
+    for c in &mut chunks {
+        h.add(u128::from_le_bytes(c.try_into().expect("16-byte chunk")));
+    }
+    let rem = chunks.remainder();
+    if !rem.is_empty() {
+        let mut last = [0u8; 16];
+        last[..rem.len()].copy_from_slice(rem);
+        h.add(u128::from_le_bytes(last));
+    }
+    h.add(bytes.len() as u128);
+    h.finish()
 }
 
 /// Serializes a node kind's *semantic* payload (no names) into `buf`.
@@ -173,13 +240,6 @@ fn initial_color(kind: &NodeKind, weight: u64) -> u128 {
     h.finish()
 }
 
-fn distinct_colors(colors: &[u128]) -> usize {
-    let mut sorted: Vec<u128> = colors.to_vec();
-    sorted.sort_unstable();
-    sorted.dedup();
-    sorted.len()
-}
-
 /// Canonicalizes a request: DAG + explicit output weights + machine.
 ///
 /// # Errors
@@ -193,131 +253,250 @@ pub fn canonicalize(
     machine: &Machine,
 ) -> Result<Canon, CanonError> {
     dag.validate().map_err(|e| CanonError(e.to_string()))?;
+    canonicalize_impl(dag, weights, machine, true)
+}
+
+/// Mapping-only canonicalization for *pre-validated* DAGs: computes the
+/// key, encoding, and node/edge permutations but leaves `Canon::dag`,
+/// `Canon::names`, and `Canon::weights` empty. The session edit path
+/// runs this on every push edit — the canonical DAG itself is only
+/// needed on a full recompile, and rebuilding it costs more than the
+/// rest of the pipeline combined.
+pub(crate) fn canonicalize_mapped(
+    dag: &Dag,
+    weights: &HashMap<NodeId, u64>,
+    machine: &Machine,
+) -> Result<Canon, CanonError> {
+    canonicalize_impl(dag, weights, machine, false)
+}
+
+fn canonicalize_impl(
+    dag: &Dag,
+    weights: &HashMap<NodeId, u64>,
+    machine: &Machine,
+    build_dag: bool,
+) -> Result<Canon, CanonError> {
     let n = dag.num_nodes();
     let ids: Vec<NodeId> = dag.node_ids().collect();
 
-    // --- 1. WL color refinement ---------------------------------------
-    let mut colors: Vec<u128> = ids
+    // --- 1. Merkle structural coloring (down + up + tied polish) -------
+    let topo = dag
+        .topological_order()
+        .map_err(|e| CanonError(e.to_string()))?;
+    let kind_hash: Vec<u128> = ids
         .iter()
         .map(|&id| initial_color(&dag.node(id).kind, weights.get(&id).copied().unwrap_or(0)))
         .collect();
-    let mut partition = distinct_colors(&colors);
-    for _ in 0..MAX_REFINE_ROUNDS.min(n) {
-        if partition == n {
-            break;
+    let mut scratch: Vec<(i128, i128, u128)> = Vec::with_capacity(8);
+    let mut down = vec![0u128; n];
+    for &id in &topo {
+        scratch.clear();
+        scratch.extend(dag.in_edges(id).iter().map(|&e| {
+            let edge = dag.edge(e);
+            (
+                edge.fraction.numer(),
+                edge.fraction.denom(),
+                down[edge.src.index()],
+            )
+        }));
+        scratch.sort_unstable();
+        let mut h = Mix128::new();
+        h.add(kind_hash[id.index()]);
+        h.add(scratch.len() as u128);
+        for &(num, den, c) in scratch.iter() {
+            h.add_i128(num);
+            h.add_i128(den);
+            h.add(c);
         }
-        let mut next = Vec::with_capacity(n);
-        for &id in &ids {
-            let mut h = Fnv128::new();
-            h.write_u128(colors[id.index()]);
-            let mut ins: Vec<(i128, i128, u128)> = dag
-                .in_edges(id)
-                .iter()
-                .map(|&e| {
+        down[id.index()] = h.finish();
+    }
+    let mut up = vec![0u128; n];
+    for &id in topo.iter().rev() {
+        scratch.clear();
+        scratch.extend(dag.out_edges(id).iter().map(|&e| {
+            let edge = dag.edge(e);
+            (
+                edge.fraction.numer(),
+                edge.fraction.denom(),
+                up[edge.dst.index()],
+            )
+        }));
+        scratch.sort_unstable();
+        let mut h = Mix128::new();
+        h.add(kind_hash[id.index()]);
+        h.add(scratch.len() as u128);
+        for &(num, den, c) in scratch.iter() {
+            h.add_i128(num);
+            h.add_i128(den);
+            h.add(c);
+        }
+        up[id.index()] = h.finish();
+    }
+    let mut colors: Vec<u128> = (0..n)
+        .map(|i| {
+            let mut h = Mix128::new();
+            h.add(down[i]);
+            h.add(up[i]);
+            h.finish()
+        })
+        .collect();
+
+    // Rank-sort colors; nodes sharing a color with a sorted neighbor
+    // form the tied classes the polish refines.
+    let mut by_color: Vec<(u128, u32)> = (0..n).map(|i| (colors[i], i as u32)).collect();
+    by_color.sort_unstable();
+    let mut tied: Vec<u32> = Vec::new();
+    {
+        let mut i = 0;
+        while i < n {
+            let mut j = i + 1;
+            while j < n && by_color[j].0 == by_color[i].0 {
+                j += 1;
+            }
+            if j - i > 1 {
+                tied.extend(by_color[i..j].iter().map(|&(_, idx)| idx));
+            }
+            i = j;
+        }
+    }
+    let had_ties = !tied.is_empty();
+    // A singleton class can never split, and its (frozen) color remains
+    // a deterministic function of structure, so refining only the tied
+    // nodes yields the same final partition as full rounds at a
+    // fraction of the cost.
+    while !tied.is_empty() {
+        // (old color, new color, node) — sorting groups classes, then
+        // subclasses, so split detection is two linear scans.
+        let mut next: Vec<(u128, u128, u32)> = Vec::with_capacity(tied.len());
+        for &idx in &tied {
+            let id = ids[idx as usize];
+            let mut h = Mix128::new();
+            h.add(colors[idx as usize]);
+            for (edges, dir) in [(dag.in_edges(id), 0u128), (dag.out_edges(id), 1u128)] {
+                scratch.clear();
+                scratch.extend(edges.iter().map(|&e| {
                     let edge = dag.edge(e);
+                    let other = if dir == 0 { edge.src } else { edge.dst };
                     (
                         edge.fraction.numer(),
                         edge.fraction.denom(),
-                        colors[edge.src.index()],
+                        colors[other.index()],
                     )
-                })
-                .collect();
-            ins.sort_unstable();
-            h.write_u64(ins.len() as u64);
-            for (num, den, c) in ins {
-                h.write_i128(num);
-                h.write_i128(den);
-                h.write_u128(c);
+                }));
+                scratch.sort_unstable();
+                h.add(dir);
+                h.add(scratch.len() as u128);
+                for &(num, den, c) in scratch.iter() {
+                    h.add_i128(num);
+                    h.add_i128(den);
+                    h.add(c);
+                }
             }
-            let mut outs: Vec<(i128, i128, u128)> = dag
-                .out_edges(id)
-                .iter()
-                .map(|&e| {
-                    let edge = dag.edge(e);
-                    (
-                        edge.fraction.numer(),
-                        edge.fraction.denom(),
-                        colors[edge.dst.index()],
-                    )
-                })
-                .collect();
-            outs.sort_unstable();
-            h.write_u64(outs.len() as u64);
-            for (num, den, c) in outs {
-                h.write_i128(num);
-                h.write_i128(den);
-                h.write_u128(c);
+            next.push((colors[idx as usize], h.finish(), idx));
+        }
+        next.sort_unstable();
+        let mut split = false;
+        let mut still_tied: Vec<u32> = Vec::new();
+        let mut i = 0;
+        while i < next.len() {
+            let mut j = i + 1;
+            while j < next.len() && next[j].0 == next[i].0 {
+                j += 1;
             }
-            next.push(h.finish());
+            let mut k = i;
+            while k < j {
+                let mut m = k + 1;
+                while m < j && next[m].1 == next[k].1 {
+                    m += 1;
+                }
+                if m - k < j - i {
+                    split = true;
+                }
+                if m - k > 1 {
+                    still_tied.extend(next[k..m].iter().map(|&(_, _, idx)| idx));
+                }
+                k = m;
+            }
+            i = j;
         }
-        colors = next;
-        let refined = distinct_colors(&colors);
-        if refined == partition {
-            break; // fixpoint: no round can refine further
+        for &(_, new, idx) in &next {
+            colors[idx as usize] = new;
         }
-        partition = refined;
+        if !split {
+            break; // fixpoint: no class split this round
+        }
+        tied = still_tied;
+    }
+    if had_ties {
+        by_color.clear();
+        by_color.extend((0..n).map(|i| (colors[i], i as u32)));
+        by_color.sort_unstable();
     }
 
     // --- 2. canonical topological order -------------------------------
-    let mut indegree: Vec<usize> = ids.iter().map(|&id| dag.in_edges(id).len()).collect();
-    let mut ready: BTreeSet<(u128, usize)> = ids
+    // Rank-compress colors so Kahn's priority heap compares u32 ranks
+    // instead of (u128, usize) pairs; (color, original index) is a
+    // total order, so the rank is too.
+    let mut rank = vec![0u32; n];
+    for (r, &(_, idx)) in by_color.iter().enumerate() {
+        rank[idx as usize] = r as u32;
+    }
+    let mut indegree: Vec<u32> = ids
         .iter()
-        .filter(|id| indegree[id.index()] == 0)
-        .map(|id| (colors[id.index()], id.index()))
+        .map(|&id| dag.in_edges(id).len() as u32)
+        .collect();
+    let mut heap: BinaryHeap<Reverse<u32>> = (0..n)
+        .filter(|&i| indegree[i] == 0)
+        .map(|i| Reverse(rank[i]))
         .collect();
     let mut order: Vec<NodeId> = Vec::with_capacity(n);
-    while let Some(&(color, idx)) = ready.iter().next() {
-        ready.remove(&(color, idx));
-        let id = ids[idx];
+    while let Some(Reverse(r)) = heap.pop() {
+        let id = ids[by_color[r as usize].1 as usize];
         order.push(id);
         for &e in dag.out_edges(id) {
             let dst = dag.edge(e).dst;
             indegree[dst.index()] -= 1;
             if indegree[dst.index()] == 0 {
-                ready.insert((colors[dst.index()], dst.index()));
+                heap.push(Reverse(rank[dst.index()]));
             }
         }
     }
     if order.len() != n {
         return Err(CanonError("cycle survived validation".to_owned()));
     }
-
-    // --- 3. rebuild with interned names and sorted edges ---------------
-    let mut canon_dag = Dag::new();
     let mut old_to_new: Vec<usize> = vec![usize::MAX; n];
-    let mut new_ids: Vec<NodeId> = Vec::with_capacity(n);
-    let mut names: Vec<String> = Vec::with_capacity(n);
     for (new_idx, &old) in order.iter().enumerate() {
         old_to_new[old.index()] = new_idx;
-        names.push(dag.node(old).name.clone());
-        new_ids.push(canon_dag.add_node(format!("f{new_idx}"), dag.node(old).kind.clone()));
     }
-    let mut edges: Vec<(usize, usize, i128, i128)> = dag
-        .edge_ids()
-        .filter(|&e| dag.edge_is_live(e))
-        .map(|e| {
+
+    // --- 3. canonical edge order ---------------------------------------
+    // Packed (dst << 32 | src) keys resolve almost every comparison with
+    // one u64; fractions (then the original edge id, which makes the
+    // order total even for parallel equal-fraction edges — the canonical
+    // bytes are identical either way, the tiebreak just pins `edge_perm`
+    // deterministically) break the rare same-endpoint ties.
+    let orig_edges: Vec<EdgeId> = dag.edge_ids().collect();
+    let mut sorted_edges: Vec<(u64, u32)> = orig_edges
+        .iter()
+        .filter(|&&e| dag.edge_is_live(e))
+        .map(|&e| {
             let edge = dag.edge(e);
             (
-                old_to_new[edge.dst.index()],
-                old_to_new[edge.src.index()],
-                edge.fraction.numer(),
-                edge.fraction.denom(),
+                ((old_to_new[edge.dst.index()] as u64) << 32) | old_to_new[edge.src.index()] as u64,
+                e.index() as u32,
             )
         })
         .collect();
-    edges.sort_unstable();
-    for &(dst, src, num, den) in &edges {
-        let fraction = aqua_rational::Ratio::new(num, den)
-            .map_err(|e| CanonError(format!("edge fraction: {e}")))?;
-        canon_dag.add_edge(new_ids[src], new_ids[dst], fraction);
-    }
-    let mut canon_weights: HashMap<NodeId, u64> = HashMap::with_capacity(weights.len());
-    for (&old, &w) in weights {
-        if let Some(&new_idx) = old_to_new.get(old.index()) {
-            if new_idx != usize::MAX {
-                canon_weights.insert(new_ids[new_idx], w);
-            }
-        }
+    sorted_edges.sort_unstable_by(|a, b| {
+        a.0.cmp(&b.0).then_with(|| {
+            let fa = dag.edge(orig_edges[a.1 as usize]).fraction;
+            let fb = dag.edge(orig_edges[b.1 as usize]).fraction;
+            (fa.numer(), fa.denom(), a.1).cmp(&(fb.numer(), fb.denom(), b.1))
+        })
+    });
+    let mut edge_perm: Vec<Option<usize>> = vec![None; dag.num_edges()];
+    for (canon_idx, &(_, orig)) in sorted_edges.iter().enumerate() {
+        edge_perm[orig as usize] = Some(canon_idx);
     }
 
     // --- 4. encode and hash --------------------------------------------
@@ -342,25 +521,59 @@ pub fn canonicalize(
         buf.extend_from_slice(&(count as u64).to_le_bytes());
     }
     buf.extend_from_slice(&(n as u64).to_le_bytes());
-    for &new_id in &new_ids {
-        push_kind(&mut buf, &canon_dag.node(new_id).kind);
-        let w = canon_weights.get(&new_id).copied().unwrap_or(0);
+    for &old in &order {
+        push_kind(&mut buf, &dag.node(old).kind);
+        let w = weights.get(&old).copied().unwrap_or(0);
         buf.extend_from_slice(&w.to_le_bytes());
     }
-    buf.extend_from_slice(&(edges.len() as u64).to_le_bytes());
-    for &(dst, src, num, den) in &edges {
-        buf.extend_from_slice(&(src as u64).to_le_bytes());
-        buf.extend_from_slice(&(dst as u64).to_le_bytes());
-        buf.extend_from_slice(&num.to_le_bytes());
-        buf.extend_from_slice(&den.to_le_bytes());
+    buf.extend_from_slice(&(sorted_edges.len() as u64).to_le_bytes());
+    for &(key, orig) in &sorted_edges {
+        let f = dag.edge(orig_edges[orig as usize]).fraction;
+        let mut rec = [0u8; 48];
+        rec[0..8].copy_from_slice(&(key & 0xffff_ffff).to_le_bytes());
+        rec[8..16].copy_from_slice(&(key >> 32).to_le_bytes());
+        rec[16..32].copy_from_slice(&f.numer().to_le_bytes());
+        rec[32..48].copy_from_slice(&f.denom().to_le_bytes());
+        buf.extend_from_slice(&rec);
     }
-    let mut h = Fnv128::new();
-    h.write(&buf);
-    let key = h.finish();
+    let key = hash_words(&buf);
+
+    // --- 5. rebuild (full path only) -----------------------------------
+    let (canon_dag, names, canon_weights) = if build_dag {
+        let mut canon_dag = Dag::new();
+        let mut names: Vec<String> = Vec::with_capacity(n);
+        let mut new_ids: Vec<NodeId> = Vec::with_capacity(n);
+        for (new_idx, &old) in order.iter().enumerate() {
+            names.push(dag.node(old).name.clone());
+            new_ids.push(canon_dag.add_node(format!("f{new_idx}"), dag.node(old).kind.clone()));
+        }
+        for &(key, orig) in &sorted_edges {
+            let src = (key & 0xffff_ffff) as usize;
+            let dst = (key >> 32) as usize;
+            canon_dag.add_edge(
+                new_ids[src],
+                new_ids[dst],
+                dag.edge(orig_edges[orig as usize]).fraction,
+            );
+        }
+        let mut canon_weights: HashMap<NodeId, u64> = HashMap::with_capacity(weights.len());
+        for (&old, &w) in weights {
+            if let Some(&new_idx) = old_to_new.get(old.index()) {
+                if new_idx != usize::MAX {
+                    canon_weights.insert(new_ids[new_idx], w);
+                }
+            }
+        }
+        (canon_dag, names, canon_weights)
+    } else {
+        (Dag::new(), Vec::new(), HashMap::new())
+    };
 
     Ok(Canon {
         dag: canon_dag,
         names,
+        node_perm: old_to_new,
+        edge_perm,
         weights: canon_weights,
         encoding: Arc::from(buf.into_boxed_slice()),
         key,
@@ -511,6 +724,49 @@ mod tests {
         // Canonical order is topological.
         let order = canon.dag.topological_order().unwrap();
         assert_eq!(order.len(), canon.dag.num_nodes());
+    }
+
+    #[test]
+    fn mapped_variant_matches_full_canonicalization() {
+        let dag = mix_assay(&[(1, 4), (2, 3), (1, 999)]);
+        let weights = HashMap::new();
+        let machine = Machine::paper_default();
+        let full = canonicalize(&dag, &weights, &machine).unwrap();
+        let mapped = canonicalize_mapped(&dag, &weights, &machine).unwrap();
+        assert_eq!(full.key, mapped.key);
+        assert_eq!(full.encoding, mapped.encoding);
+        assert_eq!(full.node_perm, mapped.node_perm);
+        assert_eq!(full.edge_perm, mapped.edge_perm);
+        assert!(mapped.dag.num_nodes() == 0 && mapped.names.is_empty());
+    }
+
+    #[test]
+    fn permutations_translate_client_ids_to_canonical_ids() {
+        let mut d = Dag::new();
+        let a = d.add_input("A");
+        let b = d.add_input("B");
+        let m = d.add_mix("m", &[(a, 1), (b, 4)], 10).unwrap();
+        d.add_process("s", "sense.OD", m);
+        let canon = canonicalize(&d, &HashMap::new(), &Machine::paper_default()).unwrap();
+        // node_perm: canonical node node_perm[i] must have the client's
+        // name for node i in `names`.
+        for (client_idx, &canon_idx) in canon.node_perm.iter().enumerate() {
+            assert_eq!(
+                canon.names[canon_idx],
+                d.node(d.node_ids().nth(client_idx).unwrap()).name
+            );
+        }
+        // edge_perm: the mapped canonical edge must carry the same
+        // fraction and map endpoints through node_perm.
+        let canon_edges: Vec<_> = canon.dag.edge_ids().collect();
+        for (client_idx, e) in d.edge_ids().enumerate() {
+            let mapped = canon.edge_perm[client_idx].unwrap();
+            let ce = canon.dag.edge(canon_edges[mapped]);
+            let oe = d.edge(e);
+            assert_eq!(ce.fraction, oe.fraction);
+            assert_eq!(ce.src.index(), canon.node_perm[oe.src.index()]);
+            assert_eq!(ce.dst.index(), canon.node_perm[oe.dst.index()]);
+        }
     }
 
     #[test]

@@ -61,6 +61,7 @@ pub mod json;
 pub mod plan;
 pub mod server;
 pub mod service;
+pub mod session;
 pub mod shard;
 pub mod store;
 
@@ -68,5 +69,6 @@ pub use canon::{canonicalize, key_hex, parse_key_hex, Canon, CanonError};
 pub use plan::compile_plan;
 pub use server::{serve_stdin, spawn_tcp};
 pub use service::{ServeError, Served, Service, ServiceConfig};
+pub use session::apply_delta;
 pub use shard::Ring;
 pub use store::{PlanStore, Record, RecoveryReport, StoreConfig};

@@ -23,7 +23,9 @@ use aqua_dag::{Dag, NodeKind};
 use aqua_obs::Obs;
 use aqua_rational::Ratio;
 use aqua_volume::unknown::{self, Binding};
-use aqua_volume::{manage_volumes, Machine, ManagedOutcome, VolumeManagerOptions};
+use aqua_volume::{
+    compile_with_trace, manage_volumes, Machine, ManagedOutcome, Recording, VolumeManagerOptions,
+};
 
 use crate::canon::Canon;
 use crate::json::quote;
@@ -114,6 +116,28 @@ fn push_log(out: &mut String, log: &[String]) {
 /// the hierarchy is a pure function of `(canon, machine)` and the JSON
 /// member order is fixed.
 pub fn compile_plan(canon: &Canon, machine: &Machine, obs: &Obs) -> String {
+    compile_plan_impl(canon, machine, obs, false).0
+}
+
+/// Like [`compile_plan`], but also returns the hierarchy's round trace
+/// when the outcome is replayable (see [`aqua_volume::incr`]). Sessions
+/// register through this so edits can be replanned incrementally; the
+/// plan bytes are identical to [`compile_plan`]'s because both render
+/// through [`render_outcome`].
+pub(crate) fn compile_plan_traced(
+    canon: &Canon,
+    machine: &Machine,
+    obs: &Obs,
+) -> (String, Option<Recording>) {
+    compile_plan_impl(canon, machine, obs, true)
+}
+
+fn compile_plan_impl(
+    canon: &Canon,
+    machine: &Machine,
+    obs: &Obs,
+    trace: bool,
+) -> (String, Option<Recording>) {
     let _span = obs.span("serve.plan.compile");
     obs.add("serve.plan.compiles", 1);
 
@@ -121,7 +145,7 @@ pub fn compile_plan(canon: &Canon, machine: &Machine, obs: &Obs) -> String {
     // final dispensing step is deferred to run time, so the "plan" is
     // the partition table with its bindings.
     if unknown::has_unknown_volumes(&canon.dag) {
-        return match unknown::partition(&canon.dag, machine) {
+        let rendered = match unknown::partition(&canon.dag, machine) {
             Ok(plan) => {
                 let mut out = String::from("{\"status\":\"partitioned\",\"partitions\":[");
                 for (pi, part) in plan.partitions.iter().enumerate() {
@@ -177,6 +201,7 @@ pub fn compile_plan(canon: &Canon, machine: &Machine, obs: &Obs) -> String {
                 quote(&e.to_string())
             ),
         };
+        return (rendered, None);
     }
 
     let opts = VolumeManagerOptions {
@@ -189,7 +214,21 @@ pub fn compile_plan(canon: &Canon, machine: &Machine, obs: &Obs) -> String {
         ..VolumeManagerOptions::default()
     };
 
-    match manage_volumes(&canon.dag, machine, &opts) {
+    if trace {
+        let (outcome, rec) = compile_with_trace(&canon.dag, machine, &opts);
+        (render_outcome(&outcome, machine), rec)
+    } else {
+        let outcome = manage_volumes(&canon.dag, machine, &opts);
+        (render_outcome(&outcome, machine), None)
+    }
+}
+
+/// Renders a hierarchy outcome as plan JSON. This is the *only* place
+/// solved/needs-regeneration/resources-exceeded plans are rendered —
+/// cold compiles and incremental session replays both come through
+/// here, so their bytes can never diverge.
+pub(crate) fn render_outcome(outcome: &ManagedOutcome, machine: &Machine) -> String {
+    match outcome {
         ManagedOutcome::Solved { dag, volumes, log } => {
             // The hierarchy may have rewritten the DAG (cascades,
             // replicas); volumes index into the rewritten graph, so the
@@ -197,9 +236,9 @@ pub fn compile_plan(canon: &Canon, machine: &Machine, obs: &Obs) -> String {
             let mut out = String::from("{\"status\":\"solved\",\"method\":");
             out.push_str(&quote(&volumes.method.to_string()));
             out.push_str(",\"nodes\":");
-            push_nodes(&mut out, &dag);
+            push_nodes(&mut out, dag);
             out.push_str(",\"edges\":");
-            push_edges(&mut out, &dag, Some(&volumes.edge_volumes_nl));
+            push_edges(&mut out, dag, Some(&volumes.edge_volumes_nl));
             out.push_str(",\"node_volumes_nl\":");
             push_ratio_vec(&mut out, &volumes.node_volumes_nl);
             // IVol: the loads quantized to the machine's least count —
@@ -212,7 +251,7 @@ pub fn compile_plan(canon: &Canon, machine: &Machine, obs: &Obs) -> String {
             out.push_str(",\"ivol_nl\":");
             push_ratio_vec(&mut out, &ivol);
             out.push_str(",\"log\":");
-            push_log(&mut out, &log);
+            push_log(&mut out, log);
             out.push('}');
             out
         }
@@ -224,9 +263,9 @@ pub fn compile_plan(canon: &Canon, machine: &Machine, obs: &Obs) -> String {
             let mut out = String::from("{\"status\":\"needs_regeneration\"");
             if let Some(sol) = best_effort {
                 out.push_str(",\"best_effort\":{\"nodes\":");
-                push_nodes(&mut out, &dag);
+                push_nodes(&mut out, dag);
                 out.push_str(",\"edges\":");
-                push_edges(&mut out, &dag, Some(&sol.edge_volumes_nl));
+                push_edges(&mut out, dag, Some(&sol.edge_volumes_nl));
                 out.push_str(",\"node_volumes_nl\":");
                 push_ratio_vec(&mut out, &sol.node_volumes_nl);
                 if let Some(under) = &sol.underflow {
@@ -241,15 +280,15 @@ pub fn compile_plan(canon: &Canon, machine: &Machine, obs: &Obs) -> String {
                 out.push('}');
             }
             out.push_str(",\"log\":");
-            push_log(&mut out, &log);
+            push_log(&mut out, log);
             out.push('}');
             out
         }
         ManagedOutcome::ResourcesExceeded { reason, log } => {
             let mut out = String::from("{\"status\":\"resources_exceeded\",\"reason\":");
-            out.push_str(&quote(&reason));
+            out.push_str(&quote(reason));
             out.push_str(",\"log\":");
-            push_log(&mut out, &log);
+            push_log(&mut out, log);
             out.push('}');
             out
         }

@@ -57,6 +57,7 @@ use crate::cache::ShardedLru;
 use crate::canon::{self, Canon};
 use crate::json::{self, quote, Value};
 use crate::plan::compile_plan;
+use crate::session::SessionStore;
 use crate::shard::Ring;
 use crate::store::{PlanStore, StoreConfig};
 
@@ -108,6 +109,11 @@ pub struct ServiceConfig {
     pub tenant_max_inflight: usize,
     /// Per-tenant cap on queued (leader) compile jobs.
     pub tenant_max_queued: usize,
+    /// Per-tenant cap on live push-mode sessions (each session pins its
+    /// DAG, canonical form, plan bytes, and solve trace in memory).
+    /// Exceeding it rejects `session.register` with
+    /// [`ServeError::SessionQuota`].
+    pub tenant_max_sessions: usize,
     /// Persistent plan store; `None` keeps the service memory-only.
     pub store: Option<StoreConfig>,
     /// Observability handle threaded through admission → cache → solve.
@@ -136,6 +142,7 @@ impl Default for ServiceConfig {
             max_line_bytes: 1 << 20,
             tenant_max_inflight: 64,
             tenant_max_queued: 32,
+            tenant_max_sessions: 8,
             store: None,
             obs: Obs::off(),
             fleet: None,
@@ -171,6 +178,15 @@ pub enum ServeError {
     /// The persistent plan store failed to open (startup only; never a
     /// wire response).
     Store(String),
+    /// A `session.edit`/`session.close` named a session that does not
+    /// exist (or belongs to another tenant).
+    UnknownSession,
+    /// The tenant already holds [`ServiceConfig::tenant_max_sessions`]
+    /// live sessions.
+    SessionQuota {
+        /// The configured per-tenant session cap.
+        max: usize,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -188,6 +204,10 @@ impl fmt::Display for ServeError {
                 write!(f, "request line exceeds {max_bytes} bytes")
             }
             ServeError::Store(m) => write!(f, "plan store: {m}"),
+            ServeError::UnknownSession => write!(f, "no such session for this tenant"),
+            ServeError::SessionQuota { max } => {
+                write!(f, "tenant already holds {max} live session(s)")
+            }
         }
     }
 }
@@ -253,6 +273,7 @@ struct Inner {
     config: ServiceConfig,
     ring: Ring,
     workers: Vec<Worker>,
+    sessions: SessionStore,
     store: Option<Mutex<PlanStore>>,
     tenants: Mutex<HashMap<String, TenantState>>,
     per_worker_queue: usize,
@@ -372,6 +393,7 @@ impl Service {
         let inner = Arc::new(Inner {
             ring,
             workers,
+            sessions: SessionStore::new(),
             store,
             tenants: Mutex::new(HashMap::new()),
             per_worker_queue,
@@ -627,6 +649,9 @@ impl Service {
                         ),
                     ),
                 },
+                "session.register" => self.session_register(&id, &parsed),
+                "session.edit" => self.session_edit(&id, &parsed),
+                "session.close" => self.session_close(&id, &parsed),
                 other => error_line(
                     &id,
                     &ServeError::BadRequest(format!("unknown command `{other}`")),
@@ -707,6 +732,162 @@ impl Service {
             Ok(served) => success_line_named(&id, &served, &names),
             Err(e) => error_line(&id, &e),
         }
+    }
+
+    /// Handles `session.register`: parse + lower the source, compile it
+    /// cold (retaining the solve trace), pin the session, and publish
+    /// the plan into the shared cache.
+    fn session_register(&self, id: &str, parsed: &Value) -> String {
+        let tenant = match tenant_field(parsed) {
+            Ok(t) => t,
+            Err(e) => return error_line(id, &e),
+        };
+        let Some(src) = parsed.get("src").and_then(Value::as_str) else {
+            return error_line(
+                id,
+                &ServeError::BadRequest("`session.register` needs `src`".to_owned()),
+            );
+        };
+        let machine = match parsed.get("machine") {
+            None => self.inner.config.machine.clone(),
+            Some(overrides) => {
+                match machine_with_overrides(&self.inner.config.machine, overrides) {
+                    Ok(m) => m,
+                    Err(msg) => return error_line(id, &ServeError::BadRequest(msg)),
+                }
+            }
+        };
+        let flat = match aqua_lang::compile_to_flat(src) {
+            Ok(f) => f,
+            Err(e) => return error_line(id, &ServeError::BadRequest(e.to_string())),
+        };
+        let (dag, map) = match aqua_compiler::lower_to_dag(&flat) {
+            Ok(x) => x,
+            Err(e) => return error_line(id, &ServeError::BadRequest(e.to_string())),
+        };
+        match self.inner.sessions.register(
+            tenant,
+            dag,
+            map.output_weights,
+            machine,
+            self.inner.config.tenant_max_sessions,
+            self.obs(),
+        ) {
+            Ok(reg) => {
+                self.publish_session_plan(reg.key, &reg.encoding, &reg.plan);
+                let mut names = String::from("[");
+                for (i, name) in reg.names.iter().enumerate() {
+                    if i > 0 {
+                        names.push(',');
+                    }
+                    names.push_str(&quote(name));
+                }
+                names.push(']');
+                format!(
+                    "{{\"id\":{id},\"ok\":true,\"session\":{},\"key\":\"{}\",\
+                     \"names\":{names},\"plan\":{}}}",
+                    quote(&reg.id),
+                    canon::key_hex(reg.key),
+                    reg.plan
+                )
+            }
+            Err(e) => error_line(id, &e),
+        }
+    }
+
+    /// Handles `session.edit`: replan the session's DAG under one edit
+    /// (dirty-slice replay when possible, typed cold fallback
+    /// otherwise) and answer with a plan delta.
+    fn session_edit(&self, id: &str, parsed: &Value) -> String {
+        let tenant = match tenant_field(parsed) {
+            Ok(t) => t,
+            Err(e) => return error_line(id, &e),
+        };
+        let Some(sid) = parsed.get("session").and_then(Value::as_str) else {
+            return error_line(
+                id,
+                &ServeError::BadRequest("`session.edit` needs `session`".to_owned()),
+            );
+        };
+        let Some(edit) = parsed.get("edit") else {
+            return error_line(
+                id,
+                &ServeError::BadRequest("`session.edit` needs `edit`".to_owned()),
+            );
+        };
+        match self.inner.sessions.edit(sid, tenant, edit, self.obs()) {
+            Ok(ed) => {
+                if ed.changed {
+                    self.publish_session_plan(ed.key, &ed.encoding, &ed.plan);
+                }
+                let mut out = format!(
+                    "{{\"id\":{id},\"ok\":true,\"session\":{},\"key\":\"{}\",\"incremental\":{}",
+                    quote(sid),
+                    canon::key_hex(ed.key),
+                    ed.incremental
+                );
+                if ed.incremental {
+                    let _ = write!(out, ",\"slice\":{}", ed.slice);
+                } else if let Some(cause) = ed.cause {
+                    let _ = write!(out, ",\"cause\":\"{cause}\"");
+                }
+                let _ = write!(out, ",\"delta\":{}", ed.delta);
+                out.push('}');
+                out
+            }
+            Err(e) => error_line(id, &e),
+        }
+    }
+
+    /// Handles `session.close`: drop the session's pinned state.
+    fn session_close(&self, id: &str, parsed: &Value) -> String {
+        let tenant = match tenant_field(parsed) {
+            Ok(t) => t,
+            Err(e) => return error_line(id, &e),
+        };
+        let Some(sid) = parsed.get("session").and_then(Value::as_str) else {
+            return error_line(
+                id,
+                &ServeError::BadRequest("`session.close` needs `session`".to_owned()),
+            );
+        };
+        match self.inner.sessions.close(sid, tenant, self.obs()) {
+            Ok(()) => format!("{{\"id\":{id},\"ok\":true,\"closed\":{}}}", quote(sid)),
+            Err(e) => error_line(id, &e),
+        }
+    }
+
+    /// Number of live push-mode sessions across all tenants.
+    pub fn session_count(&self) -> usize {
+        self.inner.sessions.len()
+    }
+
+    /// Publishes a session-compiled plan into the shared cache (and the
+    /// persistent store, when configured) so key-addressed requests for
+    /// the same canonical form hit without recompiling. Session state
+    /// itself is pinned in the registry — eviction from this cache
+    /// never degrades a session to the full-recompile path.
+    fn publish_session_plan(&self, key: u128, encoding: &Arc<[u8]>, plan: &Arc<str>) {
+        let obs = self.obs();
+        if let Some(store) = &self.inner.store {
+            let mut store = store.lock().unwrap_or_else(PoisonError::into_inner);
+            match store.append(key, encoding, plan) {
+                Ok(true) => obs.add("serve.store.appends", 1),
+                Ok(false) => {}
+                Err(e) => {
+                    obs.add("serve.store.errors", 1);
+                    eprintln!("aqua-serve: store append failed: {e}");
+                }
+            }
+        }
+        let served = Served {
+            key,
+            plan: Arc::clone(plan),
+        };
+        self.inner
+            .worker(key)
+            .cache
+            .insert(key, Arc::clone(encoding), served);
     }
 
     /// Drops every cached plan from memory (bench cold path; counters
@@ -958,6 +1139,20 @@ fn success_line_named(id: &str, served: &Served, names: &[String]) -> String {
     )
 }
 
+/// Extracts the request's tenant (same rules as the compile front
+/// door: optional, non-empty, bounded length).
+fn tenant_field(parsed: &Value) -> Result<&str, ServeError> {
+    match parsed.get("tenant") {
+        None => Ok(DEFAULT_TENANT),
+        Some(v) => match v.as_str() {
+            Some(t) if t.len() <= MAX_TENANT_BYTES && !t.is_empty() => Ok(t),
+            _ => Err(ServeError::BadRequest(format!(
+                "`tenant` must be a non-empty string of at most {MAX_TENANT_BYTES} bytes"
+            ))),
+        },
+    }
+}
+
 pub(crate) fn error_line(id: &str, error: &ServeError) -> String {
     let tag = match error {
         ServeError::BadRequest(_) => "bad_request",
@@ -968,6 +1163,8 @@ pub(crate) fn error_line(id: &str, error: &ServeError) -> String {
         ServeError::DeadlineTooLarge { .. } => "deadline_too_large",
         ServeError::TooLarge { .. } => "too_large",
         ServeError::Store(_) => "store",
+        ServeError::UnknownSession => "unknown_session",
+        ServeError::SessionQuota { .. } => "session_quota",
     };
     format!(
         "{{\"id\":{id},\"ok\":false,\"error\":\"{tag}\",\"message\":{}}}",
@@ -1040,7 +1237,7 @@ fn count_field(v: &Value, what: &str) -> Result<usize, String> {
 /// Builds a request machine from the configured base plus a `machine`
 /// override object. Every overridable field participates in the cache
 /// key (see `canon`), so overrides can never be served a stale plan.
-fn machine_with_overrides(base: &Machine, overrides: &Value) -> Result<Machine, String> {
+pub(crate) fn machine_with_overrides(base: &Machine, overrides: &Value) -> Result<Machine, String> {
     if !matches!(overrides, Value::Obj(_)) {
         return Err("`machine` must be an object".to_owned());
     }

@@ -1,0 +1,988 @@
+//! Push-mode sessions: register a DAG once, then push edits and get
+//! plan deltas back.
+//!
+//! The cold front door recompiles from scratch on every request. A
+//! *session* instead retains the client's DAG, the canonical form it
+//! was compiled under, the compiled plan bytes, and (when the solve was
+//! replayable) the hierarchy's round trace ([`aqua_volume::incr`]).
+//! Pushing an edit then costs a dirty-slice replay plus a mapped
+//! re-canonicalization instead of a full compile — and the resulting
+//! plan is **byte-identical to a cold compile of the edited DAG**,
+//! because replays render through the same `plan::render_outcome`
+//! path on the same canonical DAG a cold compile would build.
+//!
+//! Edits that cannot be replayed (machine-parameter changes, node
+//! add/remove, replay divergences, non-replayable traces) fall back to
+//! a cold compile *inside the session* and say so with a typed
+//! `"cause"`; the client still gets a correct plan either way.
+//!
+//! Session state is pinned here, not in the plan LRU: cache pressure
+//! from other tenants can evict a session's plan bytes from the shared
+//! cache without ever forcing the session down the full-recompile path.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+use aqua_dag::{set_mix_ratio, Dag, EdgeId, NodeId};
+use aqua_obs::Obs;
+use aqua_rational::Ratio;
+use aqua_volume::hierarchy::ManagedVolumes;
+use aqua_volume::{IncrEdit, IncrSolver, Machine, ManagedOutcome, Method, ReplayOutcome};
+
+use crate::canon::{self, Canon};
+use crate::json::{quote, Value};
+use crate::plan;
+use crate::service::ServeError;
+
+/// One registered session: the client's DAG in its own node numbering,
+/// the pinned canonical form + plan of the last full compile, and the
+/// incremental solver when the last full compile left a replayable
+/// trace.
+struct Session {
+    machine: Machine,
+    /// The client's DAG, current (edits are applied here first).
+    dag: Dag,
+    /// Client-space output weights.
+    weights: HashMap<NodeId, u64>,
+    /// Canonical form at the last full compile (full: dag + perms).
+    base: Canon,
+    /// Base-canonical index → node id in `base.dag`.
+    base_ids: Vec<NodeId>,
+    /// Base-canonical index → edge id in `base.dag`.
+    base_edge_ids: Vec<EdgeId>,
+    /// Base-canonical node index → client node index.
+    base_inv: Vec<usize>,
+    /// Pinned plan bytes for the session's current DAG.
+    plan: Arc<str>,
+    /// Content key of the pinned plan.
+    key: u128,
+    /// Encoding behind `key` (for publishing into the shared cache).
+    encoding: Arc<[u8]>,
+    /// Replay solver; `None` when the last compile wasn't replayable.
+    solver: Option<IncrSolver>,
+    /// Memoized canonical mappings for this topology (see [`CanonMemo`]).
+    memo: CanonMemo,
+}
+
+/// The exact client-DAG state a memoized canonical mapping was
+/// computed from: every live edge's fraction (in edge-id order; dead
+/// edges pinned to `(0, 0)`) plus the sorted output weights.
+#[derive(PartialEq)]
+struct CanonState {
+    fractions: Vec<(i128, i128)>,
+    weights: Vec<(usize, u64)>,
+}
+
+impl CanonState {
+    fn of(dag: &Dag, weights: &HashMap<NodeId, u64>) -> CanonState {
+        let fractions = dag
+            .edge_ids()
+            .map(|e| {
+                if dag.edge_is_live(e) {
+                    let f = dag.edge(e).fraction;
+                    (f.numer(), f.denom())
+                } else {
+                    (0, 0)
+                }
+            })
+            .collect();
+        let mut w: Vec<(usize, u64)> = weights.iter().map(|(&n, &v)| (n.index(), v)).collect();
+        w.sort_unstable();
+        CanonState {
+            fractions,
+            weights: w,
+        }
+    }
+}
+
+/// Exact memo of canonical mappings for the session's fixed topology.
+///
+/// Between structural and machine edits, the canonical mapping (node
+/// and edge permutations, key, encoding) is a pure function of the
+/// client DAG's edge fractions and output weights — topology, node
+/// kinds, and machine are all frozen. Interactive editors revisit
+/// states constantly (parameter wiggling, undo/redo), and mapped
+/// re-canonicalization of a multi-thousand-node DAG is the dominant
+/// cost of the replay path, so a tiny exact-match memo pays for itself
+/// on the first revisit. Entries are compared by *value* — every
+/// fraction and weight — never by hash, so a hit cannot alias a
+/// different state and byte-identity is preserved unconditionally.
+struct CanonMemo {
+    entries: Vec<(CanonState, Arc<Canon>)>,
+}
+
+/// Distinct recent states a session retains mappings for. Editors flip
+/// between a handful of candidate values; the memo only needs to cover
+/// that working set, and each entry holds two permutation vectors of
+/// the DAG's size, so small is right.
+const CANON_MEMO_CAPACITY: usize = 4;
+
+impl CanonMemo {
+    fn new() -> CanonMemo {
+        CanonMemo {
+            entries: Vec::new(),
+        }
+    }
+
+    /// Exact-match lookup; a hit moves the entry to the front.
+    fn lookup(&mut self, state: &CanonState) -> Option<Arc<Canon>> {
+        let at = self.entries.iter().position(|(s, _)| s == state)?;
+        let hit = self.entries.remove(at);
+        let canon = Arc::clone(&hit.1);
+        self.entries.insert(0, hit);
+        Some(canon)
+    }
+
+    fn insert(&mut self, state: CanonState, canon: Arc<Canon>) {
+        self.entries.insert(0, (state, canon));
+        self.entries.truncate(CANON_MEMO_CAPACITY);
+    }
+}
+
+/// A parsed `session.edit` request, client-space.
+enum SessionEdit {
+    SetRatio {
+        node: NodeId,
+        parts: Vec<(NodeId, u64)>,
+    },
+    SetOutputVolume {
+        node: NodeId,
+        weight: u64,
+    },
+    SetMachine(Machine),
+    AddNode(NewNode),
+    RemoveNode {
+        node: NodeId,
+    },
+}
+
+/// Payload of an `add_node` edit.
+enum NewNode {
+    Input {
+        name: String,
+    },
+    Mix {
+        name: String,
+        parts: Vec<(NodeId, u64)>,
+        seconds: u64,
+    },
+    Process {
+        name: String,
+        op: String,
+        from: NodeId,
+    },
+    Output {
+        name: String,
+        from: NodeId,
+        weight: Option<u64>,
+    },
+}
+
+/// What `session.register` hands back to the wire layer.
+pub(crate) struct Registered {
+    /// The new session's id (`"s1"`, `"s2"`, ...).
+    pub id: String,
+    /// Content key of the compiled plan.
+    pub key: u128,
+    /// Encoding behind `key` (for cache publication).
+    pub encoding: Arc<[u8]>,
+    /// The compiled plan bytes.
+    pub plan: Arc<str>,
+    /// Canonical node index → the request's own fluid name.
+    pub names: Vec<String>,
+}
+
+/// What `session.edit` hands back to the wire layer.
+pub(crate) struct Edited {
+    /// Content key of the session's plan after the edit.
+    pub key: u128,
+    /// Encoding behind `key`.
+    pub encoding: Arc<[u8]>,
+    /// The full plan bytes after the edit (pinned; also the delta base
+    /// for the next edit).
+    pub plan: Arc<str>,
+    /// Rendered delta document: `{"replace":{...}}` or `{"full":...}`.
+    pub delta: String,
+    /// Whether the dirty-slice replay produced the plan.
+    pub incremental: bool,
+    /// Why the session fell back to a cold compile (when it did).
+    pub cause: Option<&'static str>,
+    /// Dirty-slice size in nodes (0 on the full-recompile path).
+    pub slice: usize,
+    /// Whether the plan changed (no-op edits skip cache publication).
+    pub changed: bool,
+}
+
+/// The session registry: id → session, with per-tenant quotas.
+///
+/// The registry lock is held only for lookup/insert/remove; each
+/// session carries its own lock for the (milliseconds-long) edit work,
+/// so concurrent sessions never serialize on one mutex.
+/// Registry slot: owning tenant + the session behind its own lock.
+type SessionSlot = (String, Arc<Mutex<Session>>);
+
+pub(crate) struct SessionStore {
+    sessions: Mutex<HashMap<String, SessionSlot>>,
+    next: AtomicU64,
+}
+
+impl SessionStore {
+    pub(crate) fn new() -> SessionStore {
+        SessionStore {
+            sessions: Mutex::new(HashMap::new()),
+            next: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of live sessions (all tenants).
+    pub(crate) fn len(&self) -> usize {
+        self.sessions
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+
+    /// Registers `dag` (+ client-space `weights`) under `tenant` and
+    /// compiles it cold, retaining the trace when replayable.
+    pub(crate) fn register(
+        &self,
+        tenant: &str,
+        dag: Dag,
+        weights: HashMap<NodeId, u64>,
+        machine: Machine,
+        max_per_tenant: usize,
+        obs: &Obs,
+    ) -> Result<Registered, ServeError> {
+        {
+            let sessions = self.sessions.lock().unwrap_or_else(PoisonError::into_inner);
+            let held = sessions.values().filter(|(t, _)| t == tenant).count();
+            if held >= max_per_tenant {
+                obs.add("serve.session.quota_rejects", 1);
+                return Err(ServeError::SessionQuota {
+                    max: max_per_tenant,
+                });
+            }
+        }
+        let (session, key, encoding, plan, names) =
+            compile_full(dag, weights, machine, obs).map_err(ServeError::BadRequest)?;
+        let id = format!("s{}", self.next.fetch_add(1, Ordering::Relaxed) + 1);
+        {
+            // Re-check under the lock: two racing registers both passed
+            // the early check while neither was inserted yet.
+            let mut sessions = self.sessions.lock().unwrap_or_else(PoisonError::into_inner);
+            let held = sessions.values().filter(|(t, _)| t == tenant).count();
+            if held >= max_per_tenant {
+                obs.add("serve.session.quota_rejects", 1);
+                return Err(ServeError::SessionQuota {
+                    max: max_per_tenant,
+                });
+            }
+            sessions.insert(
+                id.clone(),
+                (tenant.to_owned(), Arc::new(Mutex::new(session))),
+            );
+        }
+        obs.add("serve.session.registers", 1);
+        Ok(Registered {
+            id,
+            key,
+            encoding,
+            plan,
+            names,
+        })
+    }
+
+    /// Applies one edit to session `id`, replanning incrementally when
+    /// the retained trace allows it.
+    pub(crate) fn edit(
+        &self,
+        id: &str,
+        tenant: &str,
+        edit: &Value,
+        obs: &Obs,
+    ) -> Result<Edited, ServeError> {
+        let session = self.lookup(id, tenant)?;
+        let mut session = session.lock().unwrap_or_else(PoisonError::into_inner);
+        obs.add("serve.session.edits", 1);
+        let parsed =
+            parse_edit(&session.dag, &session.machine, edit).map_err(ServeError::BadRequest)?;
+        apply_edit(&mut session, parsed, obs).map_err(ServeError::BadRequest)
+    }
+
+    /// Closes session `id`, dropping its pinned state.
+    pub(crate) fn close(&self, id: &str, tenant: &str, obs: &Obs) -> Result<(), ServeError> {
+        let mut sessions = self.sessions.lock().unwrap_or_else(PoisonError::into_inner);
+        match sessions.get(id) {
+            Some((t, _)) if t == tenant => {
+                sessions.remove(id);
+                obs.add("serve.session.closes", 1);
+                Ok(())
+            }
+            _ => Err(ServeError::UnknownSession),
+        }
+    }
+
+    fn lookup(&self, id: &str, tenant: &str) -> Result<Arc<Mutex<Session>>, ServeError> {
+        let sessions = self.sessions.lock().unwrap_or_else(PoisonError::into_inner);
+        match sessions.get(id) {
+            Some((t, s)) if t == tenant => Ok(Arc::clone(s)),
+            _ => Err(ServeError::UnknownSession),
+        }
+    }
+}
+
+/// What [`compile_full`] produces: the session plus the
+/// `(key, encoding, plan, names)` quadruple the wire layer returns.
+type CompiledSession = (Session, u128, Arc<[u8]>, Arc<str>, Vec<String>);
+
+/// Cold-compiles `(dag, weights, machine)` into a fresh [`Session`],
+/// retaining the trace when replayable.
+fn compile_full(
+    dag: Dag,
+    weights: HashMap<NodeId, u64>,
+    machine: Machine,
+    obs: &Obs,
+) -> Result<CompiledSession, String> {
+    let base = canon::canonicalize(&dag, &weights, &machine).map_err(|e| e.to_string())?;
+    let (plan, rec) = plan::compile_plan_traced(&base, &machine, obs);
+    let solver = rec.and_then(|rec| {
+        let solver_weights: HashMap<NodeId, Ratio> = base
+            .weights
+            .iter()
+            .map(|(&n, &w)| (n, Ratio::from_int(w as i128)))
+            .collect();
+        IncrSolver::new(machine.clone(), solver_weights, rec)
+    });
+    let base_ids: Vec<NodeId> = base.dag.node_ids().collect();
+    let base_edge_ids: Vec<EdgeId> = base.dag.edge_ids().collect();
+    let mut base_inv = vec![0usize; dag.num_nodes()];
+    for (client, &canon_idx) in base.node_perm.iter().enumerate() {
+        base_inv[canon_idx] = client;
+    }
+    let plan: Arc<str> = Arc::from(plan);
+    let key = base.key;
+    let encoding = Arc::clone(&base.encoding);
+    let names = base.names.clone();
+    // Prime the mapping memo with the base state, so the first edit
+    // away and back (the undo case) already hits.
+    let mut memo = CanonMemo::new();
+    memo.insert(
+        CanonState::of(&dag, &weights),
+        Arc::new(Canon {
+            dag: Dag::new(),
+            names: Vec::new(),
+            node_perm: base.node_perm.clone(),
+            edge_perm: base.edge_perm.clone(),
+            weights: HashMap::new(),
+            encoding: Arc::clone(&base.encoding),
+            key: base.key,
+        }),
+    );
+    Ok((
+        Session {
+            machine,
+            dag,
+            weights,
+            base,
+            base_ids,
+            base_edge_ids,
+            base_inv,
+            plan: Arc::clone(&plan),
+            key,
+            encoding: Arc::clone(&encoding),
+            solver: None,
+            memo,
+        }
+        .with_solver(solver),
+        key,
+        encoding,
+        plan,
+        names,
+    ))
+}
+
+impl Session {
+    fn with_solver(mut self, solver: Option<IncrSolver>) -> Session {
+        self.solver = solver;
+        self
+    }
+}
+
+/// Parses the wire `edit` object against the session's current DAG
+/// (nodes are addressed by the client's own fluid names).
+fn parse_edit(dag: &Dag, machine: &Machine, edit: &Value) -> Result<SessionEdit, String> {
+    if !matches!(edit, Value::Obj(_)) {
+        return Err("`edit` must be an object".to_owned());
+    }
+    if let Some(v) = edit.get("set_ratio") {
+        let node = node_field(dag, v, "node")?;
+        let parts = parts_field(dag, v.get("parts"), "set_ratio.parts")?;
+        return Ok(SessionEdit::SetRatio { node, parts });
+    }
+    if let Some(v) = edit.get("set_output_volume") {
+        let node = node_field(dag, v, "node")?;
+        let weight = u64_field(v.get("weight"), "set_output_volume.weight")?;
+        return Ok(SessionEdit::SetOutputVolume { node, weight });
+    }
+    if let Some(v) = edit.get("set_machine") {
+        let machine = crate::service::machine_with_overrides(machine, v)?;
+        return Ok(SessionEdit::SetMachine(machine));
+    }
+    if let Some(v) = edit.get("add_node") {
+        return Ok(SessionEdit::AddNode(parse_new_node(dag, v)?));
+    }
+    if let Some(v) = edit.get("remove_node") {
+        let node = node_field(dag, v, "node")?;
+        return Ok(SessionEdit::RemoveNode { node });
+    }
+    Err(
+        "`edit` needs one of `set_ratio`, `set_output_volume`, `set_machine`, \
+         `add_node`, `remove_node`"
+            .to_owned(),
+    )
+}
+
+fn parse_new_node(dag: &Dag, v: &Value) -> Result<NewNode, String> {
+    let name = match v.get("name").and_then(Value::as_str) {
+        Some(n) if !n.is_empty() => n.to_owned(),
+        _ => return Err("add_node.name must be a non-empty string".to_owned()),
+    };
+    if dag.find_node(&name).is_some() {
+        return Err(format!("add_node: fluid `{name}` already exists"));
+    }
+    if let Some(m) = v.get("mix") {
+        let parts = parts_field(dag, m.get("parts"), "add_node.mix.parts")?;
+        let seconds = match m.get("seconds") {
+            None => 0,
+            Some(s) => u64_field(Some(s), "add_node.mix.seconds")?,
+        };
+        return Ok(NewNode::Mix {
+            name,
+            parts,
+            seconds,
+        });
+    }
+    if let Some(p) = v.get("process") {
+        let op = match p.get("op").and_then(Value::as_str) {
+            Some(op) if !op.is_empty() => op.to_owned(),
+            _ => return Err("add_node.process.op must be a non-empty string".to_owned()),
+        };
+        let from = node_field(dag, p, "from")?;
+        return Ok(NewNode::Process { name, op, from });
+    }
+    if let Some(o) = v.get("output") {
+        let from = node_field(dag, o, "from")?;
+        let weight = match o.get("weight") {
+            None => None,
+            Some(w) => Some(u64_field(Some(w), "add_node.output.weight")?),
+        };
+        return Ok(NewNode::Output { name, from, weight });
+    }
+    if v.get("input").is_some() {
+        return Ok(NewNode::Input { name });
+    }
+    Err("add_node needs one of `mix`, `process`, `output`, `input`".to_owned())
+}
+
+fn node_field(dag: &Dag, v: &Value, what: &str) -> Result<NodeId, String> {
+    let name = v
+        .get(what)
+        .and_then(Value::as_str)
+        .ok_or_else(|| format!("`{what}` must be a fluid name"))?;
+    dag.find_node(name)
+        .ok_or_else(|| format!("unknown fluid `{name}`"))
+}
+
+fn u64_field(v: Option<&Value>, what: &str) -> Result<u64, String> {
+    v.and_then(Value::as_u64)
+        .ok_or_else(|| format!("`{what}` must be a non-negative integer"))
+}
+
+fn parts_field(dag: &Dag, v: Option<&Value>, what: &str) -> Result<Vec<(NodeId, u64)>, String> {
+    let items = match v {
+        Some(Value::Arr(items)) if !items.is_empty() => items,
+        _ => return Err(format!("`{what}` must be a non-empty array")),
+    };
+    let mut parts = Vec::with_capacity(items.len());
+    for item in items {
+        let pair = match item {
+            Value::Arr(pair) if pair.len() == 2 => pair,
+            _ => return Err(format!("`{what}` entries must be [name, parts] pairs")),
+        };
+        let name = pair[0]
+            .as_str()
+            .ok_or_else(|| format!("`{what}` entries must name a fluid"))?;
+        let node = dag
+            .find_node(name)
+            .ok_or_else(|| format!("unknown fluid `{name}`"))?;
+        let count = pair[1]
+            .as_u64()
+            .ok_or_else(|| format!("`{what}` parts must be non-negative integers"))?;
+        parts.push((node, count));
+    }
+    Ok(parts)
+}
+
+/// Applies one parsed edit, preferring the dirty-slice replay and
+/// falling back to a cold compile (with a typed cause) when the edit —
+/// or the trace — cannot support it. Session state is only committed
+/// on success.
+fn apply_edit(s: &mut Session, edit: SessionEdit, obs: &Obs) -> Result<Edited, String> {
+    match edit {
+        SessionEdit::SetRatio { node, parts } => {
+            let mut dag = s.dag.clone();
+            let changed = set_mix_ratio(&mut dag, node, &parts).map_err(|e| e.to_string())?;
+            if changed.is_empty() {
+                return Ok(noop_response(s));
+            }
+            // Lift the client-space edge edits into the base canonical
+            // namespace the trace was recorded in.
+            let mut base_changes = Vec::with_capacity(changed.len());
+            for &(e, f) in &changed {
+                match s.base.edge_perm.get(e.index()).copied().flatten() {
+                    Some(be) => base_changes.push((s.base_edge_ids[be], f)),
+                    None => return full_recompile(s, dag, None, None, "divergence", obs),
+                }
+            }
+            let base_node = s.base_ids[s.base.node_perm[node.index()]];
+            let edit = IncrEdit::Fractions {
+                node: base_node,
+                changes: base_changes,
+            };
+            replay_or_recompile(s, dag, edit, obs)
+        }
+        SessionEdit::SetOutputVolume { node, weight } => {
+            if s.weights.get(&node).copied().unwrap_or(0) == weight {
+                return Ok(noop_response(s));
+            }
+            let mut weights = s.weights.clone();
+            weights.insert(node, weight);
+            let base_node = s.base_ids[s.base.node_perm[node.index()]];
+            let edit = IncrEdit::Weight {
+                node: base_node,
+                weight: Ratio::from_int(weight as i128),
+            };
+            let dag = s.dag.clone();
+            s.weights = weights;
+            replay_or_recompile(s, dag, edit, obs)
+        }
+        SessionEdit::SetMachine(machine) => {
+            // Machine parameters shape every recorded decision (least
+            // count, capacity, unit inventory): always a typed full
+            // recompile (the paper's feasibility checks are not
+            // machine-monotone, so no slice is sound).
+            let dag = s.dag.clone();
+            full_recompile(s, dag, None, Some(machine), "machine_parameter", obs)
+        }
+        SessionEdit::AddNode(new_node) => {
+            let mut dag = s.dag.clone();
+            let mut weights = s.weights.clone();
+            match new_node {
+                NewNode::Input { name } => {
+                    dag.add_input(name);
+                }
+                NewNode::Mix {
+                    name,
+                    parts,
+                    seconds,
+                } => {
+                    dag.add_mix(name, &parts, seconds)
+                        .map_err(|e| e.to_string())?;
+                }
+                NewNode::Process { name, op, from } => {
+                    dag.add_process(name, op, from);
+                }
+                NewNode::Output { name, from, weight } => {
+                    let id = dag.add_output(name, from);
+                    if let Some(w) = weight {
+                        weights.insert(id, w);
+                    }
+                }
+            }
+            full_recompile(s, dag, Some(weights), None, "structural", obs)
+        }
+        SessionEdit::RemoveNode { node } => {
+            let (dag, remap) =
+                aqua_dag::rebuild_without(&s.dag, node).map_err(|e| e.to_string())?;
+            let mut weights = HashMap::with_capacity(s.weights.len());
+            for (&id, &w) in &s.weights {
+                if let Some(new_id) = remap[id.index()] {
+                    weights.insert(new_id, w);
+                }
+            }
+            full_recompile(s, dag, Some(weights), None, "structural", obs)
+        }
+    }
+}
+
+/// The response for an edit that changed nothing.
+fn noop_response(s: &Session) -> Edited {
+    Edited {
+        key: s.key,
+        encoding: Arc::clone(&s.encoding),
+        plan: Arc::clone(&s.plan),
+        delta: "{\"replace\":{}}".to_owned(),
+        incremental: true,
+        cause: None,
+        slice: 0,
+        changed: false,
+    }
+}
+
+/// Tries the dirty-slice replay for `edit` (already lifted to base
+/// space); on divergence — or with no retained trace — recompiles cold.
+/// `dag` is the edited client DAG, not yet committed to the session.
+fn replay_or_recompile(
+    s: &mut Session,
+    dag: Dag,
+    edit: IncrEdit,
+    obs: &Obs,
+) -> Result<Edited, String> {
+    if s.solver.is_none() {
+        return full_recompile(s, dag, None, None, "no_trace", obs);
+    }
+    // Re-derive the canonical mapping of the *edited* DAG: fractions
+    // and weights participate in canonical ordering, so node ranks can
+    // move under an edit even though the topology is fixed. The memo
+    // short-circuits re-canonicalization when the state was seen
+    // before (exact value compare, so the bytes cannot differ).
+    let _span = obs.span("incr.replay");
+    let state = CanonState::of(&dag, &s.weights);
+    let cur = match s.memo.lookup(&state) {
+        Some(hit) => {
+            obs.add("incr.canon.hit", 1);
+            hit
+        }
+        None => {
+            obs.add("incr.canon.miss", 1);
+            let canon_span = obs.span("incr.canon");
+            let computed = match canon::canonicalize_mapped(&dag, &s.weights, &s.machine) {
+                Ok(cur) => Arc::new(cur),
+                Err(e) => return Err(e.to_string()),
+            };
+            canon_span.end();
+            s.memo.insert(state, Arc::clone(&computed));
+            computed
+        }
+    };
+    let solver = s.solver.as_mut().expect("checked above");
+    let base_n = solver.base_nodes();
+    let mut base_to_cur = vec![0usize; base_n];
+    for (b, slot) in base_to_cur.iter_mut().enumerate() {
+        *slot = cur.node_perm[s.base_inv[b]];
+    }
+    let solve_span = obs.span("incr.solve");
+    let replayed = solver.replay_edit(&edit, &base_to_cur);
+    solve_span.end();
+    match replayed {
+        Ok((outcome, slice)) => {
+            obs.add("incr.fast_path", 1);
+            obs.record("incr.slice_nodes", slice as u64);
+            let render_span = obs.span("incr.render");
+            let rendered = render_replay(s, &dag, &cur, outcome);
+            let plan: Arc<str> = Arc::from(rendered);
+            let delta = render_delta(&s.plan, &plan);
+            render_span.end();
+            s.dag = dag;
+            s.key = cur.key;
+            s.encoding = Arc::clone(&cur.encoding);
+            s.plan = Arc::clone(&plan);
+            Ok(Edited {
+                key: cur.key,
+                encoding: Arc::clone(&cur.encoding),
+                plan,
+                delta,
+                incremental: true,
+                cause: None,
+                slice,
+                changed: true,
+            })
+        }
+        Err(divergence) => {
+            obs.add("incr.divergence_fallback", 1);
+            obs.add(
+                match divergence.0 {
+                    "underflow-flipped" => "incr.diverge.underflow",
+                    "extreme-flipped" | "shape-mismatch" => "incr.diverge.shape",
+                    _ => "incr.diverge.other",
+                },
+                1,
+            );
+            // The solver mutated its stored rounds before diverging;
+            // it is poisoned by contract.
+            s.solver = None;
+            full_recompile(s, dag, None, None, "divergence", obs)
+        }
+    }
+}
+
+/// Renders a successful replay outcome as plan bytes, byte-identical
+/// to a cold compile of `dag`: the replay's base-space volumes are
+/// permuted into the edited DAG's canonical namespace and pushed
+/// through the shared [`plan::render_outcome`] path.
+fn render_replay(s: &Session, dag: &Dag, cur: &Canon, outcome: ReplayOutcome) -> String {
+    match outcome {
+        ReplayOutcome::Blocked { reason, log } => {
+            let outcome = ManagedOutcome::ResourcesExceeded { reason, log };
+            plan::render_outcome(&outcome, &s.machine)
+        }
+        ReplayOutcome::Solved {
+            node_volumes_nl,
+            edge_volumes_nl,
+        } => {
+            let cur_dag = build_canonical_dag(dag, cur);
+            let n = dag.num_nodes();
+            let zero = Ratio::from_int(0);
+            let mut node_vols = vec![zero; n];
+            for client in 0..n {
+                node_vols[cur.node_perm[client]] = node_volumes_nl[s.base.node_perm[client]];
+            }
+            let mut edge_vols = vec![zero; cur_dag.num_edges()];
+            for e in dag.edge_ids() {
+                if let Some(cur_idx) = cur.edge_perm[e.index()] {
+                    let base_idx =
+                        s.base.edge_perm[e.index()].expect("base and edited DAG share live edges");
+                    edge_vols[cur_idx] = edge_volumes_nl[s.base_edge_ids[base_idx].index()];
+                }
+            }
+            let outcome = ManagedOutcome::Solved {
+                dag: cur_dag,
+                volumes: ManagedVolumes {
+                    edge_volumes_nl: edge_vols,
+                    node_volumes_nl: node_vols,
+                    method: Method::DagSolve,
+                },
+                log: vec!["round 0: DAGSolve succeeded".to_owned()],
+            };
+            plan::render_outcome(&outcome, &s.machine)
+        }
+    }
+}
+
+/// Rebuilds the canonical DAG of `dag` from a mapped-only [`Canon`] —
+/// the same nodes (named `f0..fN`, canonical order) and the same edge
+/// order a full `canonicalize` would produce.
+fn build_canonical_dag(dag: &Dag, cur: &Canon) -> Dag {
+    let n = dag.num_nodes();
+    let ids: Vec<NodeId> = dag.node_ids().collect();
+    let mut order = vec![0usize; n];
+    for (client, &canon_idx) in cur.node_perm.iter().enumerate() {
+        order[canon_idx] = client;
+    }
+    let mut canon_dag = Dag::new();
+    let mut new_ids = Vec::with_capacity(n);
+    for (new_idx, &client) in order.iter().enumerate() {
+        new_ids.push(canon_dag.add_node(format!("f{new_idx}"), dag.node(ids[client]).kind.clone()));
+    }
+    let mut sorted: Vec<(usize, EdgeId)> = dag
+        .edge_ids()
+        .filter_map(|e| cur.edge_perm[e.index()].map(|idx| (idx, e)))
+        .collect();
+    sorted.sort_unstable_by_key(|&(idx, _)| idx);
+    for (_, e) in sorted {
+        let edge = dag.edge(e);
+        canon_dag.add_edge(
+            new_ids[cur.node_perm[edge.src.index()]],
+            new_ids[cur.node_perm[edge.dst.index()]],
+            edge.fraction,
+        );
+    }
+    canon_dag
+}
+
+/// Cold-compiles the session's edited state and re-pins everything
+/// (canonical form, plan, trace). `cause` names why the fast path was
+/// unavailable; it travels back to the client in the response.
+fn full_recompile(
+    s: &mut Session,
+    dag: Dag,
+    weights: Option<HashMap<NodeId, u64>>,
+    machine: Option<Machine>,
+    cause: &'static str,
+    obs: &Obs,
+) -> Result<Edited, String> {
+    obs.add("incr.full_recompile", 1);
+    let weights = weights.unwrap_or_else(|| s.weights.clone());
+    let machine = machine.unwrap_or_else(|| s.machine.clone());
+    let (session, key, encoding, plan, _names) = compile_full(dag, weights, machine, obs)?;
+    // Full recompiles always carry the fresh plan whole: the client
+    // may be resynchronizing after a structural or machine change and
+    // a member-wise patch against its old plan buys nothing.
+    let delta = format!("{{\"full\":{plan}}}");
+    *s = session;
+    Ok(Edited {
+        key,
+        encoding,
+        plan,
+        delta,
+        incremental: false,
+        cause: Some(cause),
+        slice: 0,
+        changed: true,
+    })
+}
+
+/// Renders the member-level difference between two plan documents.
+///
+/// Plans are JSON objects with a fixed member order, so the delta is a
+/// `{"replace":{member: value, ...}}` carrying only the members whose
+/// bytes changed. When the two documents do not share a member layout
+/// (e.g. the status flipped), the delta degrades to `{"full": plan}`.
+pub(crate) fn render_delta(old: &str, new: &str) -> String {
+    let (Some(old_members), Some(new_members)) = (top_level_members(old), top_level_members(new))
+    else {
+        return format!("{{\"full\":{new}}}");
+    };
+    if old_members.len() != new_members.len()
+        || old_members
+            .iter()
+            .zip(&new_members)
+            .any(|((ka, _), (kb, _))| ka != kb)
+    {
+        return format!("{{\"full\":{new}}}");
+    }
+    let mut out = String::from("{\"replace\":{");
+    let mut first = true;
+    for ((name, old_raw), (_, new_raw)) in old_members.iter().zip(&new_members) {
+        if old_raw == new_raw {
+            continue;
+        }
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "{}:{new_raw}", quote(name));
+    }
+    out.push_str("}}");
+    out
+}
+
+/// Applies a delta produced by `render_delta` to `old`, returning the
+/// reconstructed plan document. Returns `None` on a malformed pair.
+pub fn apply_delta(old: &str, delta: &str) -> Option<String> {
+    let members = top_level_members(delta)?;
+    match members.as_slice() {
+        [("full", plan)] => Some((*plan).to_owned()),
+        [("replace", patch)] => {
+            let patch: HashMap<&str, &str> = top_level_members(patch)?.into_iter().collect();
+            let old_members = top_level_members(old)?;
+            let mut out = String::with_capacity(old.len());
+            out.push('{');
+            for (i, (name, raw)) in old_members.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(
+                    out,
+                    "{}:{}",
+                    quote(name),
+                    patch.get(name).copied().unwrap_or(raw)
+                );
+            }
+            out.push('}');
+            Some(out)
+        }
+        _ => None,
+    }
+}
+
+/// Splits a compact JSON object (as this crate renders them: no
+/// inter-token whitespace) into `(member name, raw value bytes)` pairs.
+fn top_level_members(s: &str) -> Option<Vec<(&str, &str)>> {
+    let inner = s.strip_prefix('{')?.strip_suffix('}')?;
+    let bytes = inner.as_bytes();
+    let mut members = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        // Member name.
+        if bytes[i] != b'"' {
+            return None;
+        }
+        let name_end = scan_string(bytes, i)?;
+        let name = &inner[i + 1..name_end - 1];
+        if bytes.get(name_end) != Some(&b':') {
+            return None;
+        }
+        // Member value: scan to the next top-level comma.
+        let start = name_end + 1;
+        let mut j = start;
+        let mut depth = 0usize;
+        while j < bytes.len() {
+            match bytes[j] {
+                b'"' => j = scan_string(bytes, j)? - 1,
+                b'{' | b'[' => depth += 1,
+                b'}' | b']' => depth = depth.checked_sub(1)?,
+                b',' if depth == 0 => break,
+                _ => {}
+            }
+            j += 1;
+        }
+        if j == start {
+            return None;
+        }
+        members.push((name, &inner[start..j]));
+        i = j + 1;
+    }
+    Some(members)
+}
+
+/// Returns the index one past a JSON string's closing quote.
+fn scan_string(bytes: &[u8], start: usize) -> Option<usize> {
+    let mut i = start + 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => return Some(i + 1),
+            _ => i += 1,
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn top_level_members_splits_compact_objects() {
+        let s = r#"{"a":1,"b":"x,\"y}","c":[1,{"d":2}],"e":{"f":[3]}}"#;
+        let members = top_level_members(s).unwrap();
+        assert_eq!(
+            members,
+            vec![
+                ("a", "1"),
+                ("b", r#""x,\"y}""#),
+                ("c", r#"[1,{"d":2}]"#),
+                ("e", r#"{"f":[3]}"#),
+            ]
+        );
+    }
+
+    #[test]
+    fn delta_roundtrips_member_replacement() {
+        let old = r#"{"status":"solved","edges":[1,2],"log":["a"]}"#;
+        let new = r#"{"status":"solved","edges":[1,3],"log":["a"]}"#;
+        let delta = render_delta(old, new);
+        assert_eq!(delta, r#"{"replace":{"edges":[1,3]}}"#);
+        assert_eq!(apply_delta(old, &delta).unwrap(), new);
+    }
+
+    #[test]
+    fn delta_degrades_to_full_on_layout_change() {
+        let old = r#"{"status":"solved","edges":[1,2]}"#;
+        let new = r#"{"status":"resources_exceeded","reason":"x"}"#;
+        let delta = render_delta(old, new);
+        assert_eq!(delta, format!("{{\"full\":{new}}}"));
+        assert_eq!(apply_delta(old, &delta).unwrap(), new);
+    }
+
+    #[test]
+    fn identical_plans_produce_empty_replace() {
+        let plan = r#"{"status":"solved","edges":[1,2]}"#;
+        let delta = render_delta(plan, plan);
+        assert_eq!(delta, r#"{"replace":{}}"#);
+        assert_eq!(apply_delta(plan, &delta).unwrap(), plan);
+    }
+}

@@ -19,15 +19,15 @@ END
 
 /// The TINY assay's content-addressed key under the paper-default
 /// machine. Changes only when the canonicalization scheme changes.
-const TINY_KEY: &str = "bd616f77aef57130f18e86b9c9b98083";
+const TINY_KEY: &str = "4bf1ce8d7064e6237733a3d629fcde3b";
 
 /// The TINY assay's compiled plan, shared by the `src` and `key`
 /// fixtures below.
 const TINY_PLAN: &str = "{\"status\":\"solved\",\"method\":\"DAGSolve\",\
 \"nodes\":[\"input\",\"input\",\"mix:10\",\"process:sense.OD\"],\
-\"edges\":[[0,2,\"1/5\",\"20\"],[1,2,\"4/5\",\"80\"],[2,3,\"1\",\"100\"]],\
-\"node_volumes_nl\":[\"20\",\"80\",\"100\",\"100\"],\
-\"ivol_nl\":[\"20\",\"80\",\"100\",\"100\"],\
+\"edges\":[[0,2,\"4/5\",\"80\"],[1,2,\"1/5\",\"20\"],[2,3,\"1\",\"100\"]],\
+\"node_volumes_nl\":[\"80\",\"20\",\"100\",\"100\"],\
+\"ivol_nl\":[\"80\",\"20\",\"100\",\"100\"],\
 \"log\":[\"round 0: DAGSolve succeeded\"]}";
 
 fn service() -> Service {
@@ -46,7 +46,7 @@ fn golden_success_via_src() {
     let got = service().handle_line(&src_request("1", ""));
     let want = format!(
         "{{\"id\":1,\"ok\":true,\"key\":\"{TINY_KEY}\",\
-\"names\":[\"A\",\"B\",\"m\",\"Result[1]\"],\"plan\":{TINY_PLAN}}}"
+\"names\":[\"B\",\"A\",\"m\",\"Result[1]\"],\"plan\":{TINY_PLAN}}}"
     );
     assert_eq!(got, want);
 }

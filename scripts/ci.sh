@@ -43,12 +43,21 @@
 #      violations, zero unrecovered faults, zero cross-thread digest
 #      mismatches, obs.snapshot byte-identical over the wire — all
 #      enforced by the binary and re-checked by the greps)
+#  14. incremental differential suite (incr_differential: session.edit
+#      deltas chained over random edit scripts stay byte-identical to
+#      cold compiles at every step, on paper + synthetic assays, and
+#      concurrent sessions are thread-count-invariant)
+#  15. incr bench smoke        (bench_incr --quick: single-ratio
+#      enzyme10 edits >= 10x faster than cold front-door compiles and
+#      zero incremental-vs-cold byte divergences — both enforced by the
+#      binary and re-checked by the greps)
 #
 # The smoke runs write their JSON to target/ so they never clobber the
 # committed BENCH_lp.json / BENCH_fault.json / BENCH_serve.json /
-# BENCH_exec.json / BENCH_replay.json (regenerate those with a full
-# `cargo run --release -p aqua-bench --bin bench_lp` / `fault_sweep` /
-# `bench_serve` / `bench_exec` / `bench_replay`).
+# BENCH_exec.json / BENCH_replay.json / BENCH_incr.json (regenerate
+# those with a full `cargo run --release -p aqua-bench --bin bench_lp`
+# / `fault_sweep` / `bench_serve` / `bench_exec` / `bench_replay` /
+# `bench_incr`).
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -183,6 +192,26 @@ for field in '"schema": "bench_replay/v1"' '"runs_floor_ok": true' \
              '"p999_instr_ns"' '"soak_rps"' '"host_cpus"'; do
   if ! grep -q "$field" target/BENCH_replay.quick.json; then
     echo "error: BENCH_replay.quick.json is missing $field" >&2
+    exit 1
+  fi
+done
+
+echo "==> incremental differential suite (session deltas == cold compiles)"
+timeout 600 cargo test -q --release --features proptests --test incr_differential
+
+echo "==> bench_incr --quick (session.edit vs cold front-door smoke test)"
+# The binary exits nonzero when any incremental plan diverges from the
+# cold compile of the edited DAG or the enzyme10 single-ratio-edit
+# speedup floor (10x) is missed; the greps re-check the JSON contract.
+timeout 600 cargo run --release -p aqua-bench --bin bench_incr -- --quick \
+  --out target/BENCH_incr.quick.json
+test -s target/BENCH_incr.quick.json
+for field in '"schema": "bench_incr/v1"' '"incr_over_cold"' \
+             '"divergences": 0' '"enzyme10_cold_p50_ns"' \
+             '"enzyme10_ratio_incr_p50_ns"' '"enzyme10_machine_incr_p50_ns"' \
+             '"host_cpus"'; do
+  if ! grep -q "$field" target/BENCH_incr.quick.json; then
+    echo "error: BENCH_incr.quick.json is missing $field" >&2
     exit 1
   fi
 done

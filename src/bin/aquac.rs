@@ -410,6 +410,9 @@ fn serve_main(rest: &[String]) -> Result<(), String> {
             "--tenant-queue" => {
                 config.tenant_max_queued = next_usize(&mut it, "--tenant-queue")?;
             }
+            "--tenant-sessions" => {
+                config.tenant_max_sessions = next_usize(&mut it, "--tenant-sessions")?;
+            }
             "--obs" => with_obs = true,
             other => return Err(format!("unknown argument `{other}`\n{}", usage())),
         }
@@ -628,7 +631,7 @@ fn usage() -> String {
      [--shards N] [--worker-shards N] [--workers N] [--queue-cap N] \
      [--max-batch N] [--deadline-ms N] [--max-deadline-ms N] \
      [--max-line-bytes N] [--store DIR] [--tenant-inflight N] \
-     [--tenant-queue N] [--obs]\n   \
+     [--tenant-queue N] [--tenant-sessions N] [--obs]\n   \
      or: aquac replay record <assay-file> --log DIR [--name NAME] \
      [--machine CAP,LC] [--runs N] [--seed-base S] [--fault-rate-ppm P]\n   \
      or: aquac replay run --log DIR --assay NAME=FILE [--assay ...] \

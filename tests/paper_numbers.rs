@@ -283,11 +283,12 @@ fn enzyme10_escalation_path_is_pinned() {
     };
     // 21 cascades: Diluted_{Inhibitor,Enzyme,Substrate}[4..=10].
     assert_eq!(counter("vol.cascade_rewrites"), 21);
-    // Two LP fallback attempts (round 0 and round 1), both dispatched
-    // to the sparse backend by Auto (the formulations are far past the
-    // dense cell limit).
+    // Two LP fallback attempts (round 0 and round 1); both verdicts
+    // come from the exact infeasibility pre-check, so no simplex
+    // backend is ever dispatched.
     assert_eq!(counter("vol.lp_fallbacks"), 2);
-    assert_eq!(counter("lp.backend_chosen.sparse"), 2);
+    assert_eq!(counter("vol.precheck_infeasible"), 2);
+    assert_eq!(counter("lp.backend_chosen.sparse"), 0);
     assert_eq!(counter("lp.backend_chosen.dense"), 0);
 }
 
